@@ -1,0 +1,14 @@
+"""A1 — ablation table for the design choices DESIGN.md calls out.
+
+fetch&add vs write, halving vs fixed step size, epoch isolation on/off —
+each run under the adversary that exposes it.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import a1_ablations
+
+
+def test_a1_ablations(benchmark, record_experiment):
+    config = pick_config(a1_ablations.A1Config)
+    run_experiment(benchmark, a1_ablations, config, record_experiment)

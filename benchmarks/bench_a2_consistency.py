@@ -1,0 +1,15 @@
+"""A2 — regenerate the price-of-consistency ablation table.
+
+Consistent double-collect snapshot views vs Algorithm 1's inconsistent
+entry-wise reads: steps per iteration, scan retries/fallbacks and final
+accuracy across thread counts.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import a2_consistency
+
+
+def test_a2_consistency(benchmark, record_experiment):
+    config = pick_config(a2_consistency.A2Config)
+    run_experiment(benchmark, a2_consistency, config, record_experiment)

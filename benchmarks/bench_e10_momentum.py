@@ -1,0 +1,15 @@
+"""E10 — regenerate the momentum tables from the Section 8 discussion.
+
+(a) the implicit momentum of asynchronous SGD fitted against thread
+count (the "asynchrony begets momentum" shape); (b) the lock-free
+explicit-momentum variant converging under asynchrony.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e10_momentum
+
+
+def test_e10_momentum(benchmark, record_experiment):
+    config = pick_config(e10_momentum.E10Config)
+    run_experiment(benchmark, e10_momentum, config, record_experiment)

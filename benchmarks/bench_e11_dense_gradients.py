@@ -1,0 +1,16 @@
+"""E11 — regenerate the dense-vs-sparse-oracle table.
+
+The paper's departure (2) from prior work: the analysis no longer needs
+single-non-zero-entry gradients.  Both a 1-sparse workload and a dense
+least-squares workload run under the Eq. (12) machinery and must respect
+the Corollary 6.7 bound.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e11_dense_gradients
+
+
+def test_e11_dense_gradients(benchmark, record_experiment):
+    config = pick_config(e11_dense_gradients.E11Config)
+    run_experiment(benchmark, e11_dense_gradients, config, record_experiment)

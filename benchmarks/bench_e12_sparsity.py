@@ -1,0 +1,15 @@
+"""E12 — regenerate the sparsity table from Section 8's discussion.
+
+Gradient density (non-zeros per sample) vs the measured view error
+‖x_t − v_t‖ and concurrent-update collision rate: the sparsity argument
+for "why asynchronous SGD is fast in practice", quantified.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e12_sparsity
+
+
+def test_e12_sparsity(benchmark, record_experiment):
+    config = pick_config(e12_sparsity.E12Config)
+    run_experiment(benchmark, e12_sparsity, config, record_experiment)

@@ -1,0 +1,17 @@
+"""E1 — regenerate the Theorem 3.1 table: sequential P(F_T) vs bound.
+
+Prints/persists the per-horizon failure-probability table and the
+measured-vs-bound curves; the acceptance criterion (measured never
+statistically above the bound) gates the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e1_sequential
+
+
+def test_e1_sequential_bound(benchmark, record_experiment):
+    config = pick_config(e1_sequential.E1Config)
+    run_experiment(
+        benchmark, e1_sequential, config, record_experiment, logy=True
+    )

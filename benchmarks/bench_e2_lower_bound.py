@@ -1,0 +1,15 @@
+"""E2 — regenerate the Theorem 5.1 figure: slowdown vs adversarial delay.
+
+Sweeps the stale-gradient attack's delay τ and overlays the measured
+slowdown on the predicted Ω(τ) line; linear shape and 2× agreement gate
+the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e2_lower_bound
+
+
+def test_e2_lower_bound(benchmark, record_experiment):
+    config = pick_config(e2_lower_bound.E2Config)
+    run_experiment(benchmark, e2_lower_bound, config, record_experiment)

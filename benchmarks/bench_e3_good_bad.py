@@ -1,0 +1,14 @@
+"""E3 — regenerate the Lemma 6.2 table: good/bad iterations per window.
+
+Classifies every Kn-start window of traces collected under the scheduler
+gauntlet; zero windows with ≥ n bad completing iterations gate the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e3_good_bad
+
+
+def test_e3_good_bad(benchmark, record_experiment):
+    config = pick_config(e3_good_bad.E3Config)
+    run_experiment(benchmark, e3_good_bad, config, record_experiment)

@@ -1,0 +1,14 @@
+"""E4 — regenerate the Lemma 6.4 table: indicator sums vs 2√(τ_max·n).
+
+Measures Σ_m 1{τ_{t+m} ≥ m} on real delay sequences (benign and
+adversarial); the bound holding on every trace gates the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e4_indicator_sum
+
+
+def test_e4_indicator_sum(benchmark, record_experiment):
+    config = pick_config(e4_indicator_sum.E4Config)
+    run_experiment(benchmark, e4_indicator_sum, config, record_experiment)

@@ -1,0 +1,16 @@
+"""E5 — regenerate the Theorem 6.5 / Corollary 6.7 tables.
+
+(a) measured lock-free P(F_T) under a delay adversary vs the Cor 6.7
+bound; (b) hitting-time slowdown vs τ_max overlaid on the √(τ_max·n)
+prediction and the prior-art linear curve.  Both acceptance criteria
+gate the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e5_upper_bound
+
+
+def test_e5_upper_bound(benchmark, record_experiment):
+    config = pick_config(e5_upper_bound.E5Config)
+    run_experiment(benchmark, e5_upper_bound, config, record_experiment)

@@ -1,0 +1,17 @@
+"""E6 — regenerate the bound-comparison figure: Cor 6.7 vs Thm 6.3.
+
+Sweeps τ, locating the crossover where the new √(τ·n) bound beats the
+prior linear-in-τ bound (predicted at τ* = 4nd), plus a simulation spot
+check that the larger Eq. 12 step size converges faster.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e6_bound_comparison
+
+
+def test_e6_bound_comparison(benchmark, record_experiment):
+    config = pick_config(e6_bound_comparison.E6Config)
+    run_experiment(
+        benchmark, e6_bound_comparison, config, record_experiment, logy=True
+    )

@@ -1,0 +1,15 @@
+"""E7 — regenerate the Corollary 7.1 table: FullSGD reaches √ε.
+
+Runs Algorithm 2 over a sweep of targets ε under benign and adversarial
+schedulers; mean final distance ≤ √ε and the epoch-count formula gate
+the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e7_full_sgd
+
+
+def test_e7_full_sgd(benchmark, record_experiment):
+    config = pick_config(e7_full_sgd.E7Config)
+    run_experiment(benchmark, e7_full_sgd, config, record_experiment)

@@ -1,0 +1,15 @@
+"""E8 — regenerate the Section 8 regime map and the τ_avg ≤ 2n table.
+
+Sweeps the (α, τ) grid checking the lower-bound and upper-bound
+preconditions never hold simultaneously, and measures average interval
+contention against the Gibson–Gramoli 2n limit across schedulers.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e8_tradeoff
+
+
+def test_e8_tradeoff(benchmark, record_experiment):
+    config = pick_config(e8_tradeoff.E8Config)
+    run_experiment(benchmark, e8_tradeoff, config, record_experiment)

@@ -1,0 +1,16 @@
+"""E9 — regenerate the staleness-aware-mitigation table.
+
+Measures the related-work assertion "our lower bound applies to these
+works as well": staleness-aware damping beats the weak adversary but the
+fully adaptive adversary (freezing after the staleness observation)
+restores the Ω(τ) slowdown.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import e9_staleness_aware
+
+
+def test_e9_staleness_aware(benchmark, record_experiment):
+    config = pick_config(e9_staleness_aware.E9Config)
+    run_experiment(benchmark, e9_staleness_aware, config, record_experiment)

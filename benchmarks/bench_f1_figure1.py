@@ -1,0 +1,16 @@
+"""F1 — regenerate Figure 1: the applied/pending update matrix.
+
+Freezes a live Algorithm-1 execution mid-run and renders each
+iteration's per-component update status; the presence of both applied
+and pending updates (and exact agreement with the recorded fetch&add
+times) gates the bench.
+"""
+
+from conftest import pick_config, run_experiment
+
+from repro.experiments import f1_figure
+
+
+def test_f1_figure1(benchmark, record_experiment):
+    config = pick_config(f1_figure.F1Config)
+    run_experiment(benchmark, f1_figure, config, record_experiment)

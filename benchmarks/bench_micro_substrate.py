@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the substrate itself.
+
+Not a paper artifact — these track the throughput of the simulator's hot
+paths (atomic ops, scheduler rounds, whole SGD iterations) so substrate
+regressions show up in the bench suite.  These use pytest-benchmark's
+normal repeated-rounds mode, unlike the single-shot experiment benches.
+"""
+
+import numpy as np
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.program import FunctionProgram
+from repro.runtime.simulator import Simulator
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import FetchAdd, Read
+
+
+def test_memory_fetch_add_throughput(benchmark):
+    memory = SharedMemory(record_log=False)
+    base = memory.allocate(1)
+    op = FetchAdd(base, 1.0)
+
+    def run():
+        for _ in range(1000):
+            memory.execute(op)
+
+    benchmark(run)
+
+
+def test_memory_read_throughput_with_log(benchmark):
+    memory = SharedMemory(record_log=True)
+    base = memory.allocate(1)
+    op = Read(base)
+
+    def run():
+        for _ in range(1000):
+            memory.execute(op)
+        memory.log.clear()
+
+    benchmark(run)
+
+
+def test_simulator_step_throughput(benchmark):
+    def run():
+        memory = SharedMemory(record_log=False)
+        counter = AtomicCounter.allocate(memory)
+        sim = Simulator(memory, RoundRobinScheduler())
+
+        def loop(ctx):
+            for _ in range(500):
+                yield counter.increment_op()
+
+        for _ in range(4):
+            sim.spawn(FunctionProgram(loop))
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 2000
+
+
+def test_lock_free_sgd_iteration_throughput(benchmark):
+    objective = IsotropicQuadratic(dim=4, noise=GaussianNoise(0.3))
+    x0 = np.full(4, 2.0)
+
+    def run():
+        return run_lock_free_sgd(
+            objective, RandomScheduler(seed=1), num_threads=4,
+            step_size=0.02, iterations=200, x0=x0, seed=1,
+        ).iterations
+
+    assert benchmark(run) == 200

@@ -1,0 +1,53 @@
+"""Shared benchmark plumbing.
+
+Each bench runs one experiment driver (quick preset by default; set
+``REPRO_BENCH_SCALE=full`` for the EXPERIMENTS.md-scale runs), reports
+its wall-clock through pytest-benchmark, prints the experiment's
+table/figure, and writes it to ``benchmarks/results/<id>.txt`` so the
+regenerated artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """'quick' (default) or 'full', from REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    return scale if scale in ("quick", "full") else "quick"
+
+
+def pick_config(config_cls):
+    """The preset matching the requested scale."""
+    return config_cls.full() if bench_scale() == "full" else config_cls.quick()
+
+
+@pytest.fixture
+def record_experiment():
+    """Save and print an ExperimentResult produced by a bench."""
+
+    def _record(result, logy: bool = False) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render(plot=True, logy=logy)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_experiment(benchmark, module, config, record, logy=False):
+    """Benchmark one driver invocation (single round: these are
+    experiments, not microbenchmarks) and persist its artifact."""
+    result = benchmark.pedantic(
+        lambda: module.run(config), rounds=1, iterations=1
+    )
+    record(result, logy=logy)
+    assert result.passed, f"{result.experiment_id} acceptance criterion failed"
+    return result

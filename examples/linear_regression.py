@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Data-parallel linear regression: lock-free vs locked vs mini-batch.
+
+The paper's motivating workload (Section 1): m data points, per-point
+loss L_i(x) = ½(a_iᵀx − y_i)², n threads sharing the model.  This example
+runs the same least-squares problem through three parallelization
+strategies and reports iterations, shared-memory steps and final error:
+
+* **lock-free** (Algorithm 1 / Hogwild) — no synchronization at all;
+* **locked** (Langford et al.) — a global CAS spinlock per iteration,
+  showing the coarse-grained-locking step overhead the paper recalls;
+* **mini-batch** — fully synchronous averaging (n gradients per model
+  update).
+
+Usage::
+
+    python examples/linear_regression.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.locked import LockedSGDProgram
+from repro.shm.register import AtomicRegister
+
+
+def main() -> None:
+    design, targets, x_true = repro.make_regression(
+        num_points=80, dim=5, noise_sigma=0.1, condition_number=3.0, seed=7
+    )
+    objective = repro.LeastSquares(design, targets)
+    print(f"dataset: {design.shape[0]} points, d={design.shape[1]}")
+    print(f"||x_true - x*_least_squares|| = "
+          f"{np.linalg.norm(x_true - objective.x_star):.4f}")
+
+    num_threads = 4
+    iterations = 3000
+    alpha = 0.01
+    x0 = np.zeros(objective.dim)
+    table = repro.Table(
+        ["strategy", "iterations", "shm steps", "final ||x - x*||"],
+        title=f"\nleast squares with n={num_threads} threads, alpha={alpha}",
+    )
+
+    # 1. Lock-free (Algorithm 1).
+    lock_free = repro.run_lock_free_sgd(
+        objective,
+        repro.RandomScheduler(seed=1),
+        num_threads=num_threads,
+        step_size=alpha,
+        iterations=iterations,
+        x0=x0,
+        seed=1,
+    )
+    table.add_row(
+        ["lock-free (Hogwild)", lock_free.iterations, lock_free.sim_steps,
+         objective.distance_to_opt(lock_free.x_final)]
+    )
+
+    # 2. Coarse-grained lock.
+    lock_state = {}
+
+    def locked_factory(model, counter, thread_index):
+        if "lock" not in lock_state:
+            memory = model.memory
+            lock_state["lock"] = AtomicRegister(
+                memory, memory.allocate(1, name="lock")
+            )
+        return LockedSGDProgram(
+            model=model, counter=counter, lock=lock_state["lock"],
+            objective=objective, step_size=alpha, max_iterations=iterations,
+        )
+
+    locked = repro.run_lock_free_sgd(
+        objective,
+        repro.RandomScheduler(seed=1),
+        num_threads=num_threads,
+        step_size=alpha,
+        iterations=iterations,
+        x0=x0,
+        seed=1,
+        program_factory=locked_factory,
+    )
+    table.add_row(
+        ["coarse lock (Langford)", locked.iterations, locked.sim_steps,
+         objective.distance_to_opt(locked.x_final)]
+    )
+
+    # 3. Synchronous mini-batch: same oracle budget (iterations draws).
+    minibatch = repro.run_minibatch_sgd(
+        objective,
+        alpha=alpha * num_threads,  # bigger batch tolerates a bigger step
+        rounds=iterations // num_threads,
+        batch_size=num_threads,
+        x0=x0,
+        seed=1,
+    )
+    table.add_row(
+        ["mini-batch (synchronous)", minibatch.iterations, "n/a (barriers)",
+         objective.distance_to_opt(minibatch.x_final)]
+    )
+
+    print(table.render())
+    overhead = locked.sim_steps / lock_free.sim_steps
+    print(
+        f"\ncoarse-grained locking spent {overhead:.2f}x the shared-memory "
+        f"steps of the lock-free run for the same iteration budget"
+    )
+    print(f"measured tau_max (lock-free run): {repro.tau_max(lock_free.records)}")
+
+
+if __name__ == "__main__":
+    main()

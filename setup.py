@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Allows ``python setup.py develop`` / ``pip install -e .`` on environments
+whose setuptools lacks PEP 660 editable-wheel support (no ``wheel``
+package available offline).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,224 @@
+"""repro — The Convergence of SGD in Asynchronous Shared Memory.
+
+A full reproduction of Alistarh, De Sa & Konstantinov (PODC 2018):
+lock-free stochastic gradient descent in the classic asynchronous
+shared-memory model, against a strong adaptive adversary, together with
+every substrate the paper's analysis stands on — an atomic shared-memory
+simulator, an adversarial-scheduler hierarchy, gradient oracles with
+certified analytic constants, the rate-supermartingale machinery, and
+the paper's upper/lower bounds as computable functions.
+
+Quickstart::
+
+    import repro
+
+    objective = repro.IsotropicQuadratic(dim=4)
+    result = repro.run_lock_free_sgd(
+        objective,
+        scheduler=repro.RandomScheduler(seed=1),
+        num_threads=4,
+        step_size=0.05,
+        iterations=500,
+        x0=[3.0, -3.0, 3.0, -3.0],
+        epsilon=0.5,
+        seed=1,
+    )
+    print(result.hit_time, result.final_distance)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced claim.
+"""
+
+from repro.errors import (
+    AssumptionViolationError,
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    SimulationError,
+)
+from repro.shm import (
+    AtomicArray,
+    AtomicCounter,
+    AtomicRegister,
+    SharedMemory,
+)
+from repro.runtime import (
+    IterationRecord,
+    Program,
+    RngStream,
+    SimThread,
+    Simulator,
+    ThreadContext,
+)
+from repro.sched import (
+    AdaptiveAdversary,
+    BoundedDelayScheduler,
+    ContentionMaximizer,
+    CrashScheduler,
+    GreedyAscentAdversary,
+    PriorityDelayScheduler,
+    RandomScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SequentialScheduler,
+    StaleGradientAttack,
+)
+from repro.objectives import (
+    GaussianNoise,
+    IsotropicQuadratic,
+    LeastSquares,
+    LogisticRegression,
+    Objective,
+    Quadratic,
+    RidgeRegression,
+    SeparableQuadratic,
+    ZeroNoise,
+    make_classification,
+    make_regression,
+)
+from repro.core import (
+    ConstantRate,
+    EpochHalvingRate,
+    EpochSGDProgram,
+    FullSGD,
+    FullSGDResult,
+    HogwildProgram,
+    LockFreeRunResult,
+    LockedSGDProgram,
+    MomentumSGDProgram,
+    SequentialRunResult,
+    StalenessAwareSGDProgram,
+    fit_implicit_momentum,
+    recommended_num_epochs,
+    run_lock_free_sgd,
+    run_minibatch_sgd,
+    run_momentum_sgd,
+    run_sequential_sgd,
+)
+from repro.theory import (
+    ConvexRateSupermartingale,
+    certify_objective,
+    contention_constant,
+    corollary_6_7_failure_bound,
+    corollary_6_7_step_size,
+    delay_sequence,
+    interval_contention,
+    lemma_6_4_sums,
+    plog,
+    required_delay,
+    slowdown_factor,
+    tau_avg,
+    tau_max,
+    theorem_3_1_failure_bound,
+    theorem_3_1_step_size,
+    theorem_6_3_failure_bound,
+    theorem_6_3_step_size,
+    theorem_6_5_failure_bound,
+)
+from repro.metrics import (
+    FailureEstimate,
+    Table,
+    ascii_plot,
+    estimate_failure_probability,
+    iterations_to_reach,
+    render_update_matrix,
+    slowdown_ratio,
+    wilson_interval,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "AssumptionViolationError",
+    "ConvergenceError",
+    # shared memory
+    "SharedMemory",
+    "AtomicRegister",
+    "AtomicArray",
+    "AtomicCounter",
+    # runtime
+    "Simulator",
+    "SimThread",
+    "Program",
+    "ThreadContext",
+    "RngStream",
+    "IterationRecord",
+    # schedulers
+    "Scheduler",
+    "SequentialScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "BoundedDelayScheduler",
+    "CrashScheduler",
+    "AdaptiveAdversary",
+    "GreedyAscentAdversary",
+    "StaleGradientAttack",
+    "PriorityDelayScheduler",
+    "ContentionMaximizer",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    # objectives
+    "Objective",
+    "IsotropicQuadratic",
+    "Quadratic",
+    "LeastSquares",
+    "RidgeRegression",
+    "LogisticRegression",
+    "SeparableQuadratic",
+    "GaussianNoise",
+    "ZeroNoise",
+    "make_regression",
+    "make_classification",
+    # core algorithms
+    "run_sequential_sgd",
+    "run_lock_free_sgd",
+    "run_minibatch_sgd",
+    "run_momentum_sgd",
+    "MomentumSGDProgram",
+    "fit_implicit_momentum",
+    "StalenessAwareSGDProgram",
+    "EpochSGDProgram",
+    "HogwildProgram",
+    "LockedSGDProgram",
+    "FullSGD",
+    "FullSGDResult",
+    "recommended_num_epochs",
+    "ConstantRate",
+    "EpochHalvingRate",
+    "SequentialRunResult",
+    "LockFreeRunResult",
+    # theory
+    "plog",
+    "ConvexRateSupermartingale",
+    "theorem_3_1_step_size",
+    "theorem_3_1_failure_bound",
+    "theorem_6_3_step_size",
+    "theorem_6_3_failure_bound",
+    "corollary_6_7_step_size",
+    "corollary_6_7_failure_bound",
+    "theorem_6_5_failure_bound",
+    "contention_constant",
+    "required_delay",
+    "slowdown_factor",
+    "interval_contention",
+    "tau_max",
+    "tau_avg",
+    "delay_sequence",
+    "lemma_6_4_sums",
+    "certify_objective",
+    # metrics
+    "estimate_failure_probability",
+    "FailureEstimate",
+    "wilson_interval",
+    "iterations_to_reach",
+    "slowdown_ratio",
+    "Table",
+    "render_update_matrix",
+    "ascii_plot",
+]

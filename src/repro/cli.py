@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro``.
+
+Lets a downstream user regenerate any paper artifact without writing
+code::
+
+    python -m repro list
+    python -m repro run E2                 # quick preset
+    python -m repro run E5 --scale full    # EXPERIMENTS.md-scale
+    python -m repro run all --out results/ # every experiment, files per id
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, Optional, Tuple
+
+from repro.experiments import (
+    a1_ablations,
+    a2_consistency,
+    e1_sequential,
+    e2_lower_bound,
+    e3_good_bad,
+    e4_indicator_sum,
+    e5_upper_bound,
+    e6_bound_comparison,
+    e7_full_sgd,
+    e8_tradeoff,
+    e9_staleness_aware,
+    e10_momentum,
+    e11_dense_gradients,
+    e12_sparsity,
+    f1_figure,
+)
+
+#: Experiment id -> (driver module, config class).
+REGISTRY: Dict[str, Tuple[object, type]] = {
+    "E1": (e1_sequential, e1_sequential.E1Config),
+    "E2": (e2_lower_bound, e2_lower_bound.E2Config),
+    "E3": (e3_good_bad, e3_good_bad.E3Config),
+    "E4": (e4_indicator_sum, e4_indicator_sum.E4Config),
+    "E5": (e5_upper_bound, e5_upper_bound.E5Config),
+    "E6": (e6_bound_comparison, e6_bound_comparison.E6Config),
+    "E7": (e7_full_sgd, e7_full_sgd.E7Config),
+    "E8": (e8_tradeoff, e8_tradeoff.E8Config),
+    "E9": (e9_staleness_aware, e9_staleness_aware.E9Config),
+    "E10": (e10_momentum, e10_momentum.E10Config),
+    "E11": (e11_dense_gradients, e11_dense_gradients.E11Config),
+    "E12": (e12_sparsity, e12_sparsity.E12Config),
+    "F1": (f1_figure, f1_figure.F1Config),
+    "A1": (a1_ablations, a1_ablations.A1Config),
+    "A2": (a2_consistency, a2_consistency.A2Config),
+}
+
+
+def _experiment_title(module) -> str:
+    """First sentence of the driver module's docstring."""
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the experiment registry."""
+    width = max(len(k) for k in REGISTRY)
+    for key, (module, _config) in REGISTRY.items():
+        print(f"{key.ljust(width)}  {_experiment_title(module)}")
+    return 0
+
+
+def _run_one(
+    key: str, scale: str, out_dir: Optional[pathlib.Path], plot: bool
+) -> bool:
+    module, config_cls = REGISTRY[key]
+    config = config_cls.full() if scale == "full" else config_cls.quick()
+    result = module.run(config)
+    text = result.render(plot=plot)
+    print(text)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{key}.txt").write_text(text + "\n")
+    return result.passed
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment (or ``all``) and print/persist its artifact."""
+    keys = list(REGISTRY) if args.experiment.lower() == "all" else [
+        args.experiment.upper()
+    ]
+    unknown = [k for k in keys if k not in REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(REGISTRY)})",
+            file=sys.stderr,
+        )
+        return 2
+    out_dir = pathlib.Path(args.out) if args.out else None
+    all_passed = True
+    for key in keys:
+        passed = _run_one(key, args.scale, out_dir, not args.no_plot)
+        all_passed = all_passed and passed
+        print()
+    return 0 if all_passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarize verdicts from a directory of <id>.txt artifacts."""
+    directory = pathlib.Path(args.dir)
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    rows = []
+    for key in REGISTRY:
+        artifact = directory / f"{key}.txt"
+        if not artifact.exists():
+            rows.append((key, "missing"))
+            continue
+        text = artifact.read_text()
+        if "verdict: PASS" in text:
+            rows.append((key, "PASS"))
+        elif "verdict: FAIL" in text:
+            rows.append((key, "FAIL"))
+        else:
+            rows.append((key, "unknown"))
+    width = max(len(k) for k, _ in rows)
+    failures = 0
+    for key, verdict in rows:
+        print(f"{key.ljust(width)}  {verdict}")
+        if verdict == "FAIL":
+            failures += 1
+    present = sum(1 for _k, v in rows if v in ("PASS", "FAIL"))
+    print(f"\n{present} artifacts, {failures} failing")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'The Convergence of SGD in Asynchronous "
+        "Shared Memory' (PODC 2018): run any of the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the available experiments"
+    )
+    list_parser.set_defaults(func=cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run an experiment (or 'all') and print its artifact"
+    )
+    run_parser.add_argument(
+        "experiment", help="experiment id (E1..E10, F1, A1) or 'all'"
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="preset size: quick (seconds) or full (EXPERIMENTS.md scale)",
+    )
+    run_parser.add_argument(
+        "--out", default=None, help="directory to write <id>.txt artifacts to"
+    )
+    run_parser.add_argument(
+        "--no-plot", action="store_true", help="omit the ASCII figure"
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarize verdicts from a directory of artifacts"
+    )
+    report_parser.add_argument(
+        "dir",
+        nargs="?",
+        default="benchmarks/results",
+        help="artifact directory (default: benchmarks/results)",
+    )
+    report_parser.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,63 @@
+"""The paper's algorithms and baselines.
+
+* :func:`~repro.core.sequential.run_sequential_sgd` — the classic serial
+  iteration x_{t+1} = x_t − α·g̃(x_t) (Eq. 1), the yardstick every
+  slowdown is measured against.
+* :class:`~repro.core.epoch_sgd.EpochSGDProgram` — **Algorithm 1**:
+  lock-free SGD over a shared model with per-entry read/fetch&add, plus
+  the convenience driver :func:`~repro.core.epoch_sgd.run_lock_free_sgd`.
+* :class:`~repro.core.full_sgd.FullSGD` — **Algorithm 2**: epochs with
+  halving step size and epoch-isolated updates, converging to any target
+  ε under adversarial scheduling (Corollary 7.1).
+* Baselines: :class:`~repro.core.hogwild.HogwildProgram` (constant-α
+  lock-free), :class:`~repro.core.locked.LockedSGDProgram`
+  (coarse-grained lock, Langford et al.) and
+  :func:`~repro.core.minibatch.run_minibatch_sgd` (synchronous parallel).
+"""
+
+from repro.core.schedules import ConstantRate, EpochHalvingRate, LearningRateSchedule
+from repro.core.results import LockFreeRunResult, SequentialRunResult
+from repro.core.sequential import run_sequential_sgd
+from repro.core.epoch_sgd import EpochSGDProgram, run_lock_free_sgd
+from repro.core.full_sgd import FullSGD, FullSGDResult, recommended_num_epochs
+from repro.core.hogwild import HogwildProgram
+from repro.core.locked import LockedSGDProgram
+from repro.core.minibatch import run_minibatch_sgd
+from repro.core.momentum import (
+    MomentumSGDProgram,
+    fit_implicit_momentum,
+    run_momentum_sgd,
+)
+from repro.core.staleness_aware import StalenessAwareSGDProgram
+from repro.core.snapshot_sgd import SnapshotSGDProgram, run_snapshot_sgd
+from repro.core.averaged import (
+    AveragedRunResult,
+    classic_average_bound,
+    run_averaged_sgd,
+)
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantRate",
+    "EpochHalvingRate",
+    "SequentialRunResult",
+    "LockFreeRunResult",
+    "run_sequential_sgd",
+    "EpochSGDProgram",
+    "run_lock_free_sgd",
+    "FullSGD",
+    "FullSGDResult",
+    "recommended_num_epochs",
+    "HogwildProgram",
+    "LockedSGDProgram",
+    "run_minibatch_sgd",
+    "run_momentum_sgd",
+    "MomentumSGDProgram",
+    "fit_implicit_momentum",
+    "StalenessAwareSGDProgram",
+    "SnapshotSGDProgram",
+    "run_snapshot_sgd",
+    "run_averaged_sgd",
+    "AveragedRunResult",
+    "classic_average_bound",
+]

@@ -1,0 +1,97 @@
+"""Classic averaged-iterate SGD and its regret-style bound.
+
+Section 3 contrasts the paper's martingale approach with "classic
+approaches for analyzing the convergence of SGD [that] bound the
+distance between the expected value of f at the average of the currently
+generated iterates and the optimal value of the function (e.g. Theorem
+6.3 in [Bubeck])".  This module implements that classic object so the
+two analysis styles can be compared side by side:
+
+* :func:`run_averaged_sgd` — SGD with the decreasing step size
+  α_t = 2/(c·(t+1)) and the weighted average
+  x̄_T = Σ_t 2t/(T(T+1))·x_t;
+* :func:`classic_average_bound` — the guarantee
+  E[f(x̄_T)] − f(x*) ≤ 2M²/(c·(T+1)),
+
+which, like the martingale bounds, decreases linearly in the number of
+iterations — but speaks about the *averaged* iterate's objective value
+rather than the probability of hitting a region, which is why the paper
+needs the martingale machinery for its asynchronous analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective
+from repro.runtime.rng import RngStream
+
+
+def classic_average_bound(
+    strong_convexity: float, second_moment: float, iterations: int
+) -> float:
+    """E[f(x̄_T)] − f(x*) ≤ 2M²/(c·(T+1)) (Bubeck, Thm 6.3)."""
+    if strong_convexity <= 0 or second_moment <= 0:
+        raise ConfigurationError("strong_convexity and second_moment must be > 0")
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    return 2.0 * second_moment / (strong_convexity * (iterations + 1))
+
+
+@dataclass
+class AveragedRunResult:
+    """Outcome of an averaged-SGD run.
+
+    Attributes:
+        x_average: The weighted average x̄_T.
+        x_final: The last raw iterate x_T.
+        average_suboptimality: f(x̄_T) − f(x*).
+        final_suboptimality: f(x_T) − f(x*).
+        iterations: T.
+    """
+
+    x_average: np.ndarray
+    x_final: np.ndarray
+    average_suboptimality: float
+    final_suboptimality: float
+    iterations: int
+
+
+def run_averaged_sgd(
+    objective: Objective,
+    iterations: int,
+    x0: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> AveragedRunResult:
+    """Run SGD with α_t = 2/(c(t+1)) and return the weighted average.
+
+    The weighting is the classic 2t/(T(T+1)) scheme whose guarantee is
+    :func:`classic_average_bound`.
+    """
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    c = objective.strong_convexity
+    rng = RngStream.root(seed)
+    x = (
+        np.zeros(objective.dim)
+        if x0 is None
+        else np.asarray(x0, dtype=float).copy()
+    )
+    weighted_sum = np.zeros(objective.dim)
+    for t in range(1, iterations + 1):
+        gradient, _ = objective.stochastic_gradient(x, rng)
+        alpha_t = 2.0 / (c * (t + 1))
+        x = x - alpha_t * gradient
+        weighted_sum += t * x
+    x_average = 2.0 * weighted_sum / (iterations * (iterations + 1))
+    return AveragedRunResult(
+        x_average=x_average,
+        x_final=x,
+        average_suboptimality=objective.suboptimality(x_average),
+        final_suboptimality=objective.suboptimality(x),
+        iterations=iterations,
+    )

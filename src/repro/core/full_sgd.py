@@ -1,0 +1,330 @@
+"""Algorithm 2 — FullSGD: epoch doubling with guaranteed convergence.
+
+Algorithm 1 eventually *visits* the success region, but adversarial stale
+updates can push the model back out.  Algorithm 2 fixes this by running a
+series of epochs of T iterations each, halving the learning rate between
+epochs, and — critically — requiring that "a gradient update can only be
+applied to X in the same epoch when it was generated".  We enforce that
+isolation the way the paper suggests: a shared epoch counter, with every
+model update conditioned on it via a double-compare-single-swap-style
+guarded fetch&add.  A stale cross-epoch gradient finds the counter moved
+on and is discarded.
+
+Epoch accounting is lock-free too: the global iteration counter C keeps
+counting across epochs, iteration ``c`` belongs to epoch ``c // T``, and
+threads ratchet the epoch register forward with CAS when they claim an
+iteration of a later epoch.  Threads never block; a thread holding an
+iteration of an already-passed epoch simply has its updates rejected by
+the guard.
+
+In the final epoch threads additionally accumulate their generated
+updates locally (the paper's ``Acc[i]``); the result ``r`` is the shared
+model at quiescence, and the accumulators are returned for inspection
+(Corollary 7.1's proof bounds the gap between the two by α·n·M).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.epoch_sgd import collect_iteration_records, sgd_iteration_body
+from repro.core.results import accumulator_trajectory
+from repro.core.schedules import EpochHalvingRate, LearningRateSchedule
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective
+from repro.runtime.events import EpochEvent, IterationRecord
+from repro.runtime.program import Program, ThreadContext
+from repro.runtime.simulator import Simulator
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.register import AtomicRegister
+
+
+def recommended_num_epochs(
+    alpha0: float, gradient_bound: float, num_threads: int, epsilon: float
+) -> int:
+    """The epoch count Algorithm 2 prescribes: ``log(α·2·M·n/√ε)``
+    halving epochs plus the final accumulation epoch.
+
+    Derived from the Corollary 7.1 proof: the final epoch must satisfy
+    α_final·n·M ≤ √ε/2, and halving from α₀ needs
+    ⌈log₂(2·α₀·n·M/√ε)⌉ epochs to get there.
+    """
+    if alpha0 <= 0 or gradient_bound <= 0 or num_threads < 1 or epsilon <= 0:
+        raise ConfigurationError(
+            "alpha0, gradient_bound, epsilon must be > 0 and num_threads >= 1"
+        )
+    target = 2.0 * alpha0 * gradient_bound * num_threads / math.sqrt(epsilon)
+    halvings = max(0, math.ceil(math.log2(max(target, 1.0))))
+    return halvings + 1
+
+
+class FullSGDThreadProgram(Program):
+    """One thread's Algorithm-2 loop.
+
+    Args:
+        model: Shared model X.
+        counter: Global iteration counter C (counts across epochs).
+        epoch_register: Shared epoch counter guarding every update.
+        objective: Function/oracle to minimize.
+        schedule: Epoch -> α map (Algorithm 2 uses halving).
+        iterations_per_epoch: T.
+        num_epochs: Total epochs including the final accumulation epoch.
+        record_iterations: Emit IterationRecords.
+        use_guard: ABLATION ONLY — when False, updates are plain
+            fetch&adds with no epoch isolation, so stale cross-epoch
+            gradients (generated under a larger α) land in later epochs;
+            the paper's design forbids exactly this.
+    """
+
+    def __init__(
+        self,
+        model: AtomicArray,
+        counter: AtomicCounter,
+        epoch_register: AtomicRegister,
+        objective: Objective,
+        schedule: LearningRateSchedule,
+        iterations_per_epoch: int,
+        num_epochs: int,
+        record_iterations: bool = True,
+        use_guard: bool = True,
+        use_dcas_loop: bool = False,
+    ) -> None:
+        if iterations_per_epoch < 1:
+            raise ConfigurationError(
+                f"iterations_per_epoch must be >= 1, got {iterations_per_epoch}"
+            )
+        if num_epochs < 1:
+            raise ConfigurationError(f"num_epochs must be >= 1, got {num_epochs}")
+        self.model = model
+        self.counter = counter
+        self.epoch_register = epoch_register
+        self.objective = objective
+        self.schedule = schedule
+        self.iterations_per_epoch = iterations_per_epoch
+        self.num_epochs = num_epochs
+        self.record_iterations = record_iterations
+        self.use_guard = use_guard
+        self.use_dcas_loop = use_dcas_loop
+
+    def run(self, ctx: ThreadContext):
+        accumulator = np.zeros(self.model.length)
+        iterations_done = 0
+        ctx.annotate("iterations_done", 0)
+        final_epoch = self.num_epochs - 1
+
+        while True:
+            ctx.annotate("phase", "start")
+            claimed = yield self.counter.increment_op()
+            epoch = int(claimed) // self.iterations_per_epoch
+            if epoch >= self.num_epochs:
+                break
+            start_time = ctx.now - 1
+
+            # Ratchet the shared epoch register up to this iteration's
+            # epoch (lock-free: CAS k -> k+1 until it catches up).
+            while True:
+                current = yield self.epoch_register.read_op()
+                if current >= epoch:
+                    break
+                advanced = yield self.epoch_register.cas_op(
+                    float(current), float(current + 1)
+                )
+                if advanced:
+                    ctx.emit(
+                        EpochEvent(
+                            time=ctx.now - 1,
+                            thread_id=ctx.thread_id,
+                            epoch=int(current + 1),
+                            learning_rate=self.schedule.rate(int(current + 1)),
+                            kind="start",
+                        )
+                    )
+
+            alpha = self.schedule.rate(epoch)
+            record = yield from sgd_iteration_body(
+                ctx,
+                self.model,
+                self.objective,
+                alpha,
+                int(claimed),
+                epoch,
+                start_time=start_time,
+                guard=self.epoch_register if self.use_guard else None,
+                guard_value=float(epoch),
+                use_dcas_loop=self.use_dcas_loop,
+            )
+            if epoch == final_epoch:
+                accumulator -= alpha * record.gradient
+            iterations_done += 1
+            ctx.annotate("iterations_done", iterations_done)
+            if self.record_iterations:
+                ctx.emit(record)
+
+        ctx.annotate("phase", "done")
+        return {"iterations": iterations_done, "accumulator": accumulator}
+
+
+@dataclass
+class FullSGDResult:
+    """Outcome of a FullSGD (Algorithm 2) run.
+
+    Attributes:
+        r: The returned minimizer estimate (shared model at quiescence).
+        x0: Initial model.
+        distance: ‖r − x*‖.
+        epsilon: The target ε the run was configured for.
+        num_epochs: Epochs executed (including the accumulation epoch).
+        step_sizes: α per epoch.
+        records: All iteration records in the first-update total order.
+        distances: Accumulator-trajectory distances ‖x_t − x*‖ (only
+            counting updates that landed; rejected stale updates excluded).
+        rejected_updates: Number of gradient components discarded by the
+            epoch guard over the whole run.
+        accumulators: Final-epoch local accumulators Acc[i] per thread.
+        sim_steps: Shared-memory steps consumed.
+    """
+
+    r: np.ndarray
+    x0: np.ndarray
+    distance: float
+    epsilon: float
+    num_epochs: int
+    step_sizes: List[float]
+    records: List[IterationRecord]
+    distances: np.ndarray
+    rejected_updates: int
+    accumulators: Dict[int, np.ndarray]
+    sim_steps: int
+
+    @property
+    def achieved_target(self) -> bool:
+        """Whether ‖r − x*‖² ≤ ε."""
+        return self.distance**2 <= self.epsilon
+
+    @property
+    def total_iterations(self) -> int:
+        return len(self.records)
+
+
+class FullSGD:
+    """Driver for Algorithm 2.
+
+    Args:
+        objective: Function/oracle to minimize.
+        num_threads: n.
+        epsilon: Target: E‖r − x*‖ within √ε of the optimum
+            (success region of radius² ε).
+        alpha0: Initial learning rate α₀.
+        iterations_per_epoch: T (per the paper, chosen so one epoch
+            succeeds with good probability — see
+            :func:`repro.theory.bounds.corollary_6_7_failure_bound`).
+        num_epochs: Override the epoch count; default
+            :func:`recommended_num_epochs` with M from the objective.
+        x0: Initial model (defaults to the origin).
+
+    Usage::
+
+        driver = FullSGD(objective, num_threads=4, epsilon=0.01,
+                         alpha0=0.05, iterations_per_epoch=400)
+        result = driver.run(RandomScheduler(seed=1), seed=1)
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        num_threads: int,
+        epsilon: float,
+        alpha0: float,
+        iterations_per_epoch: int,
+        num_epochs: Optional[int] = None,
+        x0: Optional[np.ndarray] = None,
+        use_guard: bool = True,
+        use_dcas_loop: bool = False,
+    ) -> None:
+        if num_threads < 1:
+            raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self.objective = objective
+        self.num_threads = num_threads
+        self.epsilon = epsilon
+        self.alpha0 = alpha0
+        self.iterations_per_epoch = iterations_per_epoch
+        self.x0 = (
+            np.zeros(objective.dim)
+            if x0 is None
+            else np.asarray(x0, dtype=float).copy()
+        )
+        if num_epochs is None:
+            radius = max(1.0, 2.0 * objective.distance_to_opt(self.x0))
+            gradient_bound = math.sqrt(objective.second_moment_bound(radius))
+            num_epochs = recommended_num_epochs(
+                alpha0, gradient_bound, num_threads, epsilon
+            )
+        self.num_epochs = num_epochs
+        self.schedule = EpochHalvingRate(alpha0)
+        self.use_guard = use_guard
+        self.use_dcas_loop = use_dcas_loop
+
+    def run(self, scheduler, seed: int = 0) -> FullSGDResult:
+        """Execute all epochs under ``scheduler`` and return the result."""
+        memory = SharedMemory(record_log=False)
+        model = AtomicArray.allocate(memory, self.objective.dim, name="model")
+        model.load(self.x0)
+        counter = AtomicCounter.allocate(memory, name="iteration_counter")
+        epoch_register = AtomicRegister(
+            memory, memory.allocate(1, name="epoch", initial=0.0)
+        )
+        sim = Simulator(memory, scheduler, seed=seed)
+        for thread_index in range(self.num_threads):
+            sim.spawn(
+                FullSGDThreadProgram(
+                    model=model,
+                    counter=counter,
+                    epoch_register=epoch_register,
+                    objective=self.objective,
+                    schedule=self.schedule,
+                    iterations_per_epoch=self.iterations_per_epoch,
+                    num_epochs=self.num_epochs,
+                    use_guard=self.use_guard,
+                    use_dcas_loop=self.use_dcas_loop,
+                ),
+                name=f"worker-{thread_index}",
+            )
+        sim.run()
+
+        records = collect_iteration_records(sim)
+        trajectory = accumulator_trajectory(self.x0, records)
+        distances = np.linalg.norm(trajectory - self.objective.x_star, axis=1)
+        rejected = sum(
+            1
+            for record in records
+            if record.applied is not None and record.gradient is not None
+            for j, landed in enumerate(record.applied)
+            if not landed and record.gradient[j] != 0.0
+        )
+        accumulators = {
+            tid: result["accumulator"]
+            for tid, result in sim.results().items()
+            if isinstance(result, dict)
+        }
+        r = model.snapshot()
+        return FullSGDResult(
+            r=r,
+            x0=self.x0,
+            distance=self.objective.distance_to_opt(r),
+            epsilon=self.epsilon,
+            num_epochs=self.num_epochs,
+            step_sizes=[self.schedule.rate(e) for e in range(self.num_epochs)],
+            records=records,
+            distances=distances,
+            rejected_updates=rejected,
+            accumulators=accumulators,
+            sim_steps=sim.now,
+        )

@@ -1,0 +1,55 @@
+"""Hogwild-style lock-free SGD (Niu et al., 2011) — the historical baseline.
+
+Hogwild is exactly Algorithm 1 with a constant learning rate and no
+epoch machinery: threads read and fetch&add the shared model with no
+synchronization whatsoever.  It is the algorithm Theorem 5.1's lower
+bound bites: with its fixed α, an adversary delaying gradients by
+τ ≈ log(α/2)/log(1−α) slows convergence by Ω(τ), whereas Algorithm 2's
+decreasing rate escapes the attack.
+
+Implementation-wise this is :class:`~repro.core.epoch_sgd.EpochSGDProgram`
+with guards and epochs pinned off; the subclass exists so experiment
+configurations and traces name the baseline explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.core.epoch_sgd import EpochSGDProgram
+from repro.objectives.base import Objective
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+
+
+class HogwildProgram(EpochSGDProgram):
+    """Plain Hogwild: constant α, no epoch guard, no accumulation.
+
+    Args:
+        model: Shared model X.
+        counter: Shared iteration counter C.
+        objective: Function/oracle to minimize.
+        step_size: The fixed learning rate α.
+        max_iterations: Global iteration budget T.
+        record_iterations: Emit per-iteration records (default True).
+    """
+
+    def __init__(
+        self,
+        model: AtomicArray,
+        counter: AtomicCounter,
+        objective: Objective,
+        step_size: float,
+        max_iterations: int,
+        record_iterations: bool = True,
+    ) -> None:
+        super().__init__(
+            model=model,
+            counter=counter,
+            objective=objective,
+            step_size=step_size,
+            max_iterations=max_iterations,
+            epoch=0,
+            guard=None,
+            accumulate=False,
+            record_iterations=record_iterations,
+            use_write=False,
+        )

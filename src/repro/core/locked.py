@@ -1,0 +1,109 @@
+"""Coarse-grained locked SGD (Langford et al., "Slow learners are fast").
+
+The pre-Hogwild approach the paper's introduction recalls: keep the
+process consistent with a sequential execution by wrapping every
+iteration in a global lock.  The lock is a CAS spinlock on a shared
+register; a thread that loses the race keeps spending shared-memory
+steps retrying, which is exactly the "significant loss of performance"
+the paper attributes to coarse-grained locking — visible in our traces
+as wasted steps and in the benchmarks as a larger step count for the
+same iteration budget.
+
+Views under the lock are always consistent, so this baseline also serves
+as a correctness oracle: its accumulator trajectory must match a
+sequential run's distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.epoch_sgd import sgd_iteration_body
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective
+from repro.runtime.program import Program, ThreadContext
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.register import AtomicRegister
+
+
+class LockedSGDProgram(Program):
+    """One thread's lock-protected SGD loop.
+
+    Args:
+        model: Shared model X.
+        counter: Shared iteration counter C.
+        lock: The shared lock register (0 = free, 1 = held); allocate one
+            register and hand it to every thread.
+        objective: Function/oracle to minimize.
+        step_size: Learning rate α.
+        max_iterations: Global iteration budget T.
+        record_iterations: Emit per-iteration records.
+    """
+
+    def __init__(
+        self,
+        model: AtomicArray,
+        counter: AtomicCounter,
+        lock: AtomicRegister,
+        objective: Objective,
+        step_size: float,
+        max_iterations: int,
+        record_iterations: bool = True,
+    ) -> None:
+        if step_size <= 0:
+            raise ConfigurationError(f"step_size must be > 0, got {step_size}")
+        self.model = model
+        self.counter = counter
+        self.lock = lock
+        self.objective = objective
+        self.step_size = step_size
+        self.max_iterations = max_iterations
+        self.record_iterations = record_iterations
+
+    def run(self, ctx: ThreadContext):
+        iterations_done = 0
+        spin_steps = 0
+        ctx.annotate("iterations_done", 0)
+
+        while True:
+            ctx.annotate("phase", "start")
+            claimed = yield self.counter.increment_op()
+            if claimed >= self.max_iterations:
+                break
+            start_time = ctx.now - 1
+
+            # Acquire the global lock (CAS spinlock).
+            ctx.annotate("phase", "lock")
+            while True:
+                acquired = yield self.lock.cas_op(0.0, 1.0)
+                if acquired:
+                    break
+                spin_steps += 1
+
+            record = yield from sgd_iteration_body(
+                ctx,
+                self.model,
+                self.objective,
+                self.step_size,
+                int(claimed),
+                epoch=0,
+                start_time=start_time,
+            )
+
+            # Release.
+            yield self.lock.write_op(0.0)
+
+            iterations_done += 1
+            ctx.annotate("iterations_done", iterations_done)
+            if self.record_iterations:
+                ctx.emit(record)
+
+        ctx.annotate("phase", "done")
+        return {
+            "iterations": iterations_done,
+            "accumulator": np.zeros(self.model.length),
+            "spin_steps": spin_steps,
+        }

@@ -1,0 +1,82 @@
+"""Synchronous data-parallel (mini-batch) SGD.
+
+The fully synchronized alternative to lock-free execution: in each round
+all n workers compute a gradient at the *same* iterate and a barrier
+averages them before the model moves.  Per round it performs n oracle
+calls for one model update — contrast with Algorithm 1, where n oracle
+calls advance the model n times (at the cost of view inconsistency).
+The Section-8 discussion's wall-clock trade-off is exactly this
+comparison, which the E8 benchmark quantifies.
+
+Because the semantics are deterministic given the oracle draws, no
+simulator is needed: each round is a single logical super-step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import SequentialRunResult
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective
+from repro.runtime.rng import RngStream
+
+
+def run_minibatch_sgd(
+    objective: Objective,
+    alpha: float,
+    rounds: int,
+    batch_size: int,
+    x0: Optional[np.ndarray] = None,
+    seed: int = 0,
+    epsilon: Optional[float] = None,
+) -> SequentialRunResult:
+    """Run synchronous parallel SGD for ``rounds`` barrier rounds.
+
+    x_{r+1} = x_r − α·(1/B)·Σ_{i=1..B} g̃_i(x_r), with B = ``batch_size``
+    independent oracle draws per round (one per simulated worker).
+
+    Returns:
+        A :class:`SequentialRunResult` whose ``distances`` has one entry
+        per round (plus the starting point) and whose ``iterations``
+        counts rounds.  Note each round consumed ``batch_size`` oracle
+        calls — account for that when comparing sample complexity.
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+
+    rng = RngStream.root(seed)
+    x = (
+        np.zeros(objective.dim)
+        if x0 is None
+        else np.asarray(x0, dtype=float).copy()
+    )
+    distances = [objective.distance_to_opt(x)]
+    hit_time: Optional[int] = None
+    if epsilon is not None and distances[0] ** 2 <= epsilon:
+        hit_time = 0
+
+    for round_index in range(1, rounds + 1):
+        batch = np.zeros(objective.dim)
+        for _ in range(batch_size):
+            gradient, _ = objective.stochastic_gradient(x, rng)
+            batch += gradient
+        x = x - alpha * (batch / batch_size)
+        distance = objective.distance_to_opt(x)
+        distances.append(distance)
+        if epsilon is not None and hit_time is None and distance**2 <= epsilon:
+            hit_time = round_index
+
+    return SequentialRunResult(
+        x_final=x,
+        distances=np.array(distances),
+        hit_time=hit_time,
+        epsilon=epsilon,
+        iterations=rounds,
+    )

@@ -1,0 +1,66 @@
+"""Learning-rate schedules.
+
+The paper's central tension is about step sizes: Theorem 5.1 shows a
+*fixed* rate can be exploited by adversarial delays, while Algorithm 2
+survives them by halving the rate each epoch.  A schedule maps an epoch
+index to the α used by every iteration of that epoch (within an epoch the
+rate is constant, as in the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+
+
+class LearningRateSchedule(abc.ABC):
+    """Maps epoch index -> step size α."""
+
+    @abc.abstractmethod
+    def rate(self, epoch: int) -> float:
+        """The step size used throughout ``epoch`` (0-based)."""
+
+    def __call__(self, epoch: int) -> float:
+        return self.rate(epoch)
+
+
+class ConstantRate(LearningRateSchedule):
+    """α_t = α for all t — the setting of Theorem 5.1's lower bound.
+
+    Args:
+        alpha: The fixed step size (must be in (0, 1] for the paper's
+            contraction arguments to apply; we only require > 0).
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+        self.alpha = alpha
+
+    def rate(self, epoch: int) -> float:
+        return self.alpha
+
+    def __repr__(self) -> str:
+        return f"ConstantRate(alpha={self.alpha})"
+
+
+class EpochHalvingRate(LearningRateSchedule):
+    """α_e = α₀ / 2^e — Algorithm 2's schedule ("α ← α/2" per epoch).
+
+    Args:
+        alpha0: Initial step size α₀.
+    """
+
+    def __init__(self, alpha0: float) -> None:
+        if alpha0 <= 0:
+            raise ConfigurationError(f"alpha0 must be > 0, got {alpha0}")
+        self.alpha0 = alpha0
+
+    def rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {epoch}")
+        return self.alpha0 / (2.0**epoch)
+
+    def __repr__(self) -> str:
+        return f"EpochHalvingRate(alpha0={self.alpha0})"

@@ -1,0 +1,87 @@
+"""Sequential SGD — Equation (1), the baseline of every comparison.
+
+This is the classic Robbins–Monro iteration run by a single thread with a
+consistent view at every step.  It needs no simulator: the semantics of a
+serial execution are independent of scheduling.  (Running Algorithm 1
+under :class:`~repro.sched.sequential.SequentialScheduler` with one
+thread produces the same iterate sequence; a test pins that equivalence.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.results import SequentialRunResult
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective
+from repro.runtime.rng import RngStream
+
+
+def run_sequential_sgd(
+    objective: Objective,
+    alpha: float,
+    iterations: int,
+    x0: Optional[np.ndarray] = None,
+    seed: int = 0,
+    epsilon: Optional[float] = None,
+    stop_on_hit: bool = False,
+) -> SequentialRunResult:
+    """Run x_{t+1} = x_t − α·g̃(x_t) for ``iterations`` steps.
+
+    Args:
+        objective: The function/oracle to minimize.
+        alpha: Constant learning rate α.
+        iterations: Number of SGD iterations T.
+        x0: Starting point (defaults to the origin).
+        seed: Seed for the oracle's random stream.
+        epsilon: Optional success radius²; enables ``hit_time``.
+        stop_on_hit: Stop as soon as the success region is entered
+            (useful for hitting-time experiments; requires ``epsilon``).
+
+    Returns:
+        A :class:`SequentialRunResult` with the full distance trajectory.
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+    if iterations < 0:
+        raise ConfigurationError(f"iterations must be >= 0, got {iterations}")
+    if stop_on_hit and epsilon is None:
+        raise ConfigurationError("stop_on_hit requires epsilon")
+
+    rng = RngStream.root(seed)
+    x = (
+        np.zeros(objective.dim)
+        if x0 is None
+        else np.asarray(x0, dtype=float).copy()
+    )
+    if x.shape != (objective.dim,):
+        raise ConfigurationError(
+            f"x0 must have shape ({objective.dim},), got {x.shape}"
+        )
+
+    distances = [objective.distance_to_opt(x)]
+    hit_time: Optional[int] = None
+    if epsilon is not None and distances[0] ** 2 <= epsilon:
+        hit_time = 0
+
+    performed = 0
+    for t in range(1, iterations + 1):
+        if stop_on_hit and hit_time is not None:
+            break
+        gradient, _ = objective.stochastic_gradient(x, rng)
+        x = x - alpha * gradient
+        distance = objective.distance_to_opt(x)
+        distances.append(distance)
+        performed = t
+        if epsilon is not None and hit_time is None and distance**2 <= epsilon:
+            hit_time = t
+
+    return SequentialRunResult(
+        x_final=x,
+        distances=np.array(distances),
+        hit_time=hit_time,
+        epsilon=epsilon,
+        iterations=performed,
+    )

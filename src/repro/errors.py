@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class MemoryError_(ReproError):
+    """Base class for shared-memory subsystem errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class UnknownAddressError(MemoryError_):
+    """An operation referenced an address that was never allocated."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"unknown shared-memory address: {address!r}")
+        self.address = address
+
+
+class InvalidOperationError(MemoryError_):
+    """An operation descriptor was malformed or used incorrectly."""
+
+
+class HistoryViolationError(MemoryError_):
+    """A recorded operation history violates a consistency condition.
+
+    Raised by the history checkers in :mod:`repro.shm.history` when a log
+    of operations is not sequentially consistent / linearizable.
+    """
+
+
+class SimulationError(ReproError):
+    """Base class for execution-runtime errors."""
+
+
+class ThreadCrashedError(SimulationError):
+    """An operation was attempted on a crashed thread."""
+
+    def __init__(self, thread_id: int) -> None:
+        super().__init__(f"thread {thread_id} has crashed and cannot be scheduled")
+        self.thread_id = thread_id
+
+
+class NoRunnableThreadError(SimulationError):
+    """The scheduler was asked to pick a step but no thread is runnable."""
+
+
+class SchedulerError(SimulationError):
+    """A scheduler made an illegal decision (e.g. picked a finished thread)."""
+
+
+class ProgramError(SimulationError):
+    """A simulated program misbehaved (yielded a non-operation, etc.)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters were supplied to an algorithm or experiment."""
+
+
+class AssumptionViolationError(ReproError):
+    """An analytic assumption (strong convexity, Lipschitzness, bounded
+    second moment) failed numerical verification for an objective."""
+
+
+class ConvergenceError(ReproError):
+    """An algorithm failed to converge where convergence was required."""

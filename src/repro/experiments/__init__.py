@@ -1,0 +1,31 @@
+"""Experiment drivers — one module per reproduced claim.
+
+The paper is a theory paper: its "evaluation" is a set of theorems.
+Each driver here regenerates one of them as a measured table/figure
+(see DESIGN.md §5 for the index):
+
+======  =======================  ==========================================
+  id    paper artifact           claim regenerated
+======  =======================  ==========================================
+  E1    Theorem 3.1              sequential failure probability ≤ bound
+  E2    Theorem 5.1 / Section 5  fixed-α adversarial slowdown is Ω(τ)
+  E3    Lemma 6.2                < n bad iterations per Kn-start window
+  E4    Lemma 6.4                Σ 1{τ_{t+m} ≥ m} ≤ 2√(τ_max·n)
+  E5    Thm 6.5 / Cor 6.7        lock-free failure probability ≤ bound
+  E6    Thm 6.3 vs Cor 6.7       new √(τ·n) bound beats linear-τ bound
+  E7    Corollary 7.1            FullSGD reaches E‖r−x*‖ ≤ √ε
+  E8    Section 8                lower/upper preconditions complementary;
+                                 τ_avg ≤ 2n
+  F1    Figure 1                 applied/pending update matrix of a trace
+  A1    Section 1/8 ablations    write-vs-FAA, fixed-vs-decreasing α, ...
+======  =======================  ==========================================
+
+Every driver exposes a config dataclass with ``quick()`` (seconds, used
+by tests and default benches) and ``full()`` (minutes, for
+EXPERIMENTS.md numbers) presets, and a ``run(config)`` returning an
+:class:`~repro.experiments.runner.ExperimentResult`.
+"""
+
+from repro.experiments.runner import ExperimentResult, seed_range, sweep
+
+__all__ = ["ExperimentResult", "sweep", "seed_range"]

@@ -1,0 +1,181 @@
+"""E10 — Section 8's momentum remark, measured.
+
+Two claims orbit momentum in the discussion section:
+
+1. The paper cites Mitliagkas et al., *Asynchrony begets momentum*: plain
+   asynchronous SGD behaves like sequential SGD with an implicit momentum
+   term that grows with the number of threads.  We measure it directly:
+   run lock-free Algorithm 1 with n ∈ {1, 2, 4, 8, 16} threads, fit the
+   sequential heavy-ball β whose trajectory best matches each run, and
+   check that β̂ grows from 0 (n = 1) toward 1 — the qualitative shape of
+   their queueing-model prediction β ≈ (n−1)/n.
+
+2. "An alternative approach, which we did not consider here, would be to
+   introduce a 'momentum' term" — we ship the lock-free
+   :class:`~repro.core.momentum.MomentumSGDProgram` and verify it
+   converges under asynchrony (the prerequisite for that alternative to
+   be on the table at all), reporting its hitting time next to plain
+   Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.momentum import MomentumSGDProgram, fit_implicit_momentum
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+
+@dataclass
+class E10Config:
+    """Parameters of the E10 measurement."""
+
+    alpha: float = 0.12
+    thread_counts: List[int] = field(default_factory=lambda: [1, 2, 4, 8, 16])
+    iterations: int = 250
+    x0_scale: float = 5.0
+    beta_grid_points: int = 20
+    momentum_beta: float = 0.5
+    momentum_iterations: int = 400
+    seed: int = 23
+
+    @classmethod
+    def quick(cls) -> "E10Config":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "E10Config":
+        return cls(
+            thread_counts=[1, 2, 4, 8, 16, 32],
+            iterations=400,
+            beta_grid_points=40,
+        )
+
+
+def run(config: E10Config) -> ExperimentResult:
+    """Execute E10: implicit-momentum fit + lock-free momentum check."""
+    objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+    x0 = np.array([config.x0_scale, -config.x0_scale])
+    betas = np.linspace(0.0, 0.95, config.beta_grid_points)
+
+    table = Table(
+        ["n threads", "fitted implicit beta", "Mitliagkas (n-1)/n"],
+        title=(
+            f"E10a: asynchrony begets momentum (alpha={config.alpha}, "
+            f"round-robin, noiseless quadratic)"
+        ),
+    )
+    xs: List[float] = []
+    fitted: List[float] = []
+    reference: List[float] = []
+    for n in config.thread_counts:
+        result = run_lock_free_sgd(
+            objective,
+            RoundRobinScheduler(),
+            num_threads=n,
+            step_size=config.alpha,
+            iterations=config.iterations,
+            x0=x0,
+            seed=config.seed,
+        )
+        beta_hat = fit_implicit_momentum(
+            result.distances,
+            objective,
+            config.alpha,
+            len(result.distances) - 1,
+            x0,
+            betas=betas,
+            seeds=1,
+        )
+        table.add_row([n, beta_hat, (n - 1) / n])
+        xs.append(float(n))
+        fitted.append(beta_hat)
+        reference.append((n - 1) / n)
+
+    # Part 2: lock-free momentum SGD converges under asynchrony.
+    noisy = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+    epsilon = 0.25
+
+    def factory(model, counter, thread_index):
+        return MomentumSGDProgram(
+            model, counter, noisy, config.alpha / 2.0,
+            config.momentum_beta, config.momentum_iterations,
+        )
+
+    momentum_run = run_lock_free_sgd(
+        noisy,
+        RandomScheduler(seed=config.seed),
+        num_threads=4,
+        step_size=config.alpha / 2.0,
+        iterations=config.momentum_iterations,
+        x0=x0,
+        seed=config.seed,
+        epsilon=epsilon,
+        program_factory=factory,
+    )
+    plain_run = run_lock_free_sgd(
+        noisy,
+        RandomScheduler(seed=config.seed),
+        num_threads=4,
+        step_size=config.alpha / 2.0,
+        iterations=config.momentum_iterations,
+        x0=x0,
+        seed=config.seed,
+        epsilon=epsilon,
+    )
+    momentum_table = Table(
+        ["algorithm", "hit time", "final distance"],
+        title=f"E10b: lock-free momentum (beta={config.momentum_beta}) vs "
+        "plain Algorithm 1, same alpha/adversary",
+    )
+    momentum_table.add_row(
+        [
+            f"momentum (beta={config.momentum_beta})",
+            momentum_run.hit_time if momentum_run.hit_time is not None
+            else "never",
+            noisy.distance_to_opt(momentum_run.x_final),
+        ]
+    )
+    momentum_table.add_row(
+        [
+            "plain Algorithm 1",
+            plain_run.hit_time if plain_run.hit_time is not None else "never",
+            noisy.distance_to_opt(plain_run.x_final),
+        ]
+    )
+
+    monotone = all(b2 >= b1 - 1e-9 for b1, b2 in zip(fitted, fitted[1:]))
+    passed = (
+        monotone
+        and fitted[0] <= 0.05
+        and fitted[-1] >= 0.5
+        and momentum_run.succeeded
+    )
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Section 8 — asynchrony begets momentum; explicit momentum "
+        "converges lock-free",
+        table=table,
+        xs=xs,
+        series={
+            "fitted implicit beta": fitted,
+            "(n-1)/n reference": reference,
+        },
+        passed=passed,
+        notes=(
+            momentum_table.render()
+            + "\n\nacceptance: fitted implicit momentum is 0 at n=1, "
+            "non-decreasing in n, and >= 0.5 at the largest n (the "
+            "Mitliagkas shape); the explicit lock-free momentum variant "
+            "reaches the success region"
+        ),
+    )

@@ -1,0 +1,194 @@
+"""E11 — eliminating the single-non-zero-entry assumption.
+
+Departure (2) of the paper from De Sa et al.: the prior martingale
+analysis of asynchronous SGD *required* every stochastic gradient to
+have a single non-zero entry; this paper's analysis covers dense
+gradients, "significantly expanding the applicability of the framework".
+
+We measure the expansion directly.  Two workloads:
+
+* **sparse** — :class:`~repro.objectives.sparse.SeparableQuadratic`,
+  whose oracle emits 1-sparse gradients (satisfies the old assumption);
+* **dense** — :class:`~repro.objectives.least_squares.LeastSquares`,
+  whose per-sample gradients a_i(a_iᵀx − y_i) touch every coordinate
+  (violates it — prior analysis simply does not apply here).
+
+Both run lock-free with the Eq. (12) step size under the same
+delay-bounded adversary; for both the measured failure probability must
+respect the Corollary 6.7 bound.  The dense row is the new capability;
+the sparse row shows the framework subsumes the old setting.  We also
+report each oracle's measured maximum gradient density as evidence the
+workloads are what they claim to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table
+from repro.metrics.stats import wilson_interval
+from repro.objectives.datasets import make_regression
+from repro.objectives.least_squares import LeastSquares
+from repro.objectives.sparse import SeparableQuadratic
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.theory.bounds import corollary_6_7_failure_bound, corollary_6_7_step_size
+from repro.theory.contention import tau_max as measure_tau_max
+
+
+@dataclass
+class E11Config:
+    """Parameters of the E11 comparison."""
+
+    dim: int = 3
+    num_points: int = 40
+    num_threads: int = 4
+    delay_bound: int = 16
+    epsilon_fraction: float = 0.05  # epsilon as a fraction of ||x0-x*||^2
+    # T as a multiple of the 1/(2 alpha c) contraction scale; must exceed
+    # ~2*plog(e*||x0-x*||^2/eps) for the Cor 6.7 bound to be non-vacuous.
+    horizon_factor: float = 18.0
+    num_runs: int = 15
+    radius_slack: float = 2.0
+    base_seed: int = 4200
+
+    @classmethod
+    def quick(cls) -> "E11Config":
+        return cls(num_runs=10)
+
+    @classmethod
+    def full(cls) -> "E11Config":
+        return cls(num_runs=50)
+
+
+def _measure(config: E11Config, objective, x0, label: str, table: Table):
+    """Run the ensemble for one workload; returns (P_fail, bound, ok)."""
+    x0_distance = objective.distance_to_opt(x0)
+    epsilon = config.epsilon_fraction * x0_distance**2
+    radius = config.radius_slack * x0_distance
+    second_moment = objective.second_moment_bound(radius)
+    c = objective.strong_convexity
+    lipschitz = objective.lipschitz_expected
+
+    # Pilot for tau_max, then the Eq.(12) prescription.
+    pilot_alpha = c * epsilon / second_moment
+    pilot = run_lock_free_sgd(
+        objective,
+        BoundedDelayScheduler(config.delay_bound, seed=config.base_seed,
+                              victims=[0]),
+        num_threads=config.num_threads,
+        step_size=pilot_alpha,
+        iterations=200,
+        x0=x0,
+        seed=config.base_seed,
+    )
+    tau = max(1, measure_tau_max(pilot.records))
+    alpha = corollary_6_7_step_size(
+        c, second_moment, lipschitz, tau, config.num_threads,
+        config.dim, epsilon,
+    )
+    horizon = int(config.horizon_factor / (2.0 * alpha * c))
+
+    failures = 0
+    densities = []
+    tau_realized = tau
+    for offset in range(config.num_runs):
+        seed = config.base_seed + 1 + offset
+        result = run_lock_free_sgd(
+            objective,
+            BoundedDelayScheduler(config.delay_bound, seed=seed, victims=[0]),
+            num_threads=config.num_threads,
+            step_size=alpha,
+            iterations=horizon,
+            x0=x0,
+            seed=seed,
+            epsilon=epsilon,
+            stop_epsilon=epsilon / 4.0,
+        )
+        tau_realized = max(tau_realized, measure_tau_max(result.records))
+        if result.hit_time is None:
+            failures += 1
+        densities.extend(
+            int(np.count_nonzero(r.gradient)) for r in result.records[:50]
+        )
+    probability = failures / config.num_runs
+    low, _ = wilson_interval(failures, config.num_runs)
+    bound = corollary_6_7_failure_bound(
+        iterations=horizon,
+        epsilon=epsilon,
+        strong_convexity=c,
+        second_moment=second_moment,
+        lipschitz=lipschitz,
+        tau_max=tau_realized,
+        num_threads=config.num_threads,
+        dim=config.dim,
+        x0_distance=x0_distance,
+    )
+    ok = bool(low <= bound)
+    table.add_row(
+        [
+            label,
+            int(max(densities)),
+            horizon,
+            f"{alpha:.5g}",
+            probability,
+            bound,
+            ok,
+        ]
+    )
+    return probability, bound, ok
+
+
+def run(config: E11Config) -> ExperimentResult:
+    """Execute E11: dense and sparse oracles under the same machinery."""
+    sparse = SeparableQuadratic(
+        np.linspace(0.8, 1.2, config.dim), noise_sigma=0.2
+    )
+    design, targets, _ = make_regression(
+        config.num_points, config.dim, noise_sigma=0.1,
+        seed=config.base_seed,
+    )
+    dense = LeastSquares(design, targets)
+
+    table = Table(
+        [
+            "workload",
+            "max grad density",
+            "T",
+            "alpha (Eq.12)",
+            "measured P(F_T)",
+            "Cor 6.7 bound",
+            "ok",
+        ],
+        title=(
+            f"E11: dense vs 1-sparse oracles, same Eq.(12) machinery "
+            f"(n={config.num_threads}, delay bound={config.delay_bound}, "
+            f"{config.num_runs} runs each)"
+        ),
+    )
+    x0_sparse = np.full(config.dim, 2.0)
+    x0_dense = dense.x_star + np.full(config.dim, 1.0)
+    p_sparse, b_sparse, ok_sparse = _measure(
+        config, sparse, x0_sparse, "sparse (NIPS'15 assumption holds)", table
+    )
+    p_dense, b_dense, ok_dense = _measure(
+        config, dense, x0_dense, "dense (assumption violated)", table
+    )
+    passed = ok_sparse and ok_dense
+
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Departure (2) — the analysis covers dense gradients, not "
+        "just single-non-zero-entry oracles",
+        table=table,
+        passed=passed,
+        notes=(
+            "acceptance: the measured failure probability respects the "
+            "Cor 6.7 bound on BOTH workloads; the dense row (max gradient "
+            "density = d) is outside prior work's assumptions entirely"
+        ),
+    )

@@ -1,0 +1,122 @@
+"""E1 — Theorem 3.1: the sequential martingale failure bound.
+
+Claim: sequential SGD with α = cεϑ/M² satisfies
+P(F_T) ≤ M²/(c²εϑT)·log(e‖x₀−x*‖²/ε) — in particular the failure
+probability decays like 1/T.
+
+Method: run an ensemble of seeded sequential runs to the largest T in
+the sweep, record each run's success-region hitting time, and read off
+the measured P(F_T) for every T from the hitting-time distribution.
+Acceptance: the measured failure fraction (its Wilson lower limit) never
+exceeds the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.sequential import run_sequential_sgd
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table
+from repro.metrics.stats import wilson_interval
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.theory.bounds import theorem_3_1_failure_bound, theorem_3_1_step_size
+
+
+@dataclass
+class E1Config:
+    """Parameters of the E1 ensemble."""
+
+    dim: int = 1
+    curvature: float = 1.0
+    noise_sigma: float = 1.0
+    x0_scale: float = 3.0
+    epsilon: float = 0.5
+    vartheta: float = 1.0
+    horizons: List[int] = field(default_factory=lambda: [50, 100, 200, 400, 800])
+    num_runs: int = 100
+    base_seed: int = 100
+    radius_slack: float = 2.0
+
+    @classmethod
+    def quick(cls) -> "E1Config":
+        return cls(num_runs=60, horizons=[50, 100, 200, 400])
+
+    @classmethod
+    def full(cls) -> "E1Config":
+        return cls(num_runs=400, horizons=[50, 100, 200, 400, 800, 1600])
+
+
+def run(config: E1Config) -> ExperimentResult:
+    """Execute E1 and compare measured P(F_T) with the Theorem 3.1 bound."""
+    objective = IsotropicQuadratic(
+        dim=config.dim,
+        curvature=config.curvature,
+        noise=GaussianNoise(config.noise_sigma),
+    )
+    x0 = np.full(config.dim, config.x0_scale)
+    x0_distance = objective.distance_to_opt(x0)
+    radius = config.radius_slack * x0_distance
+    second_moment = objective.second_moment_bound(radius)
+    alpha = theorem_3_1_step_size(
+        objective.strong_convexity, second_moment, config.epsilon, config.vartheta
+    )
+
+    max_horizon = max(config.horizons)
+    hit_times: List[float] = []
+    for offset in range(config.num_runs):
+        result = run_sequential_sgd(
+            objective,
+            alpha=alpha,
+            iterations=max_horizon,
+            x0=x0,
+            seed=config.base_seed + offset,
+            epsilon=config.epsilon,
+            stop_on_hit=True,
+        )
+        hit_times.append(math.inf if result.hit_time is None else result.hit_time)
+    hits = np.array(hit_times)
+
+    table = Table(
+        ["T", "measured P(F_T)", "wilson low", "wilson high", "Thm 3.1 bound", "ok"],
+        title=f"E1: sequential failure probability (alpha={alpha:.5g}, "
+        f"{config.num_runs} runs)",
+    )
+    measured_series: List[float] = []
+    bound_series: List[float] = []
+    passed = True
+    for horizon in config.horizons:
+        failures = int(np.count_nonzero(hits > horizon))
+        probability = failures / config.num_runs
+        low, high = wilson_interval(failures, config.num_runs)
+        bound = theorem_3_1_failure_bound(
+            iterations=horizon,
+            epsilon=config.epsilon,
+            strong_convexity=objective.strong_convexity,
+            second_moment=second_moment,
+            x0_distance=x0_distance,
+            vartheta=config.vartheta,
+        )
+        ok = low <= bound
+        passed = passed and ok
+        measured_series.append(probability)
+        bound_series.append(bound)
+        table.add_row([horizon, probability, low, high, bound, ok])
+
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Theorem 3.1 — sequential SGD failure probability decays as 1/T",
+        table=table,
+        xs=[float(h) for h in config.horizons],
+        series={"measured P(F_T)": measured_series, "Thm 3.1 bound": bound_series},
+        passed=passed,
+        notes=(
+            "acceptance: Wilson lower limit of the measured failure "
+            "fraction stays below the theoretical bound at every T"
+        ),
+    )

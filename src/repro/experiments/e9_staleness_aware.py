@@ -1,0 +1,172 @@
+"""E9 — "Our lower bound applies to these works as well."
+
+The related-work discussion contrasts this paper's adversarial model
+with applied mitigations that "examine the 'staleness' of an update
+immediately before applying it, and adjust hyperparameters accordingly"
+(staleness-aware async SGD, Zhang et al.), and asserts that the
+Theorem 5.1 lower bound covers them too.
+
+This experiment measures that assertion.  Three contestants on the
+Section-5 workload, under the stale-gradient adversary at a sweep of τ:
+
+1. **plain** — fixed-α Algorithm 1 (the Theorem 5.1 victim);
+2. **staleness-aware vs a weak adversary** — the mitigated algorithm
+   against an adversary that freezes the victim *before* it reads the
+   iteration counter: the damping sees the true staleness and
+   neutralizes the stale update (slowdown ≈ 1);
+3. **staleness-aware vs the adaptive adversary** — the same algorithm,
+   but the adversary (who sees the algorithm's phases, as the strong
+   model allows) freezes the victim *after* the counter read: the
+   staleness estimate itself is now stale, the damping is bypassed, and
+   the Ω(τ) slowdown returns.
+
+Acceptance: (2) stays near 1 across the sweep while (1) and (3) grow
+linearly in τ — i.e. the mitigation helps only against weak adversaries,
+exactly as the paper asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.epoch_sgd import EpochSGDProgram, run_lock_free_sgd
+from repro.core.sequential import run_sequential_sgd
+from repro.core.staleness_aware import StalenessAwareSGDProgram
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table
+from repro.metrics.trace import iterations_to_stay_below
+from repro.objectives.noise import ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.stale_attack import StaleGradientAttack
+
+
+@dataclass
+class E9Config:
+    """Parameters of the E9 sweep."""
+
+    alpha: float = 0.1
+    damping: float = 1.0
+    delays: List[int] = field(default_factory=lambda: [40, 80, 120, 160])
+    iterations: int = 2500
+    x0_scale: float = 10.0
+    target_relative: float = 1e-4
+    seed: int = 17
+
+    @classmethod
+    def quick(cls) -> "E9Config":
+        return cls(delays=[40, 80, 120], iterations=2000)
+
+    @classmethod
+    def full(cls) -> "E9Config":
+        return cls(delays=[40, 80, 120, 160, 240], iterations=4500)
+
+
+def run(config: E9Config) -> ExperimentResult:
+    """Execute E9: mitigation vs weak and adaptive adversaries."""
+    objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+    x0 = np.array([config.x0_scale])
+    target = config.target_relative * config.x0_scale
+
+    baseline = run_sequential_sgd(
+        objective, alpha=config.alpha, iterations=config.iterations,
+        x0=x0, seed=config.seed,
+    )
+    baseline_time = iterations_to_stay_below(baseline.distances, target)
+
+    def one_run(aware: bool, freeze_phase: str, tau: int) -> Optional[float]:
+        def factory(model, counter, thread_index):
+            if aware:
+                return StalenessAwareSGDProgram(
+                    model, counter, objective, config.alpha,
+                    config.iterations, damping=config.damping,
+                )
+            return EpochSGDProgram(
+                model, counter, objective, config.alpha, config.iterations
+            )
+
+        result = run_lock_free_sgd(
+            objective,
+            StaleGradientAttack(
+                victim=1, runner=0, delay=tau, freeze_phase=freeze_phase
+            ),
+            num_threads=2,
+            step_size=config.alpha,
+            iterations=config.iterations,
+            x0=x0,
+            seed=config.seed,
+            program_factory=factory,
+        )
+        attacked_time = iterations_to_stay_below(result.distances, target)
+        if attacked_time is None or not baseline_time:
+            return None
+        return attacked_time / baseline_time
+
+    table = Table(
+        [
+            "tau",
+            "plain fixed-alpha",
+            "staleness-aware vs weak adv",
+            "staleness-aware vs adaptive adv",
+        ],
+        title=(
+            f"E9: the lower bound covers staleness-aware SGD too "
+            f"(alpha={config.alpha}, damping={config.damping})"
+        ),
+    )
+    xs: List[float] = []
+    plain_series: List[float] = []
+    weak_series: List[float] = []
+    adaptive_series: List[float] = []
+    for tau in config.delays:
+        plain = one_run(False, "update", tau)
+        weak = one_run(True, "observe", tau)
+        adaptive = one_run(True, "update", tau)
+        table.add_row(
+            [
+                tau,
+                plain if plain is not None else "never",
+                weak if weak is not None else "never",
+                adaptive if adaptive is not None else "never",
+            ]
+        )
+        if None not in (plain, weak, adaptive):
+            xs.append(float(tau))
+            plain_series.append(plain)
+            weak_series.append(weak)
+            adaptive_series.append(adaptive)
+
+    passed = len(xs) >= 3
+    if passed:
+        taus = np.array(xs)
+        adaptive_arr = np.array(adaptive_series)
+        weak_arr = np.array(weak_series)
+        # Adaptive slowdown must grow linearly (like plain); the weak-
+        # adversary slowdown must stay comparatively flat and small.
+        correlation = float(np.corrcoef(taus, adaptive_arr)[0, 1])
+        passed = bool(
+            correlation > 0.95
+            and weak_arr.max() < 0.5 * adaptive_arr.max()
+            and adaptive_arr[-1] > 2.0
+        )
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Related-work claim — staleness-aware damping falls to the "
+        "adaptive adversary (lower bound applies)",
+        table=table,
+        xs=xs,
+        series={
+            "plain fixed-alpha": plain_series,
+            "aware vs weak adversary": weak_series,
+            "aware vs adaptive adversary": adaptive_series,
+        },
+        passed=passed,
+        notes=(
+            "acceptance: adaptive-adversary slowdown linear in tau "
+            "(correlation > 0.95) and at least 2x at the largest tau, while "
+            "the weak-adversary slowdown stays below half of it — the "
+            "mitigation only beats adversaries that cannot see the phases"
+        ),
+    )

@@ -1,0 +1,121 @@
+"""F1 — Figure 1: the applied/pending update picture of a live execution.
+
+The paper's only figure is a schematic of the Section-6.1 bookkeeping:
+rows of updates per iteration, the ones already applied to shared memory
+drawn in red, the pending ones in black, a dot marking where each thread
+has stopped updating; summing the applied values column-wise yields the
+view v_t.  We regenerate it from a *real* trace: run Algorithm 1 with a
+few threads, freeze the clock mid-execution, and render each
+iteration's per-component update status from the recorded fetch&add
+times.  Acceptance: at the chosen observation time the matrix exhibits
+both applied and pending updates (i.e. the inconsistency the figure
+illustrates actually occurs), and every update with time ≤ t_obs is
+marked applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table, render_update_matrix
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.random_sched import RandomScheduler
+
+
+@dataclass
+class F1Config:
+    """Parameters of the F1 rendering."""
+
+    dim: int = 6
+    num_threads: int = 3
+    iterations: int = 14
+    step_size: float = 0.05
+    seed: int = 42
+
+    @classmethod
+    def quick(cls) -> "F1Config":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "F1Config":
+        return cls(iterations=30)
+
+
+def run(config: F1Config) -> ExperimentResult:
+    """Execute F1: produce the update matrix of a real interleaving."""
+    objective = IsotropicQuadratic(
+        dim=config.dim, noise=GaussianNoise(1.0)
+    )
+    x0 = np.linspace(1.0, 2.0, config.dim)
+    result = run_lock_free_sgd(
+        objective,
+        RandomScheduler(seed=config.seed),
+        num_threads=config.num_threads,
+        step_size=config.step_size,
+        iterations=config.iterations,
+        x0=x0,
+        seed=config.seed,
+    )
+    # Observe mid-execution so both applied and pending updates exist.
+    observation_time = result.sim_steps * 2 // 3
+    matrix = render_update_matrix(result.records, config.dim, at_time=observation_time)
+
+    # Census from the records themselves (the rendered string also
+    # contains prose, so counting characters there would be wrong).
+    visible_rows = [
+        r
+        for r in sorted(result.records, key=lambda r: r.order_time)
+        if r.start_time <= observation_time
+    ]
+    applied = 0
+    pending = 0
+    for record in visible_rows:
+        if record.gradient is None or record.update_times is None:
+            continue
+        for j in range(config.dim):
+            if record.gradient[j] == 0.0:
+                continue
+            update_time = record.update_times[j]
+            if update_time is not None and update_time <= observation_time:
+                applied += 1
+            else:
+                pending += 1
+    # Cross-check the renderer against the census: the matrix body must
+    # contain exactly `applied` '#' cells between its '|' delimiters.
+    rendered_applied = sum(
+        line.split("|")[1].count("#")
+        for line in matrix.splitlines()
+        if line.count("|") == 2
+    )
+    passed = (
+        applied > 0
+        and pending > 0
+        and rendered_applied == applied
+        and len(visible_rows) > 0
+    )
+
+    table = Table(
+        ["quantity", "value"],
+        title=f"F1: update-matrix census at t={observation_time}",
+    )
+    table.add_row(["iterations in trace", len(result.records)])
+    table.add_row(["iterations visible at t_obs", len(visible_rows)])
+    table.add_row(["applied cells (#, paper's red)", applied])
+    table.add_row(["pending cells (o, paper's black)", pending])
+
+    return ExperimentResult(
+        experiment_id="F1",
+        title="Figure 1 — applied vs pending updates of a live execution",
+        table=table,
+        passed=passed,
+        notes=matrix
+        + "\n\nacceptance: the frozen-clock matrix shows both applied and "
+        "pending updates, and the applied count matches the recorded "
+        "fetch&add times exactly",
+    )

@@ -1,0 +1,78 @@
+"""Shared experiment plumbing.
+
+An experiment maps a parameter sweep to (measured, predicted) series and
+renders them as a table plus an ASCII figure.  :class:`ExperimentResult`
+is the uniform container every ``e*_.run()`` returns; benchmarks print
+it, tests assert on its ``series``, and EXPERIMENTS.md quotes its table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.report import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result of one experiment driver.
+
+    Attributes:
+        experiment_id: "E1" .. "E8", "F1", "A1".
+        title: Human-readable claim description.
+        table: The rendered rows (what EXPERIMENTS.md quotes).
+        xs: Sweep values (x axis of the figure), possibly empty.
+        series: Name -> y values over ``xs`` (measured and predicted
+            curves, for shape assertions and the ASCII figure).
+        passed: Whether the claim's acceptance criterion held (the
+            measured quantity respected the bound / matched the shape).
+        notes: Free-form commentary (acceptance criterion, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    table: Table
+    xs: List[float] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    passed: bool = True
+    notes: str = ""
+
+    def render(self, plot: bool = True, logy: bool = False) -> str:
+        """Table + optional ASCII figure + verdict, as printable text."""
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.table.render()]
+        if plot and self.series and len(self.xs) >= 2:
+            parts.append(
+                ascii_plot(
+                    self.xs,
+                    self.series,
+                    title=f"{self.experiment_id} ({'log-y' if logy else 'linear'})",
+                    logy=logy,
+                )
+            )
+        if self.notes:
+            parts.append(self.notes)
+        parts.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)
+
+
+def seed_range(base_seed: int, count: int) -> List[int]:
+    """The seeds an ensemble uses: ``base_seed .. base_seed+count-1``."""
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    return list(range(base_seed, base_seed + count))
+
+
+def sweep(
+    values: Sequence,
+    run_one: Callable,
+) -> List:
+    """Map ``run_one`` over sweep values, collecting results in order.
+
+    Trivial on purpose: experiments stay deterministic and debuggable
+    (no hidden parallelism — the simulator inside is single-threaded
+    anyway, and seeds pin everything).
+    """
+    return [run_one(value) for value in values]

@@ -1,0 +1,37 @@
+"""Measurement, estimation and reporting utilities.
+
+* :mod:`repro.metrics.stats` — Wilson confidence intervals and summary
+  statistics for Monte-Carlo estimates.
+* :mod:`repro.metrics.hitting` — success-region hitting times and
+  failure-probability estimation over seeded run ensembles (the measured
+  counterpart of every P(F_T) bound).
+* :mod:`repro.metrics.trace` — convergence-trajectory utilities
+  (iterations-to-target, empirical slowdown factors).
+* :mod:`repro.metrics.report` — plain-text tables and the Figure-1
+  applied/pending update matrix renderer.
+* :mod:`repro.metrics.ascii_plot` — terminal line plots so "figures"
+  regenerate without a display server.
+"""
+
+from repro.metrics.stats import Summary, mean_confidence_interval, summarize, wilson_interval
+from repro.metrics.hitting import FailureEstimate, estimate_failure_probability
+from repro.metrics.trace import iterations_to_reach, slowdown_ratio
+from repro.metrics.report import Table, render_update_matrix
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.serialize import dump_records, load_records
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "wilson_interval",
+    "mean_confidence_interval",
+    "FailureEstimate",
+    "estimate_failure_probability",
+    "iterations_to_reach",
+    "slowdown_ratio",
+    "Table",
+    "render_update_matrix",
+    "ascii_plot",
+    "dump_records",
+    "load_records",
+]

@@ -1,0 +1,92 @@
+"""Terminal line plots.
+
+The paper's "figures" regenerate in a terminal: each benchmark prints an
+ASCII chart of its measured series next to the theoretical curve, so the
+shape comparison (linear vs √, crossovers) is visible without a display
+server or plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKERS = "*+x o#@%"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    Args:
+        xs: Shared x coordinates (need not be evenly spaced).
+        series: Name -> y values (same length as ``xs``); up to 8 series,
+            each drawn with its own marker.
+        width/height: Plot grid size in characters.
+        logy: Plot log10(y) (non-positive values are dropped).
+        title: Optional heading line.
+
+    Returns:
+        The chart plus a marker legend, as a string.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+    xs = [float(x) for x in xs]
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two x values")
+
+    points = []  # (x, y, marker_index)
+    for index, (name, ys) in enumerate(series.items()):
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} xs"
+            )
+        for x, y in zip(xs, ys):
+            y = float(y)
+            if logy:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            if math.isfinite(y):
+                points.append((x, y, index))
+    if not points:
+        raise ConfigurationError("no plottable points (all non-finite/dropped)")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker_index in points:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = _MARKERS[marker_index]
+
+    y_label = "log10(y)" if logy else "y"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:>10.3g} +" + "-" * width + "+")
+    lines.append(f"{'':>11} x: [{x_lo:.3g}, {x_hi:.3g}]   y-axis: {y_label}")
+    legend = "   ".join(
+        f"{_MARKERS[i]} = {name}" for i, name in enumerate(series.keys())
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Failure-probability estimation over seeded run ensembles.
+
+Every P(F_T) statement in the paper is about the event "the iterate
+sequence never entered the success region by time T".  We estimate it
+the direct way: run the algorithm under many independent seeds, record
+whether each run hit the region, and report the failure fraction with a
+Wilson confidence interval.  The upper bounds then predict: measured
+p_hat (indeed its upper confidence limit, up to Monte-Carlo luck) should
+fall below the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import wilson_interval
+
+
+@dataclass
+class FailureEstimate:
+    """Monte-Carlo estimate of P(F_T).
+
+    Attributes:
+        runs: Number of independent runs.
+        failures: Runs that never hit the success region by time T.
+        probability: failures / runs.
+        confidence: (low, high) Wilson 95% interval.
+        hit_times: Hitting times of the successful runs (iteration
+            index), for hitting-time distribution plots.
+    """
+
+    runs: int
+    failures: int
+    probability: float
+    confidence: Tuple[float, float]
+    hit_times: List[int]
+
+    def consistent_with_bound(self, bound: float) -> bool:
+        """Whether the bound is not (statistically) violated: the lower
+        confidence limit must not exceed the theoretical bound."""
+        return self.confidence[0] <= bound
+
+    def __str__(self) -> str:
+        low, high = self.confidence
+        return (
+            f"P(fail) = {self.probability:.4f} "
+            f"[{low:.4f}, {high:.4f}] over {self.runs} runs"
+        )
+
+
+def estimate_failure_probability(
+    run_once: Callable[[int], Optional[int]],
+    num_runs: int,
+    base_seed: int = 0,
+) -> FailureEstimate:
+    """Estimate P(F_T) by repeated seeded runs.
+
+    Args:
+        run_once: Maps a seed to the run's hitting time (iteration index
+            at which the success region was first entered) or ``None``
+            if the run failed.  Drivers' ``hit_time`` fields fit
+            directly: ``lambda s: run(...).hit_time``.
+        num_runs: Ensemble size.
+        base_seed: Seeds used are ``base_seed .. base_seed+num_runs-1``.
+
+    Returns:
+        A :class:`FailureEstimate`.
+    """
+    if num_runs < 1:
+        raise ConfigurationError(f"num_runs must be >= 1, got {num_runs}")
+    failures = 0
+    hit_times: List[int] = []
+    for offset in range(num_runs):
+        hit = run_once(base_seed + offset)
+        if hit is None:
+            failures += 1
+        else:
+            hit_times.append(int(hit))
+    probability = failures / num_runs
+    return FailureEstimate(
+        runs=num_runs,
+        failures=failures,
+        probability=probability,
+        confidence=wilson_interval(failures, num_runs),
+        hit_times=hit_times,
+    )

@@ -1,0 +1,104 @@
+"""Trace serialization: iteration records <-> JSON lines.
+
+Long experiments produce traces worth keeping (they feed the contention
+analysis, Figure-1 rendering, and post-hoc debugging).  This module
+round-trips :class:`~repro.runtime.events.IterationRecord` streams
+through a line-oriented JSON format that is diff-able, append-able and
+stable across library versions (unknown keys are ignored on load).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.events import IterationRecord
+
+PathLike = Union[str, pathlib.Path]
+
+#: Fields serialized verbatim (ints/floats/None).
+_SCALAR_FIELDS = (
+    "time",
+    "thread_id",
+    "index",
+    "epoch",
+    "start_time",
+    "read_start_time",
+    "read_end_time",
+    "first_update_time",
+    "end_time",
+    "step_size",
+)
+
+
+def record_to_dict(record: IterationRecord) -> dict:
+    """A JSON-safe dict for one iteration record.
+
+    The opaque ``sample`` field is dropped (it may hold arbitrary
+    objects); everything the analyses consume survives.
+    """
+    payload = {name: getattr(record, name) for name in _SCALAR_FIELDS}
+    payload["view"] = None if record.view is None else [float(v) for v in record.view]
+    payload["gradient"] = (
+        None if record.gradient is None else [float(g) for g in record.gradient]
+    )
+    payload["applied"] = (
+        None if record.applied is None else [bool(a) for a in record.applied]
+    )
+    payload["update_times"] = (
+        None
+        if record.update_times is None
+        else [None if t is None else int(t) for t in record.update_times]
+    )
+    return payload
+
+
+def record_from_dict(payload: dict) -> IterationRecord:
+    """Inverse of :func:`record_to_dict` (unknown keys ignored)."""
+    try:
+        kwargs = {name: payload[name] for name in _SCALAR_FIELDS}
+    except KeyError as missing:
+        raise ConfigurationError(f"record payload missing field {missing}") from None
+    view = payload.get("view")
+    gradient = payload.get("gradient")
+    return IterationRecord(
+        view=None if view is None else np.asarray(view, dtype=float),
+        gradient=None if gradient is None else np.asarray(gradient, dtype=float),
+        applied=payload.get("applied"),
+        update_times=payload.get("update_times"),
+        **kwargs,
+    )
+
+
+def dump_records(
+    records: Sequence[IterationRecord], path: PathLike
+) -> int:
+    """Write records as JSON lines; returns the number written."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+    return len(records)
+
+
+def load_records(path: PathLike) -> List[IterationRecord]:
+    """Read a JSON-lines trace back into records (blank lines skipped)."""
+    path = pathlib.Path(path)
+    records: List[IterationRecord] = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: not valid JSON ({error})"
+                ) from None
+            records.append(record_from_dict(payload))
+    return records

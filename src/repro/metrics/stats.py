@@ -1,0 +1,96 @@
+"""Statistical helpers for Monte-Carlo estimates.
+
+The paper's results are probabilistic (P(F_T) bounds, expectations);
+measuring them means repeated seeded runs plus honest uncertainty.  The
+Wilson score interval is used for failure probabilities (well-behaved at
+p near 0, where our estimates usually live) and normal-approximation
+intervals for means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: Number of successes observed.
+        trials: Number of trials (must be >= 1).
+        z: Normal quantile (1.96 = 95%).
+
+    Returns:
+        (low, high) bounds on the underlying probability.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    p_hat = successes / trials
+    denom = 1.0 + z**2 / trials
+    center = (p_hat + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, low, high) via the normal approximation."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("need at least one value")
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, mean, mean
+    half = z * float(array.std(ddof=1)) / math.sqrt(array.size)
+    return mean, mean - half, mean + half
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} "
+            f"max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("need at least one value")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+    )

@@ -1,0 +1,116 @@
+"""Convergence-trajectory utilities.
+
+Slowdown — the paper's central measured quantity — is a ratio of
+iteration counts: how many iterations the attacked/asynchronous run
+needs to reach a target distance, versus the sequential baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def iterations_to_reach(
+    distances: Sequence[float], target_distance: float
+) -> Optional[int]:
+    """First index t with distances[t] ≤ target, or ``None`` if never.
+
+    ``distances`` is a distance-to-optimum trajectory indexed by
+    iteration (entry 0 = starting point).
+    """
+    if target_distance < 0:
+        raise ConfigurationError(
+            f"target_distance must be >= 0, got {target_distance}"
+        )
+    array = np.asarray(list(distances), dtype=float)
+    hits = np.nonzero(array <= target_distance)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def iterations_to_stay_below(
+    distances: Sequence[float], target_distance: float
+) -> Optional[int]:
+    """First index t such that distances[s] ≤ target for *all* s ≥ t.
+
+    Algorithm 1 only guarantees *visiting* the success region; an
+    adversary can knock the iterate back out with stale updates (that is
+    Theorem 5.1's whole point).  Sustained convergence — relevant for the
+    lower-bound measurements — is this "stays below" time, immune to
+    transient dips inside an attack round.
+    """
+    if target_distance < 0:
+        raise ConfigurationError(
+            f"target_distance must be >= 0, got {target_distance}"
+        )
+    array = np.asarray(list(distances), dtype=float)
+    if array.size == 0:
+        return None
+    above = np.nonzero(array > target_distance)[0]
+    if above.size == 0:
+        return 0
+    first = int(above[-1]) + 1
+    return first if first < array.size else None
+
+
+def slowdown_ratio(
+    attacked_distances: Sequence[float],
+    baseline_distances: Sequence[float],
+    target_distance: float,
+) -> Optional[float]:
+    """Iterations-to-target ratio: attacked / baseline.
+
+    Returns ``None`` when either trajectory never reaches the target
+    (the attacked run "failing to converge" is reported as None rather
+    than infinity so callers can count it separately).
+    """
+    attacked = iterations_to_reach(attacked_distances, target_distance)
+    baseline = iterations_to_reach(baseline_distances, target_distance)
+    if attacked is None or baseline is None or baseline == 0:
+        return None
+    return attacked / baseline
+
+
+def parallel_wallclock(thread_steps: Sequence[int]) -> int:
+    """Idealized parallel wall-clock of an execution: the maximum number
+    of steps any single thread executed.
+
+    Section 8: "up to n iterations may happen in parallel at any time,
+    reducing the wall-clock convergence time by up to a factor of n".
+    Logical time in the simulator serializes every step; on a real
+    machine the threads run concurrently, so the critical path is the
+    busiest thread.
+    """
+    steps = [int(s) for s in thread_steps]
+    if not steps:
+        raise ConfigurationError("need at least one thread's step count")
+    return max(steps)
+
+
+def parallel_speedup(total_steps: int, thread_steps: Sequence[int]) -> float:
+    """total work / critical path — the wall-clock speedup an ideal
+    n-way parallel execution of this schedule would realize (≤ n, with
+    equality only for perfectly balanced schedules)."""
+    wallclock = parallel_wallclock(thread_steps)
+    if total_steps < wallclock:
+        raise ConfigurationError(
+            f"total_steps ({total_steps}) < critical path ({wallclock})"
+        )
+    return total_steps / wallclock if wallclock else 1.0
+
+
+def log_progress_rate(distances: Sequence[float]) -> float:
+    """Average per-iteration log-contraction: −(log d_T − log d_0)/T.
+
+    Larger is faster; the Theorem 5.1 analysis compares exactly these
+    rates (log((1−α)^τ) vs log(α/2) per attack round).  Zero-distance
+    entries are clipped to avoid −inf.
+    """
+    array = np.asarray(list(distances), dtype=float)
+    if array.size < 2:
+        raise ConfigurationError("need at least two trajectory points")
+    clipped = np.maximum(array, 1e-300)
+    return -(np.log(clipped[-1]) - np.log(clipped[0])) / (array.size - 1)

@@ -1,0 +1,46 @@
+"""Objective functions and stochastic gradient oracles.
+
+Each :class:`~repro.objectives.base.Objective` bundles a convex function
+``f`` with a stochastic gradient oracle and the analytic constants the
+paper's bounds consume:
+
+* ``c`` — strong convexity (Eq. 2),
+* ``L`` — expected Lipschitz constant of the oracle (Eq. 3),
+* ``M²`` — a bound on the oracle's second moment over the region of
+  operation (Eq. 4).
+
+Included objectives: the Section-5 scalar quadratic (and its isotropic
+d-dimensional generalization), least-squares / ridge regression over a
+dataset, ℓ2-regularized logistic regression, and a separable objective
+with 1-sparse gradients matching the NIPS'15 single-nonzero-entry
+assumption that this paper eliminates.
+"""
+
+from repro.objectives.base import Objective
+from repro.objectives.noise import GaussianNoise, NoiseModel, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic, Quadratic
+from repro.objectives.least_squares import LeastSquares, RidgeRegression
+from repro.objectives.logistic import LogisticRegression
+from repro.objectives.sparse import SeparableQuadratic
+from repro.objectives.sparse_features import (
+    SparseFeatureLeastSquares,
+    make_sparse_regression,
+)
+from repro.objectives.datasets import make_classification, make_regression
+
+__all__ = [
+    "Objective",
+    "NoiseModel",
+    "GaussianNoise",
+    "ZeroNoise",
+    "Quadratic",
+    "IsotropicQuadratic",
+    "LeastSquares",
+    "RidgeRegression",
+    "LogisticRegression",
+    "SeparableQuadratic",
+    "SparseFeatureLeastSquares",
+    "make_sparse_regression",
+    "make_regression",
+    "make_classification",
+]

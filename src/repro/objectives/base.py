@@ -1,0 +1,114 @@
+"""The objective/oracle interface.
+
+The paper's assumptions (Section 3) are stated for an abstract stochastic
+gradient oracle g̃ with E[g̃(x)] = ∇f(x).  We model the oracle the way the
+analysis does: a *random function* — first a sample ω is drawn (a data
+point index, a noise vector, a coordinate), then the gradient is the
+deterministic map ``grad_at_sample(x, ω)``.  This split matters for the
+expected-Lipschitz condition (Eq. 3), which couples g̃(x) and g̃(y) at the
+*same* sample, and it is also what lets the strong adaptive adversary see
+"the results of the threads' local coins": the sample is drawn (and
+published) before the gradient is applied.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.runtime.rng import RngStream
+
+#: Opaque oracle sample (data index, noise vector, coordinate, ...).
+Sample = Any
+
+
+class Objective(abc.ABC):
+    """A convex objective with a stochastic gradient oracle.
+
+    Subclasses provide the function, the oracle and the analytic
+    constants.  All vectors are 1-D numpy arrays of length :attr:`dim`.
+    """
+
+    #: Model dimension d.
+    dim: int
+
+    # ------------------------------------------------------------------
+    # The function itself
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def value(self, x: np.ndarray) -> float:
+        """f(x)."""
+
+    @abc.abstractmethod
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """The true gradient ∇f(x)."""
+
+    @property
+    @abc.abstractmethod
+    def x_star(self) -> np.ndarray:
+        """The minimizer x* of f."""
+
+    # ------------------------------------------------------------------
+    # The stochastic oracle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def draw_sample(self, rng: RngStream) -> Sample:
+        """Draw the oracle's random sample ω (the 'coin')."""
+
+    @abc.abstractmethod
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        """g̃_ω(x): the stochastic gradient at ``x`` for a fixed sample.
+
+        Must be unbiased over :meth:`draw_sample`:
+        E_ω[g̃_ω(x)] = ∇f(x).
+        """
+
+    def stochastic_gradient(
+        self, x: np.ndarray, rng: RngStream
+    ) -> Tuple[np.ndarray, Sample]:
+        """Draw a sample and evaluate the oracle; returns (g̃, ω)."""
+        sample = self.draw_sample(rng)
+        return self.grad_at_sample(x, sample), sample
+
+    # ------------------------------------------------------------------
+    # Analytic constants (the inputs to every bound in the paper)
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def strong_convexity(self) -> float:
+        """c > 0 with (x−y)ᵀ(∇f(x)−∇f(y)) ≥ c‖x−y‖² (Eq. 2)."""
+
+    @property
+    @abc.abstractmethod
+    def lipschitz_expected(self) -> float:
+        """L with E_ω‖g̃_ω(x) − g̃_ω(y)‖ ≤ L‖x−y‖ (Eq. 3)."""
+
+    @abc.abstractmethod
+    def second_moment_bound(self, radius: float) -> float:
+        """M² with E‖g̃(x)‖² ≤ M² for all ‖x − x*‖ ≤ ``radius`` (Eq. 4).
+
+        The paper assumes a global M²; for most objectives that only
+        exists over a bounded region of operation, so callers pass the
+        radius their run will stay inside (typically a small multiple of
+        ‖x₀ − x*‖).
+        """
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all objectives
+    # ------------------------------------------------------------------
+    def distance_to_opt(self, x: np.ndarray) -> float:
+        """‖x − x*‖."""
+        return float(np.linalg.norm(np.asarray(x, dtype=float) - self.x_star))
+
+    def in_success_region(self, x: np.ndarray, epsilon: float) -> bool:
+        """Whether x lies in S = {x : ‖x − x*‖² ≤ ε}."""
+        return self.distance_to_opt(x) ** 2 <= epsilon
+
+    def suboptimality(self, x: np.ndarray) -> float:
+        """f(x) − f(x*)."""
+        return self.value(x) - self.value(self.x_star)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dim={self.dim})"

@@ -1,0 +1,194 @@
+"""Least-squares and ridge regression — the paper's motivating workload.
+
+The introduction's running example: given data points with loss
+L_i(x) = ½(a_iᵀx − y_i)², minimize the average loss
+f(x) = (1/m)·Σ L_i(x).  The oracle samples a data point uniformly and
+returns its gradient, so E[g̃(x)] = ∇f(x) exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective, Sample
+from repro.runtime.rng import RngStream
+
+
+class LeastSquares(Objective):
+    """f(x) = (1/2m)·‖Ax − y‖², oracle g̃(x) = a_i(a_iᵀx − y_i), i ~ U[m].
+
+    Args:
+        design: Data matrix A of shape (m, d); rows are the data points.
+        targets: Target vector y of length m.
+
+    The analytic constants are exact:
+
+    * ``strong_convexity`` = λ_min(AᵀA/m) — requires A to have full
+      column rank.
+    * ``lipschitz_expected`` = (1/m)·Σ‖a_i‖² — since for a fixed sample i,
+      g̃_i(x) − g̃_i(y) = a_i a_iᵀ (x−y), whose norm is at most
+      ‖a_i‖²·‖x−y‖, averaged over i.
+    * ``second_moment_bound(r)`` — sup over the operating ball of
+      (1/m)·Σ ‖a_i‖²·(a_iᵀ(x−x*) + r_i*)² with r_i* the optimal
+      residuals, bounded via Cauchy–Schwarz per point.
+    """
+
+    def __init__(self, design: np.ndarray, targets: np.ndarray) -> None:
+        design = np.asarray(design, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if design.ndim != 2:
+            raise ConfigurationError(f"design must be 2-D, got shape {design.shape}")
+        if targets.shape != (design.shape[0],):
+            raise ConfigurationError(
+                f"targets must have shape ({design.shape[0]},), got {targets.shape}"
+            )
+        m, d = design.shape
+        if m < d:
+            raise ConfigurationError(
+                f"need at least d={d} data points for strong convexity, got {m}"
+            )
+        self.design = design
+        self.targets = targets
+        self.num_points = m
+        self.dim = d
+
+        covariance = design.T @ design / m
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        if eigenvalues[0] <= 1e-12:
+            raise ConfigurationError(
+                "design matrix is column-rank-deficient; the objective is "
+                "not strongly convex (add ridge regularization instead)"
+            )
+        self._c = float(eigenvalues[0])
+        self._row_sq_norms = np.einsum("ij,ij->i", design, design)
+        self._lipschitz = float(self._row_sq_norms.mean())
+        self._x_star = np.linalg.solve(covariance * m, design.T @ targets)
+        self._opt_residuals = design @ self._x_star - targets
+
+    def value(self, x: np.ndarray) -> float:
+        residuals = self.design @ np.asarray(x, dtype=float) - self.targets
+        return 0.5 * float(residuals @ residuals) / self.num_points
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        residuals = self.design @ np.asarray(x, dtype=float) - self.targets
+        return self.design.T @ residuals / self.num_points
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        return int(rng.integers(0, self.num_points))
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        row = self.design[sample]
+        residual = float(row @ np.asarray(x, dtype=float) - self.targets[sample])
+        return row * residual
+
+    @property
+    def strong_convexity(self) -> float:
+        return self._c
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return self._lipschitz
+
+    def second_moment_bound(self, radius: float) -> float:
+        # ‖g̃_i(x)‖² = ‖a_i‖²·(a_iᵀ(x−x*) + r_i*)²
+        #           ≤ ‖a_i‖²·(‖a_i‖·radius + |r_i*|)²   on the ball.
+        per_point = self._row_sq_norms * (
+            np.sqrt(self._row_sq_norms) * radius + np.abs(self._opt_residuals)
+        ) ** 2
+        return float(per_point.mean())
+
+
+class RidgeRegression(Objective):
+    """f(x) = (1/2m)·‖Ax − y‖² + (λ/2)·‖x‖².
+
+    The oracle samples a point and returns its regularized gradient
+    a_i(a_iᵀx − y_i) + λx, keeping unbiasedness.  Regularization makes
+    the problem λ-strongly convex even for rank-deficient designs.
+
+    Args:
+        design: Data matrix A (m, d).
+        targets: Target vector y (m,).
+        regularization: λ > 0.
+    """
+
+    def __init__(
+        self, design: np.ndarray, targets: np.ndarray, regularization: float = 0.1
+    ) -> None:
+        design = np.asarray(design, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if design.ndim != 2:
+            raise ConfigurationError(f"design must be 2-D, got shape {design.shape}")
+        if targets.shape != (design.shape[0],):
+            raise ConfigurationError(
+                f"targets must have shape ({design.shape[0]},), got {targets.shape}"
+            )
+        if regularization <= 0:
+            raise ConfigurationError(
+                f"regularization must be > 0, got {regularization}"
+            )
+        m, d = design.shape
+        self.design = design
+        self.targets = targets
+        self.regularization = regularization
+        self.num_points = m
+        self.dim = d
+
+        covariance = design.T @ design / m
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        self._c = float(eigenvalues[0]) + regularization
+        self._row_sq_norms = np.einsum("ij,ij->i", design, design)
+        self._lipschitz = float(self._row_sq_norms.mean()) + regularization
+        self._x_star = np.linalg.solve(
+            covariance + regularization * np.eye(d), design.T @ targets / m
+        )
+        self._opt_residuals = design @ self._x_star - targets
+
+    def value(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        residuals = self.design @ x - self.targets
+        return (
+            0.5 * float(residuals @ residuals) / self.num_points
+            + 0.5 * self.regularization * float(x @ x)
+        )
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        residuals = self.design @ x - self.targets
+        return self.design.T @ residuals / self.num_points + self.regularization * x
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        return int(rng.integers(0, self.num_points))
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        row = self.design[sample]
+        residual = float(row @ x - self.targets[sample])
+        return row * residual + self.regularization * x
+
+    @property
+    def strong_convexity(self) -> float:
+        return self._c
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return self._lipschitz
+
+    def second_moment_bound(self, radius: float) -> float:
+        x_star_norm = float(np.linalg.norm(self._x_star))
+        data_part = self._row_sq_norms * (
+            np.sqrt(self._row_sq_norms) * radius + np.abs(self._opt_residuals)
+        ) ** 2
+        reg_part = self.regularization * (radius + x_star_norm)
+        # (‖a‖ + ‖b‖)² bound on ‖data + reg‖².
+        return float(((np.sqrt(data_part) + reg_part) ** 2).mean())

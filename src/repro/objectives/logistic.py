@@ -1,0 +1,131 @@
+"""ℓ2-regularized logistic regression.
+
+A classification workload showing the framework beyond quadratics: with
+labels y_i ∈ {−1, +1},
+
+    f(x) = (1/m)·Σ log(1 + exp(−y_i·a_iᵀx)) + (λ/2)·‖x‖².
+
+The regularizer makes f λ-strongly convex; the per-sample gradient is
+σ(−y_i·a_iᵀx)·(−y_i·a_i) + λx with σ the logistic sigmoid.  The optimum
+has no closed form, so it is computed once at construction by Newton's
+method (the objective is smooth and strongly convex, so this converges
+quadratically) — the success-region metrics need x*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.objectives.base import Objective, Sample
+from repro.runtime.rng import RngStream
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(Objective):
+    """Binary logistic regression with ℓ2 regularization.
+
+    Args:
+        design: Data matrix A (m, d).
+        labels: Labels in {−1, +1}, length m.
+        regularization: λ > 0 (strong-convexity constant).
+
+    Constants:
+
+    * ``strong_convexity`` = λ (the data term is convex, the regularizer
+      λ-strongly convex).
+    * ``lipschitz_expected`` = (1/4)·mean‖a_i‖² + λ, since the per-sample
+      gradient map has Jacobian σ'(·)·a_i a_iᵀ + λI with σ' ≤ 1/4.
+    * ``second_moment_bound(r)``: the data term is bounded by ‖a_i‖
+      (|σ| ≤ 1), the regularizer by λ·(r + ‖x*‖).
+    """
+
+    def __init__(
+        self, design: np.ndarray, labels: np.ndarray, regularization: float = 0.1
+    ) -> None:
+        design = np.asarray(design, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if design.ndim != 2:
+            raise ConfigurationError(f"design must be 2-D, got shape {design.shape}")
+        if labels.shape != (design.shape[0],):
+            raise ConfigurationError(
+                f"labels must have shape ({design.shape[0]},), got {labels.shape}"
+            )
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ConfigurationError("labels must be -1 or +1")
+        if regularization <= 0:
+            raise ConfigurationError(f"regularization must be > 0, got {regularization}")
+        self.design = design
+        self.labels = labels
+        self.regularization = regularization
+        self.num_points, self.dim = design.shape
+        self._row_sq_norms = np.einsum("ij,ij->i", design, design)
+        self._x_star = self._solve_newton()
+
+    def _solve_newton(self, tol: float = 1e-12, max_iter: int = 100) -> np.ndarray:
+        x = np.zeros(self.dim)
+        for _ in range(max_iter):
+            grad = self.gradient(x)
+            if np.linalg.norm(grad) < tol:
+                return x
+            margins = self.labels * (self.design @ x)
+            s = _sigmoid(-margins)
+            weights = s * (1.0 - s)
+            hessian = (
+                self.design.T * weights
+            ) @ self.design / self.num_points + self.regularization * np.eye(self.dim)
+            x = x - np.linalg.solve(hessian, grad)
+        if np.linalg.norm(self.gradient(x)) > 1e-6:
+            raise ConvergenceError("Newton solve for the logistic optimum failed")
+        return x
+
+    def value(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        margins = self.labels * (self.design @ x)
+        losses = np.logaddexp(0.0, -margins)
+        return float(losses.mean()) + 0.5 * self.regularization * float(x @ x)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        margins = self.labels * (self.design @ x)
+        s = _sigmoid(-margins)
+        data_grad = -(self.design.T @ (s * self.labels)) / self.num_points
+        return data_grad + self.regularization * x
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        return int(rng.integers(0, self.num_points))
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        row = self.design[sample]
+        label = self.labels[sample]
+        margin = label * float(row @ x)
+        s = float(_sigmoid(np.array([-margin]))[0])
+        return -s * label * row + self.regularization * x
+
+    @property
+    def strong_convexity(self) -> float:
+        return self.regularization
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return 0.25 * float(self._row_sq_norms.mean()) + self.regularization
+
+    def second_moment_bound(self, radius: float) -> float:
+        x_star_norm = float(np.linalg.norm(self._x_star))
+        data_norms = np.sqrt(self._row_sq_norms)
+        reg_norm = self.regularization * (radius + x_star_norm)
+        return float(((data_norms + reg_norm) ** 2).mean())

@@ -1,0 +1,66 @@
+"""Additive noise models for gradient oracles.
+
+Several objectives build their oracle as "true gradient plus zero-mean
+noise" — exactly the Section-5 construction g̃(x) = x − ũ with ũ Gaussian.
+The noise model is the sample ω: it is drawn first, published to the
+adversary, and then added to the deterministic gradient.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.runtime.rng import RngStream
+
+
+class NoiseModel(abc.ABC):
+    """A distribution over zero-mean perturbation vectors."""
+
+    @abc.abstractmethod
+    def draw(self, rng: RngStream, dim: int) -> np.ndarray:
+        """Sample one noise vector of length ``dim``."""
+
+    @abc.abstractmethod
+    def second_moment(self, dim: int) -> float:
+        """E‖ũ‖² for vectors of length ``dim``."""
+
+
+class GaussianNoise(NoiseModel):
+    """I.i.d. N(0, σ²) per coordinate.
+
+    Args:
+        sigma: Per-coordinate standard deviation σ.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+
+    def draw(self, rng: RngStream, dim: int) -> np.ndarray:
+        return rng.normal(0.0, self.sigma, size=dim)
+
+    def second_moment(self, dim: int) -> float:
+        return dim * self.sigma**2
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(sigma={self.sigma})"
+
+
+class ZeroNoise(NoiseModel):
+    """The degenerate noiseless oracle (σ = 0): g̃ = ∇f exactly.
+
+    Used by the Theorem 5.1 analysis's "suppose for simplicity σ = 0"
+    step and by tests that need deterministic gradients.
+    """
+
+    def draw(self, rng: RngStream, dim: int) -> np.ndarray:
+        return np.zeros(dim)
+
+    def second_moment(self, dim: int) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "ZeroNoise()"

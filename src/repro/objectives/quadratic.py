@@ -1,0 +1,170 @@
+"""Quadratic objectives with additive-noise oracles.
+
+:class:`IsotropicQuadratic` generalizes the paper's Section-5 warm-up
+f(x) = ½x² with oracle g̃(x) = x − ũ to d dimensions and arbitrary
+curvature; :class:`Quadratic` allows a full PSD curvature matrix, giving
+controllable conditioning.  Both oracles are "true gradient plus noise",
+so their analytic constants are exact — which makes them the reference
+workloads for checking measured behaviour against the bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective, Sample
+from repro.objectives.noise import GaussianNoise, NoiseModel
+from repro.runtime.rng import RngStream
+
+
+class IsotropicQuadratic(Objective):
+    """f(x) = (c/2)·‖x − x*‖² with oracle g̃(x) = c(x − x*) − ũ.
+
+    The Section-5 lower-bound instance is ``IsotropicQuadratic(dim=1,
+    curvature=1.0, noise=GaussianNoise(sigma))``.
+
+    Args:
+        dim: Model dimension d.
+        curvature: The strong-convexity constant c (also the Lipschitz
+            constant, since the Hessian is c·I).
+        x_star: Optimum; defaults to the origin.
+        noise: Additive zero-mean oracle noise ũ; default N(0, 1) per
+            coordinate.
+
+    Constants: ``strong_convexity = curvature``,
+    ``lipschitz_expected = curvature`` (the noise cancels in
+    g̃_ω(x) − g̃_ω(y)), and ``second_moment_bound(r) = c²r² + E‖ũ‖²``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        curvature: float = 1.0,
+        x_star: Optional[np.ndarray] = None,
+        noise: Optional[NoiseModel] = None,
+    ) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        if curvature <= 0:
+            raise ConfigurationError(f"curvature must be > 0, got {curvature}")
+        self.dim = dim
+        self.curvature = curvature
+        self._x_star = (
+            np.zeros(dim) if x_star is None else np.asarray(x_star, dtype=float)
+        )
+        if self._x_star.shape != (dim,):
+            raise ConfigurationError(
+                f"x_star must have shape ({dim},), got {self._x_star.shape}"
+            )
+        self.noise = noise if noise is not None else GaussianNoise(1.0)
+
+    def value(self, x: np.ndarray) -> float:
+        diff = np.asarray(x, dtype=float) - self._x_star
+        return 0.5 * self.curvature * float(diff @ diff)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.curvature * (np.asarray(x, dtype=float) - self._x_star)
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        return self.noise.draw(rng, self.dim)
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        return self.gradient(x) - sample
+
+    @property
+    def strong_convexity(self) -> float:
+        return self.curvature
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return self.curvature
+
+    def second_moment_bound(self, radius: float) -> float:
+        return (self.curvature * radius) ** 2 + self.noise.second_moment(self.dim)
+
+
+class Quadratic(Objective):
+    """f(x) = ½·(x − x*)ᵀ A (x − x*) for a symmetric PSD matrix A.
+
+    The oracle adds zero-mean noise to the exact gradient:
+    g̃(x) = A(x − x*) − ũ.
+
+    Args:
+        matrix: Symmetric positive-definite curvature matrix A (d×d).
+        x_star: Optimum; defaults to the origin.
+        noise: Additive oracle noise; default N(0, 1) per coordinate.
+
+    Constants: ``strong_convexity = λ_min(A)``,
+    ``lipschitz_expected = λ_max(A)``,
+    ``second_moment_bound(r) = (λ_max r)² + E‖ũ‖²``.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        x_star: Optional[np.ndarray] = None,
+        noise: Optional[NoiseModel] = None,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(f"matrix must be square, got {matrix.shape}")
+        if not np.allclose(matrix, matrix.T, atol=1e-10):
+            raise ConfigurationError("matrix must be symmetric")
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        if eigenvalues[0] <= 0:
+            raise ConfigurationError(
+                f"matrix must be positive definite (min eigenvalue "
+                f"{eigenvalues[0]:.3g})"
+            )
+        self.matrix = matrix
+        self.dim = matrix.shape[0]
+        self._lambda_min = float(eigenvalues[0])
+        self._lambda_max = float(eigenvalues[-1])
+        self._x_star = (
+            np.zeros(self.dim) if x_star is None else np.asarray(x_star, dtype=float)
+        )
+        if self._x_star.shape != (self.dim,):
+            raise ConfigurationError(
+                f"x_star must have shape ({self.dim},), got {self._x_star.shape}"
+            )
+        self.noise = noise if noise is not None else GaussianNoise(1.0)
+
+    def value(self, x: np.ndarray) -> float:
+        diff = np.asarray(x, dtype=float) - self._x_star
+        return 0.5 * float(diff @ self.matrix @ diff)
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix @ (np.asarray(x, dtype=float) - self._x_star)
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    @property
+    def condition_number(self) -> float:
+        """λ_max / λ_min of the curvature matrix."""
+        return self._lambda_max / self._lambda_min
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        return self.noise.draw(rng, self.dim)
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        return self.gradient(x) - sample
+
+    @property
+    def strong_convexity(self) -> float:
+        return self._lambda_min
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return self._lambda_max
+
+    def second_moment_bound(self, radius: float) -> float:
+        return (self._lambda_max * radius) ** 2 + self.noise.second_moment(self.dim)

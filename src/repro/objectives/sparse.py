@@ -1,0 +1,116 @@
+"""A separable objective whose oracle emits 1-sparse gradients.
+
+Prior work (De Sa et al., NIPS'15 — the paper's Theorem 3.1/6.3 source)
+required every stochastic gradient to have a *single non-zero entry*;
+this paper's analysis removes that assumption.  To compare the two
+regimes empirically we need a workload that satisfies it:
+
+    f(x) = Σ_j (c_j/2)·(x_j − x*_j)²
+
+with the oracle picking a coordinate j uniformly and returning
+d·c_j·(x_j − x*_j)·e_j (+ optional scalar noise on that coordinate).
+The d· factor keeps the oracle unbiased: E[g̃(x)] = ∇f(x).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.objectives.base import Objective, Sample
+from repro.runtime.rng import RngStream
+
+
+class SeparableQuadratic(Objective):
+    """Coordinate-separable quadratic with a 1-sparse gradient oracle.
+
+    Args:
+        curvatures: Per-coordinate curvatures c_j > 0, length d.
+        x_star: Optimum; defaults to the origin.
+        noise_sigma: Std-dev of scalar noise added to the selected
+            coordinate's gradient entry (0 disables noise).
+
+    Constants (exact):
+
+    * ``strong_convexity`` = min_j c_j.
+    * ``lipschitz_expected``: for a fixed coordinate j the oracle map is
+      d·c_j along e_j, so E_j‖g̃_j(x) − g̃_j(y)‖ = Σ_j c_j·|x_j − y_j|
+      ≤ √(Σ c_j²)·‖x−y‖; we report L = √(Σ_j c_j²).
+    * ``second_moment_bound(r)`` = d·max_j c_j²·r² + d·σ² — one
+      coordinate contributes (d·c_j·δ_j − noise)², averaged over j.
+    """
+
+    def __init__(
+        self,
+        curvatures: np.ndarray,
+        x_star: Optional[np.ndarray] = None,
+        noise_sigma: float = 0.0,
+    ) -> None:
+        curvatures = np.asarray(curvatures, dtype=float)
+        if curvatures.ndim != 1 or curvatures.size < 1:
+            raise ConfigurationError("curvatures must be a non-empty 1-D array")
+        if np.any(curvatures <= 0):
+            raise ConfigurationError("all curvatures must be > 0")
+        if noise_sigma < 0:
+            raise ConfigurationError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.curvatures = curvatures
+        self.dim = curvatures.size
+        self._x_star = (
+            np.zeros(self.dim) if x_star is None else np.asarray(x_star, dtype=float)
+        )
+        if self._x_star.shape != (self.dim,):
+            raise ConfigurationError(
+                f"x_star must have shape ({self.dim},), got {self._x_star.shape}"
+            )
+        self.noise_sigma = noise_sigma
+
+    def value(self, x: np.ndarray) -> float:
+        diff = np.asarray(x, dtype=float) - self._x_star
+        return 0.5 * float(self.curvatures @ (diff * diff))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.curvatures * (np.asarray(x, dtype=float) - self._x_star)
+
+    @property
+    def x_star(self) -> np.ndarray:
+        return self._x_star
+
+    def draw_sample(self, rng: RngStream) -> Sample:
+        coordinate = int(rng.integers(0, self.dim))
+        noise = float(rng.normal(0.0, self.noise_sigma)) if self.noise_sigma else 0.0
+        return (coordinate, noise)
+
+    def grad_at_sample(self, x: np.ndarray, sample: Sample) -> np.ndarray:
+        coordinate, noise = sample
+        x = np.asarray(x, dtype=float)
+        gradient = np.zeros(self.dim)
+        gradient[coordinate] = (
+            self.dim
+            * self.curvatures[coordinate]
+            * (x[coordinate] - self._x_star[coordinate])
+            - noise
+        )
+        return gradient
+
+    @property
+    def strong_convexity(self) -> float:
+        return float(self.curvatures.min())
+
+    @property
+    def lipschitz_expected(self) -> float:
+        return float(np.sqrt((self.curvatures**2).sum()))
+
+    def second_moment_bound(self, radius: float) -> float:
+        max_curvature = float(self.curvatures.max())
+        return (
+            self.dim * (max_curvature * radius) ** 2
+            + self.dim * self.noise_sigma**2
+        )
+
+    @property
+    def gradient_sparsity(self) -> int:
+        """Maximum number of non-zero entries any oracle output can have
+        (always 1 — the NIPS'15 assumption this workload certifies)."""
+        return 1

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event execution runtime.
+
+This package realizes the paper's execution model: threads are coroutines
+that yield one atomic shared-memory operation at a time, and a *scheduler*
+(:mod:`repro.sched`) — playing the adversary — decides, step by step,
+whose pending operation executes next.  Logical time is the number of
+scheduled shared-memory steps, exactly the paper's notion of time.  Local
+computation (gradient evaluation, coin flips) happens inside the coroutine
+between yields and is free, also as in the model.
+
+Determinism: all randomness flows from a single root seed through
+:class:`repro.runtime.rng.RngStream` spawns, so any execution can be
+replayed bit-for-bit.
+"""
+
+from repro.runtime.rng import RngStream, spawn_streams
+from repro.runtime.clock import Clock
+from repro.runtime.events import (
+    CrashEvent,
+    EpochEvent,
+    Event,
+    IterationRecord,
+    SpawnEvent,
+    StepRecord,
+)
+from repro.runtime.program import Program, ThreadContext
+from repro.runtime.thread import SimThread, ThreadState
+from repro.runtime.simulator import Simulator
+
+__all__ = [
+    "RngStream",
+    "spawn_streams",
+    "Clock",
+    "Event",
+    "SpawnEvent",
+    "CrashEvent",
+    "EpochEvent",
+    "StepRecord",
+    "IterationRecord",
+    "Program",
+    "ThreadContext",
+    "SimThread",
+    "ThreadState",
+    "Simulator",
+]

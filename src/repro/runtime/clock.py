@@ -1,0 +1,35 @@
+"""Logical time.
+
+The paper measures time in the number of shared-memory steps scheduled by
+the adversary.  :class:`Clock` is the single authority for that count in a
+simulation; one tick corresponds to one executed atomic primitive.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotone step counter.
+
+    Separated from the simulator so traces, metrics and schedulers can
+    share a single immutable notion of "now".
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """The number of shared-memory steps executed so far."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance by one step; returns the time of the step just taken."""
+        current = self._now
+        self._now += 1
+        return current
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

@@ -1,0 +1,150 @@
+"""Trace events emitted during simulation.
+
+Two kinds of record flow out of a run:
+
+* :class:`StepRecord` — one per scheduled shared-memory step (who ran,
+  which primitive, what it returned).  The fine-grained log; optional,
+  since long runs may not want to keep it.
+* Semantic events emitted by programs themselves, most importantly
+  :class:`IterationRecord`, which captures everything the paper's
+  analysis needs about one SGD iteration θ: when it started (the
+  ``C.fetch&add``), when it performed its first and last model updates,
+  the inconsistent view ``v_θ`` it read, and the stochastic gradient
+  ``g̃_θ`` it applied.  The contention analysis (interval contention
+  ρ(θ), τ_max, τ_avg, Lemma 6.2's good/bad classification) and the
+  convergence metrics are computed from these records alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.shm.ops import Operation
+
+
+@dataclass
+class Event:
+    """Base class for semantic trace events.
+
+    Attributes:
+        time: Logical time (step count) at which the event was emitted.
+        thread_id: Emitting thread, or ``-1`` for simulator-level events.
+    """
+
+    time: int
+    thread_id: int
+
+
+@dataclass
+class SpawnEvent(Event):
+    """A thread was created."""
+
+    name: str = ""
+
+
+@dataclass
+class CrashEvent(Event):
+    """The adversary crashed a thread; it takes no further steps."""
+
+
+@dataclass
+class EpochEvent(Event):
+    """An Algorithm-2 epoch boundary.
+
+    Attributes:
+        epoch: Epoch index (0-based).
+        learning_rate: The step size α used during this epoch.
+        kind: ``"start"`` or ``"end"``.
+    """
+
+    epoch: int = 0
+    learning_rate: float = 0.0
+    kind: str = "start"
+
+
+@dataclass
+class StepRecord:
+    """One scheduled shared-memory step.
+
+    Attributes:
+        time: Logical time of the step (equals its global sequence index).
+        thread_id: The thread whose pending operation executed.
+        op: The executed operation descriptor.
+        result: The value fed back into the thread.
+    """
+
+    time: int
+    thread_id: int
+    op: Operation
+    result: Any
+
+
+@dataclass
+class IterationRecord(Event):
+    """Everything the analysis needs about one concurrent SGD iteration θ.
+
+    Field semantics follow Section 6.1 of the paper:
+
+    Attributes:
+        index: The value returned by the iteration's ``C.fetch&add(1)``
+            — a unique id, but *not* the paper's iteration order (that is
+            the order of first model updates, see ``first_update_time``).
+        epoch: Algorithm-2 epoch this iteration belongs to (0 for plain
+            Algorithm-1 runs).
+        start_time: Time of the ``C.fetch&add`` step that opened the
+            iteration.
+        read_start_time / read_end_time: Times of the first/last component
+            read of the model snapshot loop (line 4 of Algorithm 1).
+        first_update_time: Time of the first ``fetch&add`` this iteration
+            performed on the model X (the paper orders iterations by this
+            instant; ``None`` if the gradient was all-zero so no update
+            happened).
+        end_time: Time of the iteration's last model update (its
+            completion point; equals ``first_update_time`` for 1-sparse
+            gradients).  For zero-update iterations this is the last read.
+        view: The (possibly inconsistent) view v_θ assembled from the
+            entry-wise reads.
+        gradient: The stochastic gradient g̃_θ computed at ``view``.
+        applied: Per-component booleans — whether each nonzero component's
+            fetch&add actually landed (epoch-guarded adds can be rejected
+            by Algorithm 2's epoch isolation).
+        update_times: Per-component times of this iteration's model
+            fetch&adds (``None`` for components it never updated) — what
+            Figure 1's applied/pending picture is rendered from.
+        step_size: The learning rate α this iteration applied its
+            gradient with (epoch-dependent under Algorithm 2), so the
+            accumulator x_t can be rebuilt exactly from records.
+        sample: Opaque record of the random sample/coin used (e.g. data
+            point index), visible to the strong adaptive adversary.
+    """
+
+    index: int = -1
+    epoch: int = 0
+    start_time: int = -1
+    read_start_time: int = -1
+    read_end_time: int = -1
+    first_update_time: Optional[int] = None
+    end_time: int = -1
+    view: Optional[np.ndarray] = None
+    gradient: Optional[np.ndarray] = None
+    applied: Optional[list] = None
+    update_times: Optional[list] = None
+    step_size: float = 0.0
+    sample: Any = None
+
+    @property
+    def order_time(self) -> int:
+        """The instant by which the paper's total order sorts iterations
+        (first model update; falls back to the last read for zero-update
+        iterations so every iteration is still ordered)."""
+        if self.first_update_time is not None:
+            return self.first_update_time
+        return self.end_time
+
+    def overlaps(self, other: "IterationRecord") -> bool:
+        """Whether two iterations' [start, end] intervals intersect —
+        i.e. whether they executed concurrently."""
+        return self.start_time <= other.end_time and other.start_time <= self.end_time

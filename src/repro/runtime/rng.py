@@ -1,0 +1,76 @@
+"""Deterministic, splittable random-number streams.
+
+Every source of randomness in the library — thread-local coin flips,
+gradient sampling noise, stochastic schedulers, Monte-Carlo experiment
+seeds — draws from an :class:`RngStream`.  Streams are derived from a root
+seed via :class:`numpy.random.SeedSequence` spawning, which guarantees
+independence between streams and bit-for-bit reproducibility of whole
+experiments from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class RngStream:
+    """A named, seeded random stream.
+
+    Thin wrapper over :class:`numpy.random.Generator` that remembers its
+    seed sequence so children can be spawned deterministically.
+
+    Args:
+        seed_seq: The seed sequence backing this stream.  Pass an ``int``
+            to create a root stream.
+    """
+
+    def __init__(self, seed_seq) -> None:
+        if isinstance(seed_seq, (int, np.integer)):
+            seed_seq = np.random.SeedSequence(int(seed_seq))
+        self.seed_seq: np.random.SeedSequence = seed_seq
+        self.generator = np.random.Generator(np.random.PCG64(seed_seq))
+
+    @classmethod
+    def root(cls, seed: int) -> "RngStream":
+        """Create a root stream from an integer seed."""
+        return cls(np.random.SeedSequence(seed))
+
+    def spawn(self, n: int) -> List["RngStream"]:
+        """Derive ``n`` independent child streams."""
+        return [RngStream(child) for child in self.seed_seq.spawn(n)]
+
+    def spawn_one(self) -> "RngStream":
+        """Derive a single independent child stream."""
+        return self.spawn(1)[0]
+
+    # -- draws -------------------------------------------------------------
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        """Gaussian draw(s)."""
+        return self.generator.normal(loc, scale, size)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        """Uniform draw(s)."""
+        return self.generator.uniform(low, high, size)
+
+    def integers(self, low: int, high: int, size=None):
+        """Integer draw(s) in ``[low, high)``."""
+        return self.generator.integers(low, high, size=size)
+
+    def choice(self, options: Sequence, p=None):
+        """Choose one element of ``options`` (optionally weighted)."""
+        index = self.generator.choice(len(options), p=p)
+        return options[int(index)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle."""
+        self.generator.shuffle(items)
+
+    def __repr__(self) -> str:
+        return f"RngStream(entropy={self.seed_seq.entropy!r})"
+
+
+def spawn_streams(seed: int, n: int) -> List[RngStream]:
+    """Create ``n`` independent streams from a root integer seed."""
+    return RngStream.root(seed).spawn(n)

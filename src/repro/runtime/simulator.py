@@ -1,0 +1,200 @@
+"""The discrete-event simulator — the adversary's game board.
+
+Each call to :meth:`Simulator.step` plays one round of the paper's game:
+the scheduler (the adversary) inspects the full simulation state — every
+thread's pending operation, published annotations (local coins included),
+and the shared memory — and picks which runnable thread's pending atomic
+primitive executes next.  The primitive is applied to memory, the result
+is fed back into the thread's coroutine, and logical time advances by one.
+
+This realizes the *strong adaptive adversary*: nothing about the
+algorithm's state is hidden from the scheduler, including randomness that
+threads have already drawn.  Crashing up to ``n - 1`` threads is supported
+via :meth:`crash`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import (
+    NoRunnableThreadError,
+    SchedulerError,
+    SimulationError,
+    ThreadCrashedError,
+)
+from repro.runtime.clock import Clock
+from repro.runtime.events import CrashEvent, Event, SpawnEvent, StepRecord
+from repro.runtime.program import Program, ThreadContext
+from repro.runtime.rng import RngStream
+from repro.runtime.thread import SimThread, ThreadState
+from repro.shm.memory import SharedMemory
+
+
+class Simulator:
+    """Drives programs over a shared memory under a scheduler.
+
+    Args:
+        memory: The shared memory all threads operate on.
+        scheduler: Any object implementing the :class:`repro.sched.base.
+            Scheduler` protocol (``select(sim) -> thread_id`` plus optional
+            ``on_spawn``/``on_step`` hooks).
+        seed: Root seed; each spawned thread receives an independent
+            child stream as its local coins.
+        record_steps: Keep a :class:`StepRecord` for every scheduled step
+            in :attr:`steps`.  Off by default — semantic events in
+            :attr:`trace` are usually enough and much lighter.
+
+    Example:
+        >>> mem = SharedMemory(record_log=False)
+        >>> sim = Simulator(mem, RoundRobinScheduler(), seed=7)
+        >>> sim.spawn(my_program)              # doctest: +SKIP
+        >>> sim.run()                          # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        memory: SharedMemory,
+        scheduler,
+        seed: int = 0,
+        record_steps: bool = False,
+    ) -> None:
+        self.memory = memory
+        self.scheduler = scheduler
+        self.clock = Clock()
+        self.threads: List[SimThread] = []
+        self.trace: List[Event] = []
+        self.steps: List[StepRecord] = []
+        self.record_steps = record_steps
+        self._rng_root = RngStream.root(seed)
+        self._crashed_count = 0
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def spawn(self, program: Program, name: str = "") -> SimThread:
+        """Create a thread running ``program`` and register it with the
+        scheduler.  Returns the new :class:`SimThread`."""
+        thread_id = len(self.threads)
+        context = ThreadContext(thread_id, self._rng_root.spawn_one(), self)
+        thread = SimThread(thread_id, program, context, name=name)
+        self.threads.append(thread)
+        self.trace.append(
+            SpawnEvent(time=self.clock.now, thread_id=thread_id, name=thread.name)
+        )
+        hook = getattr(self.scheduler, "on_spawn", None)
+        if hook is not None:
+            hook(self, thread)
+        return thread
+
+    def crash(self, thread_id: int) -> None:
+        """Adversarially crash a thread (it takes no further steps).
+
+        The model allows the adversary to crash at most ``n - 1`` threads;
+        exceeding that budget raises :class:`SimulationError`.
+        """
+        thread = self._thread(thread_id)
+        if not thread.is_runnable:
+            raise ThreadCrashedError(thread_id)
+        if self._crashed_count + 1 >= len(self.threads):
+            raise SimulationError(
+                "the adversary may crash at most n - 1 of the n threads"
+            )
+        thread.crash()
+        self._crashed_count += 1
+        self.trace.append(CrashEvent(time=self.clock.now, thread_id=thread_id))
+
+    def _thread(self, thread_id: int) -> SimThread:
+        if not 0 <= thread_id < len(self.threads):
+            raise SchedulerError(f"no such thread: {thread_id}")
+        return self.threads[thread_id]
+
+    # ------------------------------------------------------------------
+    # State inspection (what the adaptive adversary may look at)
+    # ------------------------------------------------------------------
+    @property
+    def runnable_ids(self) -> List[int]:
+        """Ids of threads the scheduler may pick right now."""
+        return [t.thread_id for t in self.threads if t.is_runnable]
+
+    @property
+    def is_done(self) -> bool:
+        """True when no thread can take another step."""
+        return not any(t.is_runnable for t in self.threads)
+
+    @property
+    def now(self) -> int:
+        """Logical time — shared-memory steps executed so far."""
+        return self.clock.now
+
+    def annotations(self, thread_id: int) -> Dict[str, Any]:
+        """The published thread-local state of ``thread_id`` (the window
+        through which adaptive adversaries see local coins)."""
+        return self._thread(thread_id).context.annotations
+
+    def results(self) -> Dict[int, Any]:
+        """Return values of all finished threads, keyed by thread id."""
+        return {
+            t.thread_id: t.result
+            for t in self.threads
+            if t.state is ThreadState.FINISHED
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord:
+        """Play one adversary round: schedule, execute, advance.
+
+        Returns the :class:`StepRecord` of the executed step.
+
+        Raises:
+            NoRunnableThreadError: If every thread has finished or crashed.
+            SchedulerError: If the scheduler picked a non-runnable thread.
+        """
+        if self.is_done:
+            raise NoRunnableThreadError("all threads finished or crashed")
+        choice = self.scheduler.select(self)
+        thread = self._thread(choice)
+        if not thread.is_runnable:
+            raise SchedulerError(
+                f"scheduler picked thread {choice} in state {thread.state.value}"
+            )
+        op = thread.pending_op
+        assert op is not None  # runnable threads always have a pending op
+        time = self.clock.tick()
+        result = self.memory.execute(op, time=time, thread_id=thread.thread_id)
+        thread.advance(result)
+        record = StepRecord(time=time, thread_id=thread.thread_id, op=op, result=result)
+        if self.record_steps:
+            self.steps.append(record)
+        hook = getattr(self.scheduler, "on_step", None)
+        if hook is not None:
+            hook(self, record)
+        return record
+
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        stop: Optional[Callable[["Simulator"], bool]] = None,
+    ) -> int:
+        """Step until every thread finishes (or crashes), a ``stop``
+        predicate fires, or ``max_steps`` elapse.
+
+        Returns the number of steps executed by this call.
+        """
+        executed = 0
+        while not self.is_done:
+            if max_steps is not None and executed >= max_steps:
+                break
+            if stop is not None and stop(self):
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(threads={len(self.threads)}, now={self.clock.now}, "
+            f"scheduler={type(self.scheduler).__name__})"
+        )

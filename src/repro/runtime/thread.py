@@ -1,0 +1,116 @@
+"""Simulated threads.
+
+A :class:`SimThread` pairs a program generator with its scheduling state.
+The runtime advances a thread by executing its :attr:`pending_op` against
+shared memory and sending the result into the generator, which either
+yields the next operation or finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import ProgramError
+from repro.runtime.program import Program, ProgramGenerator, ThreadContext
+from repro.shm.ops import Operation
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    RUNNABLE = "runnable"
+    FINISHED = "finished"
+    CRASHED = "crashed"
+
+
+class SimThread:
+    """One simulated thread.
+
+    Attributes:
+        thread_id: Dense integer id assigned at spawn.
+        name: Human-readable label (program name by default).
+        context: The :class:`ThreadContext` given to the program; its
+            ``annotations`` dict is the window adaptive adversaries look
+            through.
+        pending_op: The operation the thread will perform on its next
+            scheduled step (``None`` once finished/crashed).
+        steps_taken: Number of shared-memory steps this thread has
+            executed.
+        result: The program's return value once finished.
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        program: Program,
+        context: ThreadContext,
+        name: str = "",
+    ) -> None:
+        self.thread_id = thread_id
+        self.program = program
+        self.context = context
+        self.name = name or program.name
+        self.state = ThreadState.RUNNABLE
+        self.steps_taken = 0
+        self.result: Any = None
+        self._generator: ProgramGenerator = program.run(context)
+        self.pending_op: Optional[Operation] = None
+        self._prime()
+
+    def _prime(self) -> None:
+        """Advance the generator to its first yield (costs no step:
+        everything before the first shared-memory operation is local
+        computation)."""
+        try:
+            op = next(self._generator)
+        except StopIteration as stop:
+            self.state = ThreadState.FINISHED
+            self.result = stop.value
+            return
+        self.pending_op = self._validate(op)
+
+    def _validate(self, op: Any) -> Operation:
+        if not isinstance(op, Operation):
+            raise ProgramError(
+                f"thread {self.thread_id} ({self.name}) yielded "
+                f"{op!r}; programs must yield Operation descriptors"
+            )
+        return op
+
+    # ------------------------------------------------------------------
+    @property
+    def is_runnable(self) -> bool:
+        """Whether the scheduler may pick this thread."""
+        return self.state is ThreadState.RUNNABLE
+
+    def advance(self, result: Any) -> None:
+        """Feed ``result`` of the executed pending op into the program and
+        capture the next pending operation (or finish)."""
+        if self.state is not ThreadState.RUNNABLE:
+            raise ProgramError(
+                f"cannot advance thread {self.thread_id} in state {self.state}"
+            )
+        self.steps_taken += 1
+        try:
+            op = self._generator.send(result)
+        except StopIteration as stop:
+            self.state = ThreadState.FINISHED
+            self.pending_op = None
+            self.result = stop.value
+            return
+        self.pending_op = self._validate(op)
+
+    def crash(self) -> None:
+        """Remove the thread from execution permanently (adversarial
+        crash; the model allows up to n-1 of these)."""
+        if self.state is ThreadState.RUNNABLE:
+            self.state = ThreadState.CRASHED
+            self.pending_op = None
+            self._generator.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimThread(id={self.thread_id}, name={self.name!r}, "
+            f"state={self.state.value}, steps={self.steps_taken})"
+        )

@@ -1,0 +1,43 @@
+"""Schedulers — the adversaries of the asynchronous shared-memory model.
+
+A scheduler decides, one shared-memory step at a time, which thread's
+pending atomic primitive executes next.  The hierarchy covers the spectrum
+the paper reasons about:
+
+* benign interleavings: :class:`SequentialScheduler`,
+  :class:`RoundRobinScheduler`, :class:`RandomScheduler`;
+* delay-controlled interleavings with an explicit τ_max knob:
+  :class:`BoundedDelayScheduler`, :class:`PriorityDelayScheduler`;
+* crash faults: :class:`CrashScheduler` (the model allows up to n−1);
+* strong *adaptive* adversaries that inspect algorithm state including
+  local coins: :class:`AdaptiveAdversary`, :class:`GreedyAscentAdversary`
+  and the Section-5 lower-bound strategy :class:`StaleGradientAttack`.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.sequential import SequentialScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.sched.crash import CrashScheduler
+from repro.sched.adaptive import AdaptiveAdversary, GreedyAscentAdversary
+from repro.sched.stale_attack import StaleGradientAttack
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.replay import RecordingScheduler, ReplayScheduler
+from repro.sched.contention_max import ContentionMaximizer
+
+__all__ = [
+    "Scheduler",
+    "SequentialScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "BoundedDelayScheduler",
+    "CrashScheduler",
+    "AdaptiveAdversary",
+    "GreedyAscentAdversary",
+    "StaleGradientAttack",
+    "PriorityDelayScheduler",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "ContentionMaximizer",
+]

@@ -1,0 +1,72 @@
+"""Crash-injecting scheduler wrapper.
+
+The asynchronous shared-memory model lets the adversary crash up to
+``n - 1`` threads.  :class:`CrashScheduler` wraps any inner scheduler and
+fires configured crashes either at absolute times or after a thread has
+taken a given number of steps — e.g. to kill a thread mid-update and
+check that the survivors still converge (Algorithm 1 is lock-free, so
+they must).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sched.base import Scheduler
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One scheduled crash.
+
+    Attributes:
+        thread_id: Victim thread.
+        at_time: Crash as soon as logical time reaches this value
+            (use ``after_steps`` instead for step-count triggers).
+        after_steps: Crash once the victim has executed this many of its
+            own steps; ``-1`` disables the trigger.
+    """
+
+    thread_id: int
+    at_time: int = -1
+    after_steps: int = -1
+
+
+class CrashScheduler(Scheduler):
+    """Delegate scheduling to ``inner``, injecting crashes per ``plans``.
+
+    Crashes are injected at selection points (before choosing the next
+    thread), which in the model is exactly when the adversary acts.
+    """
+
+    def __init__(self, inner: Scheduler, plans: List[CrashPlan]) -> None:
+        self.inner = inner
+        self._pending = list(plans)
+
+    def on_spawn(self, sim, thread) -> None:
+        self.inner.on_spawn(sim, thread)
+
+    def on_step(self, sim, record) -> None:
+        self.inner.on_step(sim, record)
+
+    def _fire_due(self, sim) -> None:
+        still_pending = []
+        for plan in self._pending:
+            thread = sim.threads[plan.thread_id]
+            due_time = plan.at_time >= 0 and sim.now >= plan.at_time
+            due_steps = plan.after_steps >= 0 and thread.steps_taken >= plan.after_steps
+            if (due_time or due_steps) and thread.is_runnable:
+                # Respect the n-1 crash budget: skip rather than error if
+                # the plan would kill the last thread.
+                runnable = sim.runnable_ids
+                if len(runnable) > 1:
+                    sim.crash(plan.thread_id)
+                    continue
+            if thread.is_runnable:
+                still_pending.append(plan)
+        self._pending = still_pending
+
+    def select(self, sim) -> int:
+        self._fire_due(sim)
+        return self.inner.select(sim)

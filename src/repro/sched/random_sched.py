@@ -1,0 +1,42 @@
+"""Uniform (or weighted) random interleaving.
+
+The standard *stochastic* scheduling model used by prior work (e.g.
+De Sa et al., NIPS'15): at every step a runnable thread is drawn at
+random, optionally with per-thread weights to model heterogeneous speeds.
+Deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.runtime.rng import RngStream
+from repro.sched.base import Scheduler
+
+
+class RandomScheduler(Scheduler):
+    """Pick a runnable thread at random each step.
+
+    Args:
+        seed: Seed for the scheduler's private random stream.
+        weights: Optional map thread_id -> relative speed.  Threads absent
+            from the map get weight 1.  Weights model slow/fast cores: a
+            thread with weight 0.1 takes steps ~10x less often, inflating
+            the delays its updates suffer.
+    """
+
+    def __init__(self, seed: int = 0, weights: Optional[Dict[int, float]] = None):
+        self._rng = RngStream.root(seed)
+        self._weights = dict(weights) if weights else {}
+
+    def select(self, sim) -> int:
+        ids = self._runnable(sim)
+        if not self._weights:
+            return int(ids[self._rng.integers(0, len(ids))])
+        raw = np.array([self._weights.get(i, 1.0) for i in ids], dtype=float)
+        total = raw.sum()
+        if total <= 0:
+            return int(ids[self._rng.integers(0, len(ids))])
+        return int(self._rng.choice(ids, p=raw / total))

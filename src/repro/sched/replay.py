@@ -1,0 +1,81 @@
+"""Schedule recording and replay.
+
+Any execution in this model is fully determined by (programs, seeds,
+schedule); the first two are already deterministic, so capturing the
+schedule — the sequence of thread ids the scheduler picked — makes any
+run exactly reproducible, shareable as a plain list of ints, and
+*minimizable* (shrink a failing schedule by hand or with a fuzzer and
+replay it).  :class:`RecordingScheduler` wraps any scheduler and captures
+its decisions; :class:`ReplayScheduler` plays a captured schedule back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SchedulerError
+from repro.sched.base import Scheduler
+
+
+class RecordingScheduler(Scheduler):
+    """Wrap ``inner`` and record every decision in :attr:`schedule`."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.schedule: List[int] = []
+
+    def on_spawn(self, sim, thread) -> None:
+        self.inner.on_spawn(sim, thread)
+
+    def on_step(self, sim, record) -> None:
+        self.inner.on_step(sim, record)
+
+    def select(self, sim) -> int:
+        choice = self.inner.select(sim)
+        self.schedule.append(int(choice))
+        return choice
+
+
+class ReplayScheduler(Scheduler):
+    """Play back a recorded schedule, decision for decision.
+
+    Args:
+        schedule: The thread-id sequence to replay.
+        strict: When True (default), running out of schedule or hitting a
+            non-runnable choice raises :class:`SchedulerError` — replay
+            divergence means the run being replayed differs from the run
+            that was recorded, which should never pass silently.  With
+            ``strict=False`` the scheduler falls back to the first
+            runnable thread instead (useful while shrinking schedules).
+    """
+
+    def __init__(self, schedule: Sequence[int], strict: bool = True) -> None:
+        self._schedule = [int(s) for s in schedule]
+        self._cursor = 0
+        self.strict = strict
+
+    @property
+    def remaining(self) -> int:
+        """Decisions left in the schedule."""
+        return len(self._schedule) - self._cursor
+
+    def select(self, sim) -> int:
+        runnable = self._runnable(sim)
+        if self._cursor >= len(self._schedule):
+            if self.strict:
+                raise SchedulerError(
+                    "replay schedule exhausted but the simulation wants "
+                    f"another step (played {self._cursor} decisions)"
+                )
+            return runnable[0]
+        choice = self._schedule[self._cursor]
+        self._cursor += 1
+        if choice not in runnable:
+            if self.strict:
+                raise SchedulerError(
+                    f"replay divergence at decision {self._cursor - 1}: "
+                    f"recorded thread {choice} is not runnable "
+                    f"(runnable: {runnable})"
+                )
+            return runnable[0]
+        return choice

@@ -1,0 +1,18 @@
+"""Fully serialized execution.
+
+Runs the lowest-id runnable thread to completion before touching the
+next.  Under this scheduler a lock-free SGD run degenerates to sequential
+SGD (every view is consistent, every delay is zero), which is exactly the
+baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+from repro.sched.base import Scheduler
+
+
+class SequentialScheduler(Scheduler):
+    """Thread 0 runs to completion, then thread 1, and so on."""
+
+    def select(self, sim) -> int:
+        return self._runnable(sim)[0]

@@ -1,0 +1,123 @@
+"""The Section-5 lower-bound strategy: delayed stale gradients.
+
+The attack that proves Theorem 5.1, generalized to a repeating pattern:
+
+1. Let the *victim* thread read the model and compute a gradient (its
+   view is the current model, call it x₀), then freeze it just before it
+   applies any update.
+2. Let the *runner* thread execute ``delay`` full SGD iterations — the
+   model contracts toward the optimum, x_τ = (1−α)^τ·x₀ + noise.
+3. Release the victim: it merges its *stale* gradient (computed at x₀)
+   into the model, undoing up to an α-fraction of ‖x₀‖ worth of progress.
+4. Repeat.
+
+With a fixed learning rate α and delay τ ≥ log(α/2)/log(1−α) this
+forces an Ω(τ) slowdown relative to the sequential rate (Theorem 5.1);
+the bench ``bench_e2_lower_bound`` sweeps τ and verifies the linear
+shape.  The attack reads the programs' published ``phase`` and
+``iterations_done`` annotations (see :mod:`repro.sched.adaptive`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.adaptive import AdaptiveAdversary
+
+
+class StaleGradientAttack(AdaptiveAdversary):
+    """Adaptive two-thread delay adversary (generalizes to many runners).
+
+    Args:
+        victim: Thread id whose updates are delayed (holds stale
+            gradients).  Default 1.
+        runner: Thread id allowed to make progress meanwhile.  Default 0.
+            Other threads, if any, are treated as additional runners.
+        delay: Number of full runner iterations executed while the victim
+            is frozen — the τ of Theorem 5.1.
+        rounds: How many freeze/release cycles to play; ``None`` repeats
+            until the threads finish.
+        freeze_phase: The published phase at which the victim is frozen.
+            ``"update"`` (default) freezes after all local observations —
+            the fully adaptive attack, which also defeats staleness-aware
+            damping (the victim has already read the counter, so its
+            staleness estimate is stale too).  Freezing at ``"observe"``
+            models a weaker adversary that the staleness-aware mitigation
+            *can* detect (the counter read happens after the delay).
+    """
+
+    _WAIT_VICTIM_READY = "wait_victim_ready"
+    _RUN_RUNNER = "run_runner"
+    _RELEASE_VICTIM = "release_victim"
+
+    def __init__(
+        self,
+        victim: int = 1,
+        runner: int = 0,
+        delay: int = 8,
+        rounds: Optional[int] = None,
+        freeze_phase: str = "update",
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.victim = victim
+        self.runner = runner
+        self.delay = delay
+        self.rounds_remaining = rounds
+        self.freeze_phase = freeze_phase
+        self._state = self._WAIT_VICTIM_READY
+        self._runner_target: Optional[int] = None
+
+    def _victim_runnable(self, sim) -> bool:
+        return self.victim in sim.runnable_ids
+
+    def _pick_runner(self, sim) -> int:
+        ids = self._runnable(sim)
+        if self.runner in ids:
+            return self.runner
+        others = [i for i in ids if i != self.victim]
+        return others[0] if others else ids[0]
+
+    def select(self, sim) -> int:
+        ids = self._runnable(sim)
+        # Degenerate cases: the attack needs both parties to exist and
+        # the victim to be runnable — otherwise schedule whoever remains.
+        total = len(sim.threads)
+        if self.victim >= total or self.runner >= total:
+            return ids[0]
+        if not self._victim_runnable(sim):
+            return self._pick_runner(sim)
+        only_victim = ids == [self.victim]
+
+        if self.rounds_remaining is not None and self.rounds_remaining <= 0:
+            # Attack budget exhausted: behave like round-robin.
+            return ids[sim.now % len(ids)]
+
+        if self._state == self._WAIT_VICTIM_READY:
+            if self.phase(sim, self.victim) == self.freeze_phase:
+                # Victim now holds a stale gradient; freeze it.
+                self._state = self._RUN_RUNNER
+                self._runner_target = (
+                    self.iterations_done(sim, self.runner) + self.delay
+                )
+            else:
+                return self.victim
+
+        if self._state == self._RUN_RUNNER:
+            assert self._runner_target is not None
+            if (
+                not only_victim
+                and self.iterations_done(sim, self.runner) < self._runner_target
+            ):
+                return self._pick_runner(sim)
+            self._state = self._RELEASE_VICTIM
+
+        # _RELEASE_VICTIM: let the victim flush its stale update fully
+        # (drive it through to the end of the current iteration).
+        if self.phase(sim, self.victim) not in ("start", "done"):
+            return self.victim
+        # Victim left the iteration: the stale merge is complete.
+        self._state = self._WAIT_VICTIM_READY
+        if self.rounds_remaining is not None:
+            self.rounds_remaining -= 1
+        return self.select(sim)

@@ -1,0 +1,56 @@
+"""Asynchronous shared-memory substrate.
+
+This package models the classic asynchronous shared-memory model of
+distributed computing (Attiya & Welch): a collection of atomic memory
+locations ("registers") on which threads perform atomic primitives —
+``read``, ``write``, ``compare&swap``, ``fetch&add`` and
+``double-compare-single-swap``.  Memory is *sequentially consistent*:
+once a primitive completes, its effect is immediately visible to all
+threads.
+
+The substrate is deliberately simulator-friendly: operations are plain
+descriptor objects (:mod:`repro.shm.ops`) which simulated threads *yield*
+to the runtime, and :class:`repro.shm.memory.SharedMemory` applies them
+one at a time, producing a totally ordered operation log.  That log is
+exactly the sequentially-consistent witness the model postulates, and the
+checkers in :mod:`repro.shm.history` verify it after the fact.
+"""
+
+from repro.shm.ops import (
+    CompareAndSwap,
+    DoubleCompareSingleSwap,
+    FetchAdd,
+    GuardedFetchAdd,
+    Noop,
+    Operation,
+    Read,
+    Write,
+)
+from repro.shm.memory import LogRecord, SharedMemory
+from repro.shm.register import AtomicRegister
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.history import (
+    check_fetch_add_totals,
+    check_log_replay,
+    check_read_coherence,
+)
+
+__all__ = [
+    "Operation",
+    "Read",
+    "Write",
+    "FetchAdd",
+    "CompareAndSwap",
+    "DoubleCompareSingleSwap",
+    "GuardedFetchAdd",
+    "Noop",
+    "SharedMemory",
+    "LogRecord",
+    "AtomicRegister",
+    "AtomicArray",
+    "AtomicCounter",
+    "check_log_replay",
+    "check_fetch_add_totals",
+    "check_read_coherence",
+]

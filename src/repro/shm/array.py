@@ -1,0 +1,138 @@
+"""A handle to a contiguous block of atomic locations — the model ``X[d]``.
+
+Algorithm 1 shares the parameter vector as an array of *independently*
+atomic entries: threads read and fetch&add entries one at a time, so views
+can be inconsistent across components.  :class:`AtomicArray` provides the
+per-entry operation constructors plus whole-array inspection helpers used
+by metrics and adversaries (which are allowed to observe state without
+taking steps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidOperationError
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import FetchAdd, GuardedFetchAdd, Read, Write
+from repro.shm.register import AtomicRegister
+
+
+class AtomicArray:
+    """``length`` consecutive atomic locations treated as a vector.
+
+    Args:
+        memory: Backing shared memory.
+        base: Address of entry 0.
+        length: Number of entries (the model dimension ``d``).
+
+    Use :meth:`allocate` to create and register a fresh named array::
+
+        X = AtomicArray.allocate(mem, d, name="model")
+        v0 = yield X.read_op(0)
+        yield X.fetch_add_op(0, -alpha * g0)
+    """
+
+    __slots__ = ("memory", "base", "length")
+
+    def __init__(self, memory: SharedMemory, base: int, length: int) -> None:
+        if length < 1:
+            raise InvalidOperationError(f"array length must be >= 1, got {length}")
+        self.memory = memory
+        self.base = base
+        self.length = length
+
+    @classmethod
+    def allocate(
+        cls,
+        memory: SharedMemory,
+        length: int,
+        name: Optional[str] = None,
+        initial: float = 0.0,
+    ) -> "AtomicArray":
+        """Allocate a fresh array of ``length`` entries, all ``initial``."""
+        base = memory.allocate(length, name=name, initial=initial)
+        return cls(memory, base, length)
+
+    # -- addressing -------------------------------------------------------
+    def address_of(self, index: int) -> int:
+        """Flat address of entry ``index`` (bounds-checked)."""
+        if not 0 <= index < self.length:
+            raise InvalidOperationError(
+                f"index {index} out of range for array of length {self.length}"
+            )
+        return self.base + index
+
+    def register(self, index: int) -> AtomicRegister:
+        """An :class:`AtomicRegister` handle for entry ``index``."""
+        return AtomicRegister(self.memory, self.address_of(index))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[AtomicRegister]:
+        for i in range(self.length):
+            yield self.register(i)
+
+    def contains_address(self, address: int) -> bool:
+        """Whether ``address`` falls inside this array."""
+        return self.base <= address < self.base + self.length
+
+    def index_of_address(self, address: int) -> int:
+        """Inverse of :meth:`address_of`."""
+        if not self.contains_address(address):
+            raise InvalidOperationError(
+                f"address {address} not inside array [{self.base}, "
+                f"{self.base + self.length})"
+            )
+        return address - self.base
+
+    # -- per-entry operation descriptors -----------------------------------
+    def read_op(self, index: int) -> Read:
+        """Descriptor for an atomic read of entry ``index``."""
+        return Read(self.address_of(index))
+
+    def write_op(self, index: int, value: float) -> Write:
+        """Descriptor for an atomic write of entry ``index``."""
+        return Write(self.address_of(index), value)
+
+    def fetch_add_op(self, index: int, delta: float) -> FetchAdd:
+        """Descriptor for ``fetch&add`` on entry ``index``."""
+        return FetchAdd(self.address_of(index), delta)
+
+    def guarded_fetch_add_op(
+        self, index: int, delta: float, guard: AtomicRegister, guard_expected: float
+    ) -> GuardedFetchAdd:
+        """Descriptor for an epoch-guarded ``fetch&add`` on entry ``index``."""
+        return GuardedFetchAdd(
+            address=self.address_of(index),
+            delta=delta,
+            guard_address=guard.address,
+            guard_expected=guard_expected,
+        )
+
+    # -- inspection (no logical time consumed) ------------------------------
+    def snapshot(self) -> np.ndarray:
+        """The whole vector as a numpy array, read without taking steps.
+
+        Note this is an *omniscient* observation for metrics/adversaries;
+        simulated threads must read entry-by-entry and may therefore see
+        inconsistent views — that inconsistency is the object of study.
+        """
+        return np.array(
+            self.memory.peek_range(self.base, self.length), dtype=np.float64
+        )
+
+    def load(self, values: np.ndarray) -> None:
+        """Set the whole vector directly (setup helper; not logged)."""
+        if len(values) != self.length:
+            raise InvalidOperationError(
+                f"expected {self.length} values, got {len(values)}"
+            )
+        for i, v in enumerate(values):
+            self.memory.poke(self.base + i, float(v))
+
+    def __repr__(self) -> str:
+        return f"AtomicArray(base={self.base}, length={self.length})"

@@ -1,0 +1,46 @@
+"""A shared fetch&add counter.
+
+Algorithm 1 coordinates termination through a shared iteration counter
+``C``: each iteration begins with ``C.fetch&add(1)`` and the thread
+returns once the pre-increment value reaches ``T``.  The same primitive
+serves as Algorithm 2's epoch counter.
+"""
+
+from __future__ import annotations
+
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import FetchAdd, Read
+from repro.shm.register import AtomicRegister
+
+
+class AtomicCounter(AtomicRegister):
+    """A monotone counter built on ``fetch&add``.
+
+    It is an :class:`AtomicRegister` specialization; the extra methods are
+    named for intent at the call site.
+    """
+
+    @classmethod
+    def allocate(
+        cls, memory: SharedMemory, name: str = "", initial: float = 0.0
+    ) -> "AtomicCounter":
+        """Allocate a fresh counter initialized to ``initial``."""
+        address = memory.allocate(1, name=name or None, initial=initial)
+        return cls(memory, address)
+
+    def increment_op(self, amount: float = 1.0) -> FetchAdd:
+        """Descriptor for ``fetch&add(amount)``; result is the old value."""
+        return FetchAdd(self.address, amount)
+
+    def read_count_op(self) -> Read:
+        """Descriptor for reading the current count."""
+        return Read(self.address)
+
+    def increment_direct(self, amount: float = 1.0) -> float:
+        """Increment immediately; returns the pre-increment value."""
+        return self.fetch_add_direct(amount)
+
+    @property
+    def count(self) -> int:
+        """Current count observed without taking a step."""
+        return int(self.value)

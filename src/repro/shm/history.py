@@ -1,0 +1,186 @@
+"""Consistency checkers over recorded operation logs.
+
+The simulator applies operations in a single total order, which makes the
+log itself a sequential-consistency witness *if* the implementation is
+correct.  These checkers validate exactly that: they replay the log on a
+fresh memory image and verify every recorded result, check read coherence
+(every read returns the latest preceding write/accumulated adds), and
+verify the fetch&add accounting identity (final value = initial + sum of
+applied deltas).  The property-based tests drive random programs through
+the memory and assert these invariants.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import HistoryViolationError
+from repro.shm.memory import LogRecord
+from repro.shm.ops import (
+    CompareAndSwap,
+    DoubleCompareSingleSwap,
+    FetchAdd,
+    GuardedFetchAdd,
+    Noop,
+    Read,
+    Write,
+)
+
+
+def check_log_replay(
+    log: Sequence[LogRecord], initial: Dict[int, float], size: int
+) -> Dict[int, float]:
+    """Replay ``log`` against an ``initial`` memory image of ``size`` cells.
+
+    Verifies that every recorded result matches what a correct atomic
+    memory would have returned at that point in the total order, i.e. that
+    the log is a legal sequentially consistent history.  Returns the final
+    memory image (address -> value).
+
+    Raises:
+        HistoryViolationError: If any recorded result disagrees with the
+            replay, which would mean the memory implementation (or the
+            log) is broken.
+    """
+    values: Dict[int, float] = defaultdict(float)
+    values.update(initial)
+
+    for record in log:
+        op = record.op
+        if isinstance(op, Read):
+            expected = values[op.address]
+            if record.result != expected:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: Read({op.address}) returned "
+                    f"{record.result!r}, replay says {expected!r}"
+                )
+        elif isinstance(op, FetchAdd):
+            expected = values[op.address]
+            if record.result != expected:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: FetchAdd({op.address}) returned "
+                    f"{record.result!r}, replay says {expected!r}"
+                )
+            values[op.address] = expected + op.delta
+        elif isinstance(op, Write):
+            values[op.address] = op.value
+        elif isinstance(op, CompareAndSwap):
+            success = values[op.address] == op.expected
+            if record.result != success:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: CAS({op.address}) returned "
+                    f"{record.result!r}, replay says {success!r}"
+                )
+            if success:
+                values[op.address] = op.new
+        elif isinstance(op, GuardedFetchAdd):
+            current = values[op.address]
+            success = values[op.guard_address] == op.guard_expected
+            expected_result = (success, current)
+            if tuple(record.result) != expected_result:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: GuardedFetchAdd({op.address}) returned "
+                    f"{record.result!r}, replay says {expected_result!r}"
+                )
+            if success:
+                values[op.address] = current + op.delta
+        elif isinstance(op, DoubleCompareSingleSwap):
+            success = (
+                values[op.guard_address] == op.guard_expected
+                and values[op.address] == op.expected
+            )
+            if record.result != success:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: DCSS({op.address}) returned "
+                    f"{record.result!r}, replay says {success!r}"
+                )
+            if success:
+                values[op.address] = op.new
+        elif isinstance(op, Noop):
+            pass
+        else:  # pragma: no cover - exhaustive over op types
+            raise HistoryViolationError(f"unknown op in log: {op!r}")
+
+    # Ensure the final image fits inside the declared size.
+    for address in values:
+        if not 0 <= address < size:
+            raise HistoryViolationError(f"log references address {address} >= {size}")
+    return dict(values)
+
+
+def check_read_coherence(log: Sequence[LogRecord]) -> None:
+    """Verify that every read returns the value left by the most recent
+    preceding mutation of the same address (or the initial value 0.0).
+
+    A slightly weaker but more targeted check than :func:`check_log_replay`;
+    it exists so that tests exercising only reads and writes have a direct
+    statement of register semantics.
+    """
+    latest: Dict[int, float] = defaultdict(float)
+    for record in log:
+        op = record.op
+        if isinstance(op, Read):
+            if record.result != latest[op.address]:
+                raise HistoryViolationError(
+                    f"seq {record.seq}: read of {op.address} returned "
+                    f"{record.result!r} but latest value is {latest[op.address]!r}"
+                )
+        elif isinstance(op, Write):
+            latest[op.address] = op.value
+        elif isinstance(op, FetchAdd):
+            latest[op.address] = latest[op.address] + op.delta
+        elif isinstance(op, CompareAndSwap) and record.result:
+            latest[op.address] = op.new
+        elif isinstance(op, GuardedFetchAdd) and record.result[0]:
+            latest[op.address] = latest[op.address] + op.delta
+        elif isinstance(op, DoubleCompareSingleSwap) and record.result:
+            latest[op.address] = op.new
+
+
+def check_fetch_add_totals(
+    log: Sequence[LogRecord],
+    addresses: Iterable[int],
+    initial: float,
+    final_values: Dict[int, float],
+    rel_tol: float = 1e-9,
+) -> None:
+    """Verify the fetch&add accounting identity per address.
+
+    For each address in ``addresses``, the final value must equal
+    ``initial`` plus the sum of all successfully applied add deltas (from
+    ``FetchAdd`` and successful ``GuardedFetchAdd``), provided no
+    write/CAS touched the address.  This is the linearizability content of
+    fetch&add: no concurrent increment is ever lost.
+    """
+    sums: Dict[int, float] = {a: initial for a in addresses}
+    overwritten: set = set()
+    for record in log:
+        op = record.op
+        if op.address not in sums:
+            continue
+        if isinstance(op, FetchAdd):
+            sums[op.address] += op.delta
+        elif isinstance(op, GuardedFetchAdd) and record.result[0]:
+            sums[op.address] += op.delta
+        elif isinstance(op, (Write, CompareAndSwap, DoubleCompareSingleSwap)):
+            overwritten.add(op.address)
+
+    for address, expected in sums.items():
+        if address in overwritten:
+            continue
+        actual = final_values.get(address, 0.0)
+        scale = max(1.0, abs(expected), abs(actual))
+        if abs(actual - expected) > rel_tol * scale:
+            raise HistoryViolationError(
+                f"address {address}: final value {actual!r} != initial + "
+                f"sum of deltas {expected!r}; a fetch&add was lost"
+            )
+
+
+def thread_operation_counts(log: Sequence[LogRecord]) -> Dict[int, int]:
+    """Number of logged operations per thread id (a trace utility)."""
+    counts: Dict[int, int] = defaultdict(int)
+    for record in log:
+        counts[record.thread_id] += 1
+    return dict(counts)

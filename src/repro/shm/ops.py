@@ -1,0 +1,120 @@
+"""Atomic operation descriptors.
+
+Simulated threads do not touch memory directly.  Instead they *yield* one
+of the descriptor objects defined here; the runtime hands the descriptor
+to :class:`repro.shm.memory.SharedMemory`, which applies it atomically and
+feeds the result back into the thread's coroutine.  One yielded descriptor
+is one *shared-memory step* — the unit in which the paper measures time.
+
+All descriptors are small frozen dataclasses so they can be logged,
+compared and replayed.  ``address`` is an integer into the flat location
+table managed by :class:`~repro.shm.memory.SharedMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for every atomic shared-memory primitive.
+
+    Attributes:
+        address: Flat index of the memory location this operation targets.
+    """
+
+    address: int
+
+
+@dataclass(frozen=True)
+class Read(Operation):
+    """Atomically read a location; the step result is its current value."""
+
+
+@dataclass(frozen=True)
+class Write(Operation):
+    """Atomically overwrite a location with ``value``; the result is ``None``.
+
+    The paper points out (Section 1) that whole-model ``write`` updates let
+    a delayed thread obliterate all progress; Algorithm 1 therefore uses
+    :class:`FetchAdd`.  ``Write`` is kept so the ablation benchmarks can
+    demonstrate exactly that failure mode.
+    """
+
+    value: float
+
+
+@dataclass(frozen=True)
+class FetchAdd(Operation):
+    """Atomic ``fetch&add``: add ``delta`` and return the *previous* value.
+
+    This matches the paper's primitive: "The fetch&add operation takes one
+    argument, and returns the value of the register before the increment
+    was performed."
+    """
+
+    delta: float
+
+
+@dataclass(frozen=True)
+class CompareAndSwap(Operation):
+    """Atomic compare-and-swap.
+
+    If the location currently holds ``expected``, store ``new`` and return
+    ``True``; otherwise leave it unchanged and return ``False``.
+    """
+
+    expected: float
+    new: float
+
+
+@dataclass(frozen=True)
+class DoubleCompareSingleSwap(Operation):
+    """DCAS as used by Algorithm 2's epoch isolation.
+
+    Compares *two* locations — a guard (typically the epoch counter) and
+    the target — and swaps only the target:
+
+    if ``mem[guard_address] == guard_expected`` and
+    ``mem[address] == expected`` then ``mem[address] = new`` and the result
+    is ``True``; otherwise nothing changes and the result is ``False``.
+    """
+
+    expected: float
+    new: float
+    guard_address: int = -1
+    guard_expected: float = 0.0
+
+
+@dataclass(frozen=True)
+class GuardedFetchAdd(Operation):
+    """A ``fetch&add`` conditioned on a guard location.
+
+    If ``mem[guard_address] == guard_expected``, performs
+    ``fetch&add(address, delta)`` and returns ``(True, previous_value)``.
+    Otherwise returns ``(False, current_value)`` and changes nothing.
+
+    This is the primitive Algorithm 2 needs to ensure "a gradient update
+    can only be applied to X in the same epoch when it was generated": the
+    guard is the shared epoch counter.  It is implementable from the
+    paper's DCAS via the standard read-then-DCAS retry loop; we provide it
+    directly so that simulated runs don't spend steps on retries that a
+    real DCAS loop would resolve, while preserving the same semantics (the
+    add happens atomically iff the epoch still matches).
+    """
+
+    delta: float
+    guard_address: int = -1
+    guard_expected: float = 0.0
+
+
+@dataclass(frozen=True)
+class Noop(Operation):
+    """A step that touches memory but changes nothing and returns ``None``.
+
+    Useful for modeling busy-waiting or adversary-inserted padding steps;
+    it still consumes one unit of logical time.
+    """
+
+    address: int = 0

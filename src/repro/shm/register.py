@@ -1,0 +1,105 @@
+"""A handle to a single atomic memory location.
+
+:class:`AtomicRegister` is a thin convenience layer over
+:class:`~repro.shm.memory.SharedMemory`: it builds operation descriptors
+bound to its address (for simulated threads to yield) and offers *direct*
+methods that execute immediately (for sequential algorithms and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import (
+    CompareAndSwap,
+    FetchAdd,
+    GuardedFetchAdd,
+    Noop,
+    Read,
+    Write,
+)
+
+
+class AtomicRegister:
+    """One atomic location.
+
+    Args:
+        memory: The backing :class:`SharedMemory`.
+        address: Flat address of the location, e.g. as returned by
+            :meth:`SharedMemory.allocate`.
+
+    Simulated threads use the ``*_op`` constructors and yield the result::
+
+        value = yield register.read_op()
+        old = yield register.fetch_add_op(-alpha * g)
+
+    Sequential code uses the ``*_direct`` methods, which apply the same
+    operations through the same :meth:`SharedMemory.execute` path (so they
+    are logged identically) but without a scheduler in between.
+    """
+
+    __slots__ = ("memory", "address")
+
+    def __init__(self, memory: SharedMemory, address: int) -> None:
+        self.memory = memory
+        self.address = address
+
+    # -- descriptor constructors (yield these from simulated programs) --
+    def read_op(self) -> Read:
+        """Descriptor for an atomic read of this register."""
+        return Read(self.address)
+
+    def write_op(self, value: float) -> Write:
+        """Descriptor for an atomic write of ``value``."""
+        return Write(self.address, value)
+
+    def fetch_add_op(self, delta: float) -> FetchAdd:
+        """Descriptor for ``fetch&add(delta)``; result is the old value."""
+        return FetchAdd(self.address, delta)
+
+    def cas_op(self, expected: float, new: float) -> CompareAndSwap:
+        """Descriptor for ``compare&swap(expected, new)``."""
+        return CompareAndSwap(self.address, expected, new)
+
+    def guarded_fetch_add_op(
+        self, delta: float, guard: "AtomicRegister", guard_expected: float
+    ) -> GuardedFetchAdd:
+        """Descriptor for a fetch&add that applies only while ``guard``
+        still holds ``guard_expected`` (epoch-isolated updates)."""
+        return GuardedFetchAdd(
+            address=self.address,
+            delta=delta,
+            guard_address=guard.address,
+            guard_expected=guard_expected,
+        )
+
+    def noop_op(self) -> Noop:
+        """Descriptor for a padding step on this register."""
+        return Noop(self.address)
+
+    # -- direct execution (sequential code / tests) ----------------------
+    def read_direct(self) -> float:
+        """Execute an atomic read immediately."""
+        return self.memory.execute(self.read_op())
+
+    def write_direct(self, value: float) -> None:
+        """Execute an atomic write immediately."""
+        self.memory.execute(self.write_op(value))
+
+    def fetch_add_direct(self, delta: float) -> float:
+        """Execute ``fetch&add`` immediately; returns the old value."""
+        return self.memory.execute(self.fetch_add_op(delta))
+
+    def cas_direct(self, expected: float, new: float) -> bool:
+        """Execute ``compare&swap`` immediately."""
+        return self.memory.execute(self.cas_op(expected, new))
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """Current value, read without consuming a step (not logged)."""
+        return self.memory.peek(self.address)
+
+    def __repr__(self) -> str:
+        return f"AtomicRegister(address={self.address}, value={self.value!r})"

@@ -1,0 +1,80 @@
+"""Analytic machinery: the paper's bounds, computable.
+
+* :mod:`repro.theory.plog` — the piecewise logarithm used throughout.
+* :mod:`repro.theory.martingale` — the rate supermartingale W_t of
+  Lemma 6.6 and an empirical supermartingale-property checker.
+* :mod:`repro.theory.bounds` — evaluators for Theorem 3.1 (sequential),
+  Theorem 6.3 (NIPS'15 linear-in-τ), Theorem 6.5 and Corollary 6.7 (this
+  paper's √(τ_max·n)), plus their prescribed step sizes.
+* :mod:`repro.theory.lower_bound` — Theorem 5.1's adversarial-delay
+  calculus (required delay, slowdown factor, attack variance).
+* :mod:`repro.theory.contention` — interval contention ρ(θ), τ_max,
+  τ_avg, the Lemma 6.2 good/bad structure and Lemma 6.4 indicator sums,
+  all measured from execution traces.
+* :mod:`repro.theory.assumptions` — numerical certification of the
+  analytic assumptions (strong convexity, expected Lipschitzness, second
+  moment, oracle unbiasedness) for any objective.
+"""
+
+from repro.theory.plog import plog
+from repro.theory.martingale import ConvexRateSupermartingale, estimate_drift
+from repro.theory.async_martingale import AsyncProcessTrace, evaluate_async_process
+from repro.theory.bounds import (
+    contention_constant,
+    corollary_6_7_failure_bound,
+    corollary_6_7_step_size,
+    slowdown_versus_sequential,
+    theorem_3_1_failure_bound,
+    theorem_3_1_step_size,
+    theorem_6_3_failure_bound,
+    theorem_6_3_step_size,
+    theorem_6_5_failure_bound,
+    theorem_6_5_precondition,
+)
+from repro.theory.lower_bound import (
+    adversarial_contraction,
+    attack_variance,
+    required_delay,
+    sequential_contraction,
+    slowdown_factor,
+)
+from repro.theory.contention import (
+    delay_sequence,
+    interval_contention,
+    lemma_6_2_violations,
+    lemma_6_4_sums,
+    tau_avg,
+    tau_max,
+)
+from repro.theory.assumptions import AssumptionReport, certify_objective
+
+__all__ = [
+    "plog",
+    "ConvexRateSupermartingale",
+    "estimate_drift",
+    "AsyncProcessTrace",
+    "evaluate_async_process",
+    "theorem_3_1_step_size",
+    "theorem_3_1_failure_bound",
+    "theorem_6_3_step_size",
+    "theorem_6_3_failure_bound",
+    "contention_constant",
+    "corollary_6_7_step_size",
+    "corollary_6_7_failure_bound",
+    "theorem_6_5_precondition",
+    "theorem_6_5_failure_bound",
+    "slowdown_versus_sequential",
+    "required_delay",
+    "slowdown_factor",
+    "adversarial_contraction",
+    "sequential_contraction",
+    "attack_variance",
+    "interval_contention",
+    "tau_max",
+    "tau_avg",
+    "delay_sequence",
+    "lemma_6_2_violations",
+    "lemma_6_4_sums",
+    "AssumptionReport",
+    "certify_objective",
+]

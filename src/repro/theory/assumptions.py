@@ -1,0 +1,217 @@
+"""Numerical certification of the paper's analytic assumptions.
+
+The bounds only hold for objectives satisfying Section 3's assumptions.
+Rather than trusting each objective's hand-derived constants, these
+verifiers sample the conditions directly:
+
+* strong convexity (Eq. 2): (x−y)ᵀ(∇f(x)−∇f(y)) ≥ c‖x−y‖²;
+* expected Lipschitzness of the oracle (Eq. 3), with g̃ coupled at the
+  same sample: E‖g̃_ω(x) − g̃_ω(y)‖ ≤ L‖x−y‖;
+* second-moment bound (Eq. 4): E‖g̃(x)‖² ≤ M² on the operating ball;
+* oracle unbiasedness: E[g̃(x)] = ∇f(x).
+
+:func:`certify_objective` runs all four and returns a report; the test
+suite certifies every shipped objective this way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AssumptionViolationError
+from repro.objectives.base import Objective
+from repro.runtime.rng import RngStream
+
+
+@dataclass
+class AssumptionReport:
+    """Outcome of certifying one objective.
+
+    Margins are "how much slack the worst sampled case had"; negative
+    margins (beyond tolerance) mean the assumption failed.
+    """
+
+    objective: str
+    radius: float
+    strong_convexity_margin: float
+    lipschitz_margin: float
+    second_moment_margin: float
+    unbiasedness_error: float
+    ok: bool
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AssumptionViolationError` when not ``ok``."""
+        if not self.ok:
+            raise AssumptionViolationError(
+                f"{self.objective}: assumption certification failed "
+                f"(margins: c={self.strong_convexity_margin:.3g}, "
+                f"L={self.lipschitz_margin:.3g}, "
+                f"M2={self.second_moment_margin:.3g}, "
+                f"bias={self.unbiasedness_error:.3g})"
+            )
+
+
+def _points_on_ball(
+    rng: RngStream, center: np.ndarray, radius: float, count: int
+) -> np.ndarray:
+    """Sample points uniformly-ish inside the ball of ``radius`` around
+    ``center`` (Gaussian direction, uniform-in-radius scaling)."""
+    dim = center.size
+    directions = rng.normal(size=(count, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    radii = radius * rng.uniform(size=(count, 1)) ** (1.0 / dim)
+    return center + directions / norms * radii
+
+
+def verify_strong_convexity(
+    objective: Objective,
+    radius: float,
+    trials: int = 200,
+    seed: int = 0,
+    rel_tol: float = 1e-7,
+) -> float:
+    """Worst-case margin of (x−y)ᵀ(∇f(x)−∇f(y)) − c‖x−y‖² over sampled
+    pairs inside the operating ball (should be ≥ −tol·scale)."""
+    rng = RngStream.root(seed)
+    c = objective.strong_convexity
+    xs = _points_on_ball(rng, objective.x_star, radius, trials)
+    ys = _points_on_ball(rng, objective.x_star, radius, trials)
+    worst = np.inf
+    for x, y in zip(xs, ys):
+        gap = x - y
+        norm_sq = float(gap @ gap)
+        if norm_sq < 1e-16:
+            continue
+        inner = float(gap @ (objective.gradient(x) - objective.gradient(y)))
+        margin = (inner - c * norm_sq) / max(norm_sq, rel_tol)
+        worst = min(worst, margin)
+    return float(worst) if np.isfinite(worst) else 0.0
+
+
+def verify_expected_lipschitz(
+    objective: Objective,
+    radius: float,
+    trials: int = 50,
+    samples_per_pair: int = 200,
+    seed: int = 1,
+) -> float:
+    """Worst-case margin of L‖x−y‖ − Ê‖g̃_ω(x) − g̃_ω(y)‖ (normalized by
+    ‖x−y‖) over sampled pairs, with the oracle coupled at the same ω."""
+    rng = RngStream.root(seed)
+    lipschitz = objective.lipschitz_expected
+    xs = _points_on_ball(rng, objective.x_star, radius, trials)
+    ys = _points_on_ball(rng, objective.x_star, radius, trials)
+    worst = np.inf
+    for x, y in zip(xs, ys):
+        gap_norm = float(np.linalg.norm(x - y))
+        if gap_norm < 1e-12:
+            continue
+        norms = np.empty(samples_per_pair)
+        for k in range(samples_per_pair):
+            sample = objective.draw_sample(rng)
+            norms[k] = np.linalg.norm(
+                objective.grad_at_sample(x, sample)
+                - objective.grad_at_sample(y, sample)
+            )
+        estimate = float(norms.mean())
+        # The assumption is about the true expectation; discount the
+        # estimate by 3 standard errors so Monte-Carlo noise of
+        # high-variance oracles (e.g. 1-sparse gradients) cannot produce
+        # spurious violations.
+        stderr = float(norms.std(ddof=1)) / math.sqrt(samples_per_pair)
+        statistically_safe = max(0.0, estimate - 3.0 * stderr)
+        worst = min(worst, (lipschitz * gap_norm - statistically_safe) / gap_norm)
+    return float(worst) if np.isfinite(worst) else 0.0
+
+
+def verify_second_moment(
+    objective: Objective,
+    radius: float,
+    trials: int = 50,
+    samples_per_point: int = 200,
+    seed: int = 2,
+) -> float:
+    """Worst-case margin of M²(radius) − Ê‖g̃(x)‖² (normalized by M²)
+    over sampled points inside the operating ball."""
+    rng = RngStream.root(seed)
+    bound = objective.second_moment_bound(radius)
+    xs = _points_on_ball(rng, objective.x_star, radius, trials)
+    worst = np.inf
+    for x in xs:
+        total = 0.0
+        for _ in range(samples_per_point):
+            gradient, _ = objective.stochastic_gradient(x, rng)
+            total += float(gradient @ gradient)
+        estimate = total / samples_per_point
+        worst = min(worst, (bound - estimate) / max(bound, 1e-12))
+    return float(worst) if np.isfinite(worst) else 0.0
+
+
+def verify_unbiasedness(
+    objective: Objective,
+    radius: float,
+    trials: int = 10,
+    samples_per_point: int = 4000,
+    seed: int = 3,
+) -> float:
+    """Largest ‖Ê[g̃(x)] − ∇f(x)‖ over sampled points (should be CLT
+    noise: O(√(M²/samples)))."""
+    rng = RngStream.root(seed)
+    xs = _points_on_ball(rng, objective.x_star, radius, trials)
+    worst = 0.0
+    for x in xs:
+        total = np.zeros(objective.dim)
+        for _ in range(samples_per_point):
+            gradient, _ = objective.stochastic_gradient(x, rng)
+            total += gradient
+        error = float(np.linalg.norm(total / samples_per_point - objective.gradient(x)))
+        worst = max(worst, error)
+    return worst
+
+
+def certify_objective(
+    objective: Objective,
+    radius: float,
+    seed: int = 0,
+    bias_tolerance: Optional[float] = None,
+    margin_tolerance: float = 0.05,
+) -> AssumptionReport:
+    """Run all four verifiers and assemble an :class:`AssumptionReport`.
+
+    Args:
+        objective: The objective to certify.
+        radius: Operating-ball radius (certification is local to it).
+        seed: Root seed for all samplers.
+        bias_tolerance: Allowed ‖Ê[g̃] − ∇f‖; default scales with the
+            objective's √(M²/4000) CLT noise times a safety factor.
+        margin_tolerance: Allowed negative slack on the three margin
+            checks (absorbs Monte-Carlo noise).
+    """
+    c_margin = verify_strong_convexity(objective, radius, seed=seed)
+    l_margin = verify_expected_lipschitz(objective, radius, seed=seed + 1)
+    m_margin = verify_second_moment(objective, radius, seed=seed + 2)
+    bias = verify_unbiasedness(objective, radius, seed=seed + 3)
+    if bias_tolerance is None:
+        noise_scale = np.sqrt(objective.second_moment_bound(radius) / 4000.0)
+        bias_tolerance = 6.0 * float(noise_scale) + 1e-9
+    ok = (
+        c_margin >= -margin_tolerance
+        and l_margin >= -margin_tolerance
+        and m_margin >= -margin_tolerance
+        and bias <= bias_tolerance
+    )
+    return AssumptionReport(
+        objective=repr(objective),
+        radius=radius,
+        strong_convexity_margin=c_margin,
+        lipschitz_margin=l_margin,
+        second_moment_margin=m_margin,
+        unbiasedness_error=bias,
+        ok=ok,
+    )

@@ -1,0 +1,292 @@
+"""Evaluators for every convergence bound in the paper.
+
+All functions take the analytic constants explicitly (c, L, M, d, ...)
+so they can be driven either from an :class:`~repro.objectives.base.
+Objective`'s certified constants or from synthetic sweeps.  Conventions:
+
+* ``second_moment`` is M² (squared); ``gradient_bound`` is M.
+* ``epsilon`` is the success-region radius **squared** (S = {x : ‖x−x*‖²
+  ≤ ε}), matching the paper.
+* ``vartheta`` is the ϑ ∈ (0, 1] knob trading step size for bound
+  tightness; ϑ = 1 minimizes every upper bound.
+* Failure probabilities are truncated to [0, 1] — the formulas exceed 1
+  for small T, where they are vacuous.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.theory.plog import plog
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+def _failure(numerator: float, c: float, epsilon: float, vartheta: float,
+             iterations: float, x0_distance: float) -> float:
+    bound = (
+        numerator
+        / (c**2 * epsilon * vartheta * iterations)
+        * plog(math.e * x0_distance**2 / epsilon)
+    )
+    return min(1.0, max(0.0, bound))
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1 — sequential SGD (De Sa et al. martingale bound)
+# ----------------------------------------------------------------------
+def theorem_3_1_step_size(
+    strong_convexity: float, second_moment: float, epsilon: float,
+    vartheta: float = 1.0,
+) -> float:
+    """α = cεϑ/M² — the sequential prescription."""
+    _check_positive(
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        epsilon=epsilon,
+        vartheta=vartheta,
+    )
+    return strong_convexity * epsilon * vartheta / second_moment
+
+
+def theorem_3_1_failure_bound(
+    iterations: int,
+    epsilon: float,
+    strong_convexity: float,
+    second_moment: float,
+    x0_distance: float,
+    vartheta: float = 1.0,
+) -> float:
+    """P(F_T) ≤ M²/(c²εϑT) · log(e‖x₀−x*‖²/ε) for sequential SGD."""
+    _check_positive(
+        iterations=iterations,
+        epsilon=epsilon,
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        vartheta=vartheta,
+    )
+    return _failure(
+        second_moment, strong_convexity, epsilon, vartheta, iterations, x0_distance
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.3 — the NIPS'15 asynchronous bound (linear in τ)
+# ----------------------------------------------------------------------
+def theorem_6_3_step_size(
+    strong_convexity: float,
+    second_moment: float,
+    lipschitz: float,
+    tau: float,
+    epsilon: float,
+    vartheta: float = 1.0,
+) -> float:
+    """α = cεϑ/(M² + 2LMτ√ε) — prior work's prescription, with the
+    *linear* τ penalty in the denominator."""
+    _check_positive(
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        lipschitz=lipschitz,
+        epsilon=epsilon,
+        vartheta=vartheta,
+    )
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    gradient_bound = math.sqrt(second_moment)
+    denominator = second_moment + 2.0 * lipschitz * gradient_bound * tau * math.sqrt(
+        epsilon
+    )
+    return strong_convexity * epsilon * vartheta / denominator
+
+
+def theorem_6_3_failure_bound(
+    iterations: int,
+    epsilon: float,
+    strong_convexity: float,
+    second_moment: float,
+    lipschitz: float,
+    tau: float,
+    x0_distance: float,
+    vartheta: float = 1.0,
+) -> float:
+    """P(F_T) ≤ (M² + 2LMτ√ε)/(c²εϑT) · log(e‖x₀−x*‖²/ε)."""
+    _check_positive(
+        iterations=iterations,
+        epsilon=epsilon,
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        lipschitz=lipschitz,
+        vartheta=vartheta,
+    )
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    gradient_bound = math.sqrt(second_moment)
+    numerator = second_moment + 2.0 * lipschitz * gradient_bound * tau * math.sqrt(
+        epsilon
+    )
+    return _failure(
+        numerator, strong_convexity, epsilon, vartheta, iterations, x0_distance
+    )
+
+
+# ----------------------------------------------------------------------
+# This paper: Theorem 6.5 and Corollary 6.7 — the √(τ_max·n) bound
+# ----------------------------------------------------------------------
+def contention_constant(tau_max: float, num_threads: int) -> float:
+    """C = 2√(τ_max·n), the Lemma 6.4 constant."""
+    if tau_max < 0:
+        raise ConfigurationError(f"tau_max must be >= 0, got {tau_max}")
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    return 2.0 * math.sqrt(tau_max * num_threads)
+
+
+def theorem_6_5_precondition(
+    alpha: float,
+    lipschitz_H: float,
+    lipschitz: float,
+    gradient_bound: float,
+    contention: float,
+    dim: int,
+) -> bool:
+    """The Theorem 6.5 requirement α²·H·L·M·C·√d < 1."""
+    return (
+        alpha**2
+        * lipschitz_H
+        * lipschitz
+        * gradient_bound
+        * contention
+        * math.sqrt(dim)
+        < 1.0
+    )
+
+
+def theorem_6_5_failure_bound(
+    iterations: int,
+    initial_value: float,
+    alpha: float,
+    lipschitz_H: float,
+    lipschitz: float,
+    gradient_bound: float,
+    contention: float,
+    dim: int,
+) -> float:
+    """P(F_T) ≤ E[W₀(x₀)] / ((1 − α²HLMC√d)·T).
+
+    Args:
+        iterations: T.
+        initial_value: E[W₀(x₀)] (use
+            :meth:`ConvexRateSupermartingale.initial_value_bound`).
+        alpha: Step size.
+        lipschitz_H: The martingale's H.
+        lipschitz: L (oracle expected-Lipschitz).
+        gradient_bound: M (not squared).
+        contention: C = 2√(τ_max·n).
+        dim: Model dimension d.
+    """
+    _check_positive(iterations=iterations)
+    discount = 1.0 - (
+        alpha**2
+        * lipschitz_H
+        * lipschitz
+        * gradient_bound
+        * contention
+        * math.sqrt(dim)
+    )
+    if discount <= 0:
+        raise ConfigurationError(
+            "Theorem 6.5 precondition violated: alpha^2*H*L*M*C*sqrt(d) >= 1"
+        )
+    return min(1.0, max(0.0, initial_value / (discount * iterations)))
+
+
+def corollary_6_7_step_size(
+    strong_convexity: float,
+    second_moment: float,
+    lipschitz: float,
+    tau_max: float,
+    num_threads: int,
+    dim: int,
+    epsilon: float,
+    vartheta: float = 1.0,
+) -> float:
+    """α = cεϑ/(M² + 4√ε·L·M·√(τ_max·n)·√d) — Eq. (12), the paper's
+    prescription with the √(τ_max·n) penalty."""
+    _check_positive(
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        lipschitz=lipschitz,
+        epsilon=epsilon,
+        vartheta=vartheta,
+    )
+    gradient_bound = math.sqrt(second_moment)
+    contention = contention_constant(tau_max, num_threads)
+    denominator = second_moment + 2.0 * math.sqrt(
+        epsilon
+    ) * lipschitz * gradient_bound * contention * math.sqrt(dim)
+    return strong_convexity * epsilon * vartheta / denominator
+
+
+def corollary_6_7_failure_bound(
+    iterations: int,
+    epsilon: float,
+    strong_convexity: float,
+    second_moment: float,
+    lipschitz: float,
+    tau_max: float,
+    num_threads: int,
+    dim: int,
+    x0_distance: float,
+    vartheta: float = 1.0,
+) -> float:
+    """P(F_T) ≤ (M² + 4√ε·L·M·√(τ_max·n)·√d)/(c²εϑT) · plog(e‖x₀−x*‖²/ε)
+    — Eq. (13), the paper's headline upper bound."""
+    _check_positive(
+        iterations=iterations,
+        epsilon=epsilon,
+        strong_convexity=strong_convexity,
+        second_moment=second_moment,
+        lipschitz=lipschitz,
+        vartheta=vartheta,
+    )
+    gradient_bound = math.sqrt(second_moment)
+    numerator = second_moment + 4.0 * math.sqrt(
+        epsilon
+    ) * lipschitz * gradient_bound * math.sqrt(tau_max * num_threads) * math.sqrt(dim)
+    return _failure(
+        numerator, strong_convexity, epsilon, vartheta, iterations, x0_distance
+    )
+
+
+def slowdown_versus_sequential(
+    epsilon: float,
+    second_moment: float,
+    lipschitz: float,
+    tau_max: float,
+    num_threads: int,
+    dim: int,
+) -> float:
+    """The paper's "price of asynchrony": the factor by which the
+    Corollary 6.7 bound exceeds the sequential Theorem 3.1 bound,
+
+        (M² + 4√ε·L·M·√(τ_max·n)·√d) / M²,
+
+    i.e. 1 + O(√(τ_max·n)) — the sub-linear headline."""
+    _check_positive(
+        epsilon=epsilon, second_moment=second_moment, lipschitz=lipschitz
+    )
+    gradient_bound = math.sqrt(second_moment)
+    extra = (
+        4.0
+        * math.sqrt(epsilon)
+        * lipschitz
+        * gradient_bound
+        * math.sqrt(tau_max * num_threads)
+        * math.sqrt(dim)
+    )
+    return (second_moment + extra) / second_moment

@@ -1,0 +1,258 @@
+"""Contention analytics over execution traces.
+
+Everything Section 6.1 defines, measured from the
+:class:`~repro.runtime.events.IterationRecord` stream of a run:
+
+* the total order on iterations by first model update (Lemma 6.1);
+* interval contention ρ(θ) — the number of iterations executing
+  concurrently with θ — and its extremes τ_max and τ_avg (with the
+  Gibson–Gramoli sanity bound τ_avg ≤ 2n);
+* the per-iteration delay sequence τ_t (how many recent iterations'
+  updates the view v_t may be missing);
+* Lemma 6.2's good/bad-iteration structure and Lemma 6.4's indicator
+  sums Σ_m 1{τ_{t+m} ≥ m} ≤ 2√(τ_max·n) — the combinatorial facts the
+  upper bound stands on, checked against real schedules.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.events import IterationRecord
+
+
+def _ordered(records: Sequence[IterationRecord]) -> List[IterationRecord]:
+    """Records sorted by the paper's total order (first model update)."""
+    return sorted(records, key=lambda r: r.order_time)
+
+
+def iteration_intervals(
+    records: Sequence[IterationRecord],
+) -> np.ndarray:
+    """(start_time, end_time) per iteration, sorted by the total order.
+
+    Returns an array of shape (N, 2).
+    """
+    ordered = _ordered(records)
+    return np.array(
+        [[r.start_time, r.end_time] for r in ordered], dtype=np.int64
+    ).reshape(-1, 2)
+
+
+def interval_contention(records: Sequence[IterationRecord]) -> np.ndarray:
+    """ρ(θ) for every iteration: how many *other* iterations' [start, end]
+    intervals intersect θ's.  Sorted by the total order.
+
+    Computed in O(N log N) with sorted-boundary binary searches: the
+    iterations overlapping θ are exactly those that start no later than
+    θ ends and end no earlier than θ starts.
+    """
+    intervals = iteration_intervals(records)
+    if intervals.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.sort(intervals[:, 0])
+    ends = np.sort(intervals[:, 1])
+    started_by_end = np.searchsorted(starts, intervals[:, 1], side="right")
+    ended_before_start = np.searchsorted(ends, intervals[:, 0], side="left")
+    return started_by_end - ended_before_start - 1  # exclude θ itself
+
+
+def tau_max(records: Sequence[IterationRecord]) -> int:
+    """The maximum interval contention over all iterations (the paper's
+    τ_max).  Zero for empty or single-iteration traces."""
+    contention = interval_contention(records)
+    return int(contention.max()) if contention.size else 0
+
+
+def tau_avg(records: Sequence[IterationRecord]) -> float:
+    """The average interval contention (the paper's τ_avg; always ≤ 2n by
+    Gibson–Gramoli).  Zero for empty traces."""
+    contention = interval_contention(records)
+    return float(contention.mean()) if contention.size else 0.0
+
+
+def thread_count(records: Sequence[IterationRecord]) -> int:
+    """Number of distinct threads that completed iterations."""
+    return len({r.thread_id for r in records})
+
+
+def delay_sequence(records: Sequence[IterationRecord]) -> np.ndarray:
+    """The per-iteration delay τ_t, in the total order.
+
+    τ_t counts the iterations k ≤ t (in the total order) whose last model
+    update had not yet landed when iteration t began reading its view —
+    i.e. the iterations whose updates v_t may be missing.  τ_t ≥ 1 always
+    (an iteration never sees its own update), matching the paper's
+    convention that v_t misses updates "from only the last τ_t
+    iterations".
+    """
+    ordered = _ordered(records)
+    delays = np.zeros(len(ordered), dtype=np.int64)
+    ends_so_far: List[int] = []  # kept sorted
+    for t, record in enumerate(ordered):
+        bisect.insort(ends_so_far, record.end_time)
+        # Iterations among the first t+1 whose end >= this read start.
+        read_start = record.read_start_time
+        completed_before = bisect.bisect_left(ends_so_far, read_start)
+        delays[t] = (t + 1) - completed_before
+    return delays
+
+
+def lemma_6_2_violations(
+    records: Sequence[IterationRecord],
+    window_multiplier: int,
+    num_threads: int,
+    stride: int = 0,
+) -> List[Tuple[int, int]]:
+    """Check Lemma 6.2 on a real trace.
+
+    For every window of K·n consecutive iteration *starts* (K =
+    ``window_multiplier``), count the iterations that are *bad* — more
+    than K·n iterations start between their start and end — and that
+    complete during the window's time interval.  The lemma says that
+    count is < n for every window.
+
+    Returns:
+        A list of (window_start_rank, bad_count) pairs for windows where
+        bad_count ≥ n.  An empty list means the lemma held everywhere.
+    """
+    if window_multiplier < 1:
+        raise ConfigurationError(
+            f"window_multiplier must be >= 1, got {window_multiplier}"
+        )
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    by_start = sorted(records, key=lambda r: r.start_time)
+    total = len(by_start)
+    window = window_multiplier * num_threads
+    if total < window:
+        return []
+    starts = np.array([r.start_time for r in by_start], dtype=np.int64)
+    ends = np.array([r.end_time for r in by_start], dtype=np.int64)
+    # bad(θ): #starts strictly inside (θ.start, θ.end] exceeds K·n.
+    started_by_end = np.searchsorted(starts, ends, side="right")
+    started_by_start = np.searchsorted(starts, starts, side="right")
+    is_bad = (started_by_end - started_by_start) > window
+
+    violations: List[Tuple[int, int]] = []
+    step = stride if stride >= 1 else window
+    for left in range(0, total - window + 1, step):
+        interval_lo = starts[left]
+        interval_hi = starts[left + window - 1]
+        completes_inside = (ends >= interval_lo) & (ends <= interval_hi)
+        bad_count = int(np.count_nonzero(is_bad & completes_inside))
+        if bad_count >= num_threads:
+            violations.append((left, bad_count))
+    return violations
+
+
+def max_incomplete_iterations(records: Sequence[IterationRecord]) -> int:
+    """Lemma 6.1's second claim, measured: the maximum, over points in
+    the execution, of the number of iterations that have performed their
+    first model update but not yet their last.
+
+    The lemma bounds this by n (each thread has at most one iteration in
+    flight).  An iteration is *incomplete* on the half-open interval
+    [first_update_time, end_time); zero-update iterations are never
+    incomplete.
+    """
+    events = []  # (time, +1/-1)
+    for record in records:
+        if record.first_update_time is None:
+            continue
+        if record.end_time > record.first_update_time:
+            events.append((record.first_update_time, 1))
+            events.append((record.end_time, -1))
+    # Process completions before starts at equal times (half-open).
+    events.sort(key=lambda e: (e[0], e[1]))
+    current = 0
+    worst = 0
+    for _time, delta in events:
+        current += delta
+        worst = max(worst, current)
+    return worst
+
+
+def lemma_6_2_max_bad(
+    records: Sequence[IterationRecord],
+    window_multiplier: int,
+    num_threads: int,
+    stride: int = 0,
+) -> Tuple[int, int]:
+    """The worst window's bad-iteration count, plus the window count.
+
+    Same classification as :func:`lemma_6_2_violations` but reports the
+    maximum observed bad count (the lemma says it stays < n) so tables
+    can show the measured margin, not just pass/fail.
+
+    Returns:
+        (max_bad_count, windows_checked); (0, 0) when the trace is too
+        short for even one window.
+    """
+    if window_multiplier < 1:
+        raise ConfigurationError(
+            f"window_multiplier must be >= 1, got {window_multiplier}"
+        )
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    by_start = sorted(records, key=lambda r: r.start_time)
+    total = len(by_start)
+    window = window_multiplier * num_threads
+    if total < window:
+        return 0, 0
+    starts = np.array([r.start_time for r in by_start], dtype=np.int64)
+    ends = np.array([r.end_time for r in by_start], dtype=np.int64)
+    started_by_end = np.searchsorted(starts, ends, side="right")
+    started_by_start = np.searchsorted(starts, starts, side="right")
+    is_bad = (started_by_end - started_by_start) > window
+
+    worst = 0
+    windows = 0
+    step = stride if stride >= 1 else window
+    for left in range(0, total - window + 1, step):
+        interval_lo = starts[left]
+        interval_hi = starts[left + window - 1]
+        completes_inside = (ends >= interval_lo) & (ends <= interval_hi)
+        worst = max(worst, int(np.count_nonzero(is_bad & completes_inside)))
+        windows += 1
+    return worst, windows
+
+
+def lemma_6_4_sums(delays: np.ndarray) -> np.ndarray:
+    """S_t = Σ_{m≥1} 1{τ_{t+m} ≥ m} for every position t.
+
+    The sum naturally truncates at the end of the trace and, because
+    τ ≤ τ_max, at m = τ_max.  Lemma 6.4 bounds every S_t by 2√(τ_max·n).
+    """
+    delays = np.asarray(delays, dtype=np.int64)
+    total = delays.size
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    horizon = int(delays.max())
+    sums = np.zeros(total, dtype=np.int64)
+    for m in range(1, horizon + 1):
+        # positions t with t+m < total contribute 1{delays[t+m] >= m}.
+        indicator = delays[m:] >= m
+        sums[: total - m] += indicator
+    return sums
+
+
+def lemma_6_4_bound(records: Sequence[IterationRecord]) -> Tuple[float, float]:
+    """Measured max Σ_m 1{τ_{t+m} ≥ m} versus the 2√(τ_max·n) bound.
+
+    Returns:
+        (max_sum, bound) — the lemma predicts max_sum ≤ bound.
+    """
+    delays = delay_sequence(records)
+    if delays.size == 0:
+        return 0.0, 0.0
+    sums = lemma_6_4_sums(delays)
+    measured_tau_max = tau_max(records)
+    n = max(1, thread_count(records))
+    bound = 2.0 * math.sqrt(max(measured_tau_max, 1) * n)
+    return float(sums.max()), bound

@@ -1,0 +1,89 @@
+"""Theorem 5.1 — the adversarial-delay lower bound, computable.
+
+Section 5's construction: minimize f(x) = ½x² with noisy gradients
+g̃(x) = x − ũ and a fixed step size α.  The adversary freezes one thread
+holding a gradient generated at x₀, lets the other run τ iterations
+(contracting the state to (1−α)^τ·x₀ plus noise), then merges the stale
+gradient, leaving ((1−α)^τ − α)·x₀ plus noise.  Once
+2·(1−α)^τ ≤ α the stale term dominates: ‖x_{τ+1}‖ ≥ (α/2)·‖x₀‖, versus
+(1−α)^τ·‖x₀‖ without the adversary — a slowdown of
+log((1−α)^τ)/log(α/2) = Ω(τ).
+
+These helpers compute each quantity in that argument so the E2 benchmark
+can overlay theory on measurement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+
+
+def required_delay(alpha: float) -> int:
+    """The smallest integer τ with 2·(1−α)^τ ≤ α — the delay the
+    adversary needs before the stale gradient dominates (the τ_max of
+    Theorem 5.1, up to constants)."""
+    _check_alpha(alpha)
+    # (1-α)^τ ≤ α/2  ⇔  τ ≥ log(α/2)/log(1−α)  (both logs negative).
+    exact = math.log(alpha / 2.0) / math.log(1.0 - alpha)
+    return max(1, math.ceil(exact))
+
+
+def sequential_contraction(alpha: float, tau: int) -> float:
+    """‖x_τ‖/‖x₀‖ = (1−α)^τ for the unattacked (noiseless) iteration."""
+    _check_alpha(alpha)
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    return (1.0 - alpha) ** tau
+
+
+def adversarial_contraction(alpha: float, tau: int) -> float:
+    """Lower bound on ‖x_{τ+1}‖/‖x₀‖ after the attack (noiseless case):
+    |(1−α)^τ − α|, which is ≥ α/2 once 2(1−α)^τ ≤ α."""
+    _check_alpha(alpha)
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    return abs((1.0 - alpha) ** tau - alpha)
+
+
+def slowdown_factor(alpha: float, tau: int) -> float:
+    """The Theorem 5.1 slowdown: log((1−α)^τ) / log(α/2) = Ω(τ).
+
+    Interpretation: per-attack-round, the unattacked algorithm makes
+    τ·|log(1−α)| of log-progress while the attacked one is held to at
+    most |log(α/2)| — their ratio is the factor by which convergence (in
+    rounds of τ iterations) is slowed."""
+    _check_alpha(alpha)
+    if tau < 1:
+        raise ConfigurationError(f"tau must be >= 1, got {tau}")
+    return tau * math.log(1.0 - alpha) / (math.log(alpha) - math.log(2.0))
+
+
+def attack_variance(alpha: float, tau: int, sigma: float) -> float:
+    """Variance of the noise term of x_{τ+1} in the Section-5 analysis:
+
+        α²σ²·(1 + (1 − (1−α)^{2τ}) / (1 − (1−α)²)).
+    """
+    _check_alpha(alpha)
+    if tau < 0:
+        raise ConfigurationError(f"tau must be >= 0, got {tau}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    contraction_sq = (1.0 - alpha) ** 2
+    geometric = (1.0 - contraction_sq**tau) / (1.0 - contraction_sq)
+    return alpha**2 * sigma**2 * (1.0 + geometric)
+
+
+def max_tolerable_delay(alpha: float) -> float:
+    """The boundary the Section-8 discussion draws: delays below
+    ~log(α/2)/log(1−α) leave the fixed-α algorithm's contraction
+    dominant; above it the adversary wins.  Returned as the (real) root
+    of 2(1−α)^τ = α."""
+    _check_alpha(alpha)
+    return math.log(alpha / 2.0) / math.log(1.0 - alpha)

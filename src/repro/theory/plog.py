@@ -1,0 +1,32 @@
+"""The piecewise logarithm of Lemma 6.6.
+
+    plog(x) = log(e·x)  for x ≥ 1
+    plog(x) = x          for x ≤ 1
+
+It is continuous (both branches give 1 at x = 1), non-decreasing, concave
+on its domain, and satisfies plog(x) ≤ x for x ≥ 0 as well as
+1 + log(x) = plog(x) for x ≥ 1 — properties the property-based tests pin
+down, since the martingale construction leans on them.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def plog(x: ArrayLike) -> ArrayLike:
+    """Piecewise logarithm: ``log(e·x)`` above 1, identity below.
+
+    Accepts scalars or numpy arrays (applied elementwise).  Defined for
+    all real inputs — below 1 it is simply the identity, matching the
+    paper's definition for x ≤ 1 (including negatives, though the
+    martingale only ever evaluates it at non-negative arguments).
+    """
+    scalar = np.isscalar(x)
+    values = np.asarray(x, dtype=float)
+    out = np.where(values >= 1.0, np.log(np.maximum(values, 1.0)) + 1.0, values)
+    return float(out) if scalar else out

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.shm.memory import SharedMemory
+
+
+@pytest.fixture
+def memory() -> SharedMemory:
+    """A fresh shared memory with logging enabled."""
+    return SharedMemory(record_log=True)
+
+
+@pytest.fixture
+def quadratic_noisy() -> IsotropicQuadratic:
+    """Small noisy quadratic used across algorithm tests."""
+    return IsotropicQuadratic(dim=2, curvature=1.0, noise=GaussianNoise(0.3))
+
+
+@pytest.fixture
+def quadratic_clean() -> IsotropicQuadratic:
+    """Noiseless quadratic (deterministic gradients)."""
+    return IsotropicQuadratic(dim=2, curvature=1.0, noise=ZeroNoise())
+
+
+@pytest.fixture
+def x0_small() -> np.ndarray:
+    """A standard small starting point for dim=2 objectives."""
+    return np.array([2.0, -2.0])

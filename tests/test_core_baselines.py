@@ -1,0 +1,141 @@
+"""Unit tests for the Hogwild and locked-SGD baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.hogwild import HogwildProgram
+from repro.core.locked import LockedSGDProgram
+from repro.errors import ConfigurationError
+from repro.objectives.noise import ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.random_sched import RandomScheduler
+from repro.shm.register import AtomicRegister
+
+
+@pytest.fixture
+def clean():
+    return IsotropicQuadratic(dim=2, noise=ZeroNoise())
+
+
+def locked_factory(objective, step_size, iterations):
+    """Factory wiring a shared lock register into every thread program."""
+    state = {}
+
+    def factory(model, counter, thread_index):
+        if "lock" not in state:
+            memory = model.memory
+            state["lock"] = AtomicRegister(memory, memory.allocate(1, name="lock"))
+        return LockedSGDProgram(
+            model=model,
+            counter=counter,
+            lock=state["lock"],
+            objective=objective,
+            step_size=step_size,
+            max_iterations=iterations,
+        )
+
+    return factory
+
+
+class TestHogwild:
+    def test_is_epoch_sgd_with_defaults(self, clean, memory):
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+
+        model = AtomicArray.allocate(memory, 2)
+        counter = AtomicCounter.allocate(memory)
+        program = HogwildProgram(model, counter, clean, 0.1, 10)
+        assert program.guard is None
+        assert program.accumulate is False
+        assert program.use_write is False
+
+    def test_converges(self, clean):
+        x0 = np.array([3.0, -3.0])
+
+        def factory(model, counter, thread_index):
+            return HogwildProgram(model, counter, clean, 0.05, 200)
+
+        result = run_lock_free_sgd(
+            clean, RandomScheduler(seed=1), num_threads=4, step_size=0.05,
+            iterations=200, x0=x0, seed=1, program_factory=factory,
+        )
+        assert clean.distance_to_opt(result.x_final) < 0.05
+
+
+class TestLockedSGD:
+    def test_views_always_consistent(self, clean):
+        """Under the global lock every view equals the model state at
+        lock acquisition — the accumulator trajectory visits it."""
+        x0 = np.array([2.0, 2.0])
+        result = run_lock_free_sgd(
+            clean, RandomScheduler(seed=2), num_threads=3, step_size=0.1,
+            iterations=40, x0=x0, seed=2,
+            program_factory=locked_factory(clean, 0.1, 40),
+        )
+        from repro.core.results import accumulator_trajectory
+
+        trajectory = accumulator_trajectory(x0, result.records)
+        for record in result.records:
+            assert np.any(
+                np.all(np.isclose(trajectory, record.view, atol=1e-12), axis=1)
+            )
+
+    def test_iterations_serialized(self, clean):
+        """No two locked iterations' critical sections overlap: ordering
+        by first update equals ordering by read start."""
+        x0 = np.array([2.0, 2.0])
+        result = run_lock_free_sgd(
+            clean, RandomScheduler(seed=3), num_threads=3, step_size=0.1,
+            iterations=30, x0=x0, seed=3,
+            program_factory=locked_factory(clean, 0.1, 30),
+        )
+        reads = [r.read_start_time for r in result.records]
+        assert reads == sorted(reads)
+        for earlier, later in zip(result.records, result.records[1:]):
+            assert earlier.end_time < later.read_start_time
+
+    def test_lock_overhead_costs_steps(self, clean):
+        """Same iteration budget costs more shared-memory steps with the
+        lock than without (the coarse-grained-locking penalty)."""
+        x0 = np.array([2.0, 2.0])
+        locked = run_lock_free_sgd(
+            clean, RandomScheduler(seed=4), num_threads=4, step_size=0.1,
+            iterations=50, x0=x0, seed=4,
+            program_factory=locked_factory(clean, 0.1, 50),
+        )
+        lock_free = run_lock_free_sgd(
+            clean, RandomScheduler(seed=4), num_threads=4, step_size=0.1,
+            iterations=50, x0=x0, seed=4,
+        )
+        assert locked.sim_steps > lock_free.sim_steps
+
+    def test_spin_steps_reported(self, clean):
+        x0 = np.array([2.0, 2.0])
+        from repro.shm.memory import SharedMemory
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+        from repro.runtime.simulator import Simulator
+
+        memory = SharedMemory(record_log=False)
+        model = AtomicArray.allocate(memory, 2)
+        model.load(x0)
+        counter = AtomicCounter.allocate(memory)
+        lock = AtomicRegister(memory, memory.allocate(1))
+        sim = Simulator(memory, RandomScheduler(seed=5), seed=5)
+        for _ in range(4):
+            sim.spawn(LockedSGDProgram(model, counter, lock, clean, 0.1, 40))
+        sim.run()
+        total_spins = sum(r["spin_steps"] for r in sim.results().values())
+        assert total_spins > 0  # contention really happened
+        assert lock.value == 0.0  # lock released at quiescence
+
+    def test_invalid_step_size(self, clean, memory):
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+
+        model = AtomicArray.allocate(memory, 2)
+        counter = AtomicCounter.allocate(memory)
+        lock = AtomicRegister(memory, memory.allocate(1))
+        with pytest.raises(ConfigurationError):
+            LockedSGDProgram(model, counter, lock, clean, 0.0, 10)

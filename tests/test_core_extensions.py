@@ -1,0 +1,267 @@
+"""Unit tests for the extension algorithms: momentum SGD, staleness-aware
+SGD, and the DCAS-retry-loop epoch isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.full_sgd import FullSGD
+from repro.core.momentum import (
+    MomentumSGDProgram,
+    fit_implicit_momentum,
+    run_momentum_sgd,
+)
+from repro.core.sequential import run_sequential_sgd
+from repro.core.staleness_aware import StalenessAwareSGDProgram
+from repro.errors import ConfigurationError
+from repro.metrics.trace import iterations_to_stay_below
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+
+
+class TestSequentialMomentum:
+    def test_zero_momentum_matches_plain_sgd(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([2.0, -2.0])
+        plain = run_sequential_sgd(objective, 0.05, 100, x0=x0, seed=1)
+        heavy = run_momentum_sgd(objective, 0.05, 0.0, 100, x0=x0, seed=1)
+        np.testing.assert_allclose(plain.distances, heavy.distances)
+
+    def test_momentum_accelerates_noiseless_quadratic(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        x0 = np.array([10.0])
+        plain = run_momentum_sgd(objective, 0.05, 0.0, 200, x0=x0)
+        accelerated = run_momentum_sgd(objective, 0.05, 0.5, 200, x0=x0)
+        assert accelerated.final_distance < plain.final_distance
+
+    def test_hit_time_recorded(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_momentum_sgd(
+            objective, 0.1, 0.3, 200, x0=np.array([5.0]), epsilon=0.25
+        )
+        assert result.hit_time is not None
+
+    def test_validation(self):
+        objective = IsotropicQuadratic(dim=1)
+        with pytest.raises(ConfigurationError):
+            run_momentum_sgd(objective, 0.0, 0.5, 10)
+        with pytest.raises(ConfigurationError):
+            run_momentum_sgd(objective, 0.1, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            run_momentum_sgd(objective, 0.1, -0.1, 10)
+
+
+class TestLockFreeMomentum:
+    def _factory(self, objective, alpha, beta, T):
+        def factory(model, counter, thread_index):
+            return MomentumSGDProgram(model, counter, objective, alpha, beta, T)
+
+        return factory
+
+    def test_converges(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([3.0, -3.0])
+        result = run_lock_free_sgd(
+            objective, RandomScheduler(seed=2), num_threads=4,
+            step_size=0.05, iterations=400, x0=x0, seed=2, epsilon=0.25,
+            program_factory=self._factory(objective, 0.05, 0.5, 400),
+        )
+        assert result.succeeded
+
+    def test_records_carry_velocity(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([2.0, -2.0])
+        result = run_lock_free_sgd(
+            objective, RoundRobinScheduler(), num_threads=2,
+            step_size=0.1, iterations=20, x0=x0, seed=3,
+            program_factory=self._factory(objective, 0.1, 0.5, 20),
+        )
+        # x_final must equal x0 plus all applied -alpha*velocity deltas.
+        total = x0.astype(float).copy()
+        for record in result.records:
+            total -= record.step_size * record.gradient
+        np.testing.assert_allclose(result.x_final, total, rtol=1e-10)
+
+    def test_validation(self, memory):
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+
+        objective = IsotropicQuadratic(dim=2)
+        model = AtomicArray.allocate(memory, 2)
+        counter = AtomicCounter.allocate(memory)
+        with pytest.raises(ConfigurationError):
+            MomentumSGDProgram(model, counter, objective, 0.1, 1.5, 10)
+
+
+class TestImplicitMomentumFit:
+    def test_recovers_zero_for_sequential(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([5.0, -5.0])
+        run = run_momentum_sgd(objective, 0.1, 0.0, 150, x0=x0)
+        beta = fit_implicit_momentum(
+            run.distances, objective, 0.1, 150, x0,
+            betas=np.linspace(0, 0.9, 10), seeds=1,
+        )
+        assert beta == 0.0
+
+    def test_recovers_planted_momentum(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([5.0, -5.0])
+        run = run_momentum_sgd(objective, 0.1, 0.4, 150, x0=x0)
+        beta = fit_implicit_momentum(
+            run.distances, objective, 0.1, 150, x0,
+            betas=np.linspace(0, 0.8, 9), seeds=1,
+        )
+        assert beta == pytest.approx(0.4, abs=0.11)
+
+    def test_asynchrony_increases_fitted_momentum(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([5.0, -5.0])
+        alpha = 0.12
+        fitted = []
+        for n in (1, 8):
+            result = run_lock_free_sgd(
+                objective, RoundRobinScheduler(), num_threads=n,
+                step_size=alpha, iterations=200, x0=x0, seed=0,
+            )
+            fitted.append(
+                fit_implicit_momentum(
+                    result.distances, objective, alpha,
+                    len(result.distances) - 1, x0,
+                    betas=np.linspace(0, 0.95, 20), seeds=1,
+                )
+            )
+        assert fitted[1] > fitted[0]
+
+
+class TestStalenessAware:
+    def _factory(self, objective, alpha, T, damping=1.0):
+        def factory(model, counter, thread_index):
+            return StalenessAwareSGDProgram(
+                model, counter, objective, alpha, T, damping=damping
+            )
+
+        return factory
+
+    def test_converges_under_benign_schedule(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([3.0, -3.0])
+        result = run_lock_free_sgd(
+            objective, RandomScheduler(seed=4), num_threads=4,
+            step_size=0.05, iterations=400, x0=x0, seed=4, epsilon=0.25,
+            program_factory=self._factory(objective, 0.05, 400),
+        )
+        assert result.succeeded
+
+    def test_zero_damping_matches_plain_trajectory_shape(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([2.0, -2.0])
+        aware = run_lock_free_sgd(
+            objective, RoundRobinScheduler(), num_threads=2,
+            step_size=0.1, iterations=40, x0=x0, seed=5,
+            program_factory=self._factory(objective, 0.1, 40, damping=0.0),
+        )
+        for record in aware.records:
+            assert record.step_size == 0.1  # no damping applied
+
+    def test_damping_shrinks_step_under_delay(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([2.0, -2.0])
+        result = run_lock_free_sgd(
+            objective,
+            PriorityDelayScheduler(victims=[0], delay=150, seed=6),
+            num_threads=3, step_size=0.1, iterations=60, x0=x0, seed=6,
+            program_factory=self._factory(objective, 0.1, 60),
+        )
+        effective = [r.step_size for r in result.records]
+        assert min(effective) < 0.1  # some update was damped
+
+    def test_defeats_weak_but_not_adaptive_adversary(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        x0 = np.array([10.0])
+        target = 1e-3 * 10.0
+        times = {}
+        for phase in ("observe", "update"):
+            result = run_lock_free_sgd(
+                objective,
+                StaleGradientAttack(victim=1, runner=0, delay=100,
+                                    freeze_phase=phase),
+                num_threads=2, step_size=0.1, iterations=1200, x0=x0, seed=7,
+                program_factory=self._factory(objective, 0.1, 1200),
+            )
+            times[phase] = iterations_to_stay_below(result.distances, target)
+        assert times["observe"] is not None and times["update"] is not None
+        assert times["update"] > 1.5 * times["observe"]
+
+    def test_validation(self, memory):
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+
+        objective = IsotropicQuadratic(dim=2)
+        model = AtomicArray.allocate(memory, 2)
+        counter = AtomicCounter.allocate(memory)
+        with pytest.raises(ConfigurationError):
+            StalenessAwareSGDProgram(model, counter, objective, 0.1, 10,
+                                     damping=-1.0)
+
+
+class TestDcasLoopIsolation:
+    def test_same_result_as_guarded_fetch_add_when_uncontended(self):
+        """With one thread the DCAS loop never retries, so both guarded
+        implementations produce the same model."""
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([2.0, -2.0])
+        results = []
+        for use_dcas in (False, True):
+            driver = FullSGD(
+                objective, num_threads=1, epsilon=0.1, alpha0=0.1,
+                iterations_per_epoch=40, num_epochs=3, x0=x0,
+                use_dcas_loop=use_dcas,
+            )
+            results.append(driver.run(RoundRobinScheduler(), seed=8))
+        np.testing.assert_allclose(results[0].r, results[1].r, rtol=1e-12)
+
+    def test_dcas_loop_costs_extra_steps(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([2.0, -2.0])
+        steps = []
+        for use_dcas in (False, True):
+            driver = FullSGD(
+                objective, num_threads=3, epsilon=0.1, alpha0=0.1,
+                iterations_per_epoch=60, num_epochs=3, x0=x0,
+                use_dcas_loop=use_dcas,
+            )
+            steps.append(driver.run(RandomScheduler(seed=9), seed=9).sim_steps)
+        assert steps[1] > steps[0]
+
+    def test_dcas_loop_still_rejects_stale_epochs(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([2.0, -2.0])
+        driver = FullSGD(
+            objective, num_threads=3, epsilon=0.05, alpha0=0.1,
+            iterations_per_epoch=60, num_epochs=4, x0=x0, use_dcas_loop=True,
+        )
+        out = driver.run(
+            PriorityDelayScheduler(victims=[0], delay=400, seed=10), seed=10
+        )
+        assert out.rejected_updates > 0
+        # Consistency: model equals x0 + applied deltas.
+        total = x0.astype(float).copy()
+        for record in out.records:
+            delta = -record.step_size * record.gradient
+            total = total + delta * np.asarray(record.applied, dtype=float)
+        np.testing.assert_allclose(out.r, total, rtol=1e-9, atol=1e-12)
+
+    def test_dcas_loop_converges_under_contention(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([2.0, -2.0])
+        driver = FullSGD(
+            objective, num_threads=4, epsilon=0.05, alpha0=0.1,
+            iterations_per_epoch=200, x0=x0, use_dcas_loop=True,
+        )
+        out = driver.run(RandomScheduler(seed=11), seed=11)
+        assert out.distance <= (0.05**0.5) * 2.0

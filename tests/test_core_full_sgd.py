@@ -1,0 +1,145 @@
+"""Unit tests for Algorithm 2 (FullSGD) and its epoch machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.full_sgd import FullSGD, recommended_num_epochs
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.events import EpochEvent
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+
+
+@pytest.fixture
+def noisy():
+    return IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+
+
+class TestEpochFormula:
+    def test_matches_closed_form(self):
+        alpha0, M, n, eps = 0.1, 5.0, 4, 0.01
+        target = 2 * alpha0 * M * n / math.sqrt(eps)
+        assert recommended_num_epochs(alpha0, M, n, eps) == (
+            math.ceil(math.log2(target)) + 1
+        )
+
+    def test_at_least_one_epoch(self):
+        assert recommended_num_epochs(1e-6, 0.1, 1, 100.0) == 1
+
+    def test_smaller_epsilon_needs_more_epochs(self):
+        more = recommended_num_epochs(0.1, 5.0, 4, 0.001)
+        fewer = recommended_num_epochs(0.1, 5.0, 4, 0.1)
+        assert more > fewer
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            recommended_num_epochs(0.0, 1.0, 1, 0.1)
+        with pytest.raises(ConfigurationError):
+            recommended_num_epochs(0.1, 1.0, 0, 0.1)
+
+
+class TestFullSGDRun:
+    def test_reaches_target_under_random_schedule(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=3, epsilon=0.05, alpha0=0.1,
+            iterations_per_epoch=300, x0=np.array([2.0, -2.0]),
+        )
+        out = driver.run(RandomScheduler(seed=1), seed=1)
+        assert out.distance <= math.sqrt(0.05) * 1.5  # single run, slack
+        assert out.num_epochs == driver.num_epochs
+        assert out.total_iterations == driver.num_epochs * 300
+
+    def test_step_sizes_halve(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.1, alpha0=0.2,
+            iterations_per_epoch=100, num_epochs=4,
+        )
+        out = driver.run(RandomScheduler(seed=2), seed=2)
+        assert out.step_sizes == [0.2, 0.1, 0.05, 0.025]
+
+    def test_iterations_tagged_with_epochs(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.1, alpha0=0.2,
+            iterations_per_epoch=50, num_epochs=3,
+        )
+        out = driver.run(RandomScheduler(seed=3), seed=3)
+        epochs = {r.epoch for r in out.records}
+        assert epochs == {0, 1, 2}
+        for record in out.records:
+            assert record.epoch == record.index // 50
+            assert record.step_size == 0.2 / (2**record.epoch)
+
+    def test_stale_cross_epoch_updates_rejected(self, noisy):
+        """Under a heavy delay adversary, some updates must be guard-
+        rejected, and rejected deltas must not appear in the model."""
+        driver = FullSGD(
+            noisy, num_threads=3, epsilon=0.05, alpha0=0.1,
+            iterations_per_epoch=60, num_epochs=4,
+            x0=np.array([2.0, -2.0]),
+        )
+        out = driver.run(
+            PriorityDelayScheduler(victims=[0], delay=400, seed=4), seed=4
+        )
+        assert out.rejected_updates > 0
+        # Model equals the sum of *applied* deltas only.
+        total = np.array([2.0, -2.0])
+        for record in out.records:
+            delta = -record.step_size * record.gradient
+            total = total + delta * np.asarray(record.applied, dtype=float)
+        np.testing.assert_allclose(out.r, total, rtol=1e-9, atol=1e-12)
+
+    def test_survives_stale_gradient_attack(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.05, alpha0=0.1,
+            iterations_per_epoch=300, x0=np.array([2.0, -2.0]),
+        )
+        out = driver.run(StaleGradientAttack(victim=1, runner=0, delay=50),
+                         seed=5)
+        assert out.distance <= math.sqrt(0.05) * 2.0
+
+    def test_accumulators_cover_final_epoch(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.1, alpha0=0.2,
+            iterations_per_epoch=50, num_epochs=3,
+        )
+        out = driver.run(RandomScheduler(seed=6), seed=6)
+        final_epoch = driver.num_epochs - 1
+        alpha_final = driver.schedule.rate(final_epoch)
+        expected = {tid: np.zeros(2) for tid in out.accumulators}
+        for record in out.records:
+            if record.epoch == final_epoch:
+                expected[record.thread_id] -= alpha_final * record.gradient
+        for tid, acc in out.accumulators.items():
+            np.testing.assert_allclose(acc, expected[tid], rtol=1e-10,
+                                       atol=1e-12)
+
+    def test_determinism(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.1, alpha0=0.2,
+            iterations_per_epoch=50, num_epochs=3,
+        )
+        a = driver.run(RandomScheduler(seed=7), seed=7)
+        b = driver.run(RandomScheduler(seed=7), seed=7)
+        np.testing.assert_array_equal(a.r, b.r)
+        assert a.sim_steps == b.sim_steps
+
+    def test_guard_ablation_flag(self, noisy):
+        driver = FullSGD(
+            noisy, num_threads=2, epsilon=0.1, alpha0=0.2,
+            iterations_per_epoch=50, num_epochs=3, use_guard=False,
+        )
+        out = driver.run(RandomScheduler(seed=8), seed=8)
+        assert out.rejected_updates == 0  # nothing can be rejected
+
+    def test_invalid_config(self, noisy):
+        with pytest.raises(ConfigurationError):
+            FullSGD(noisy, num_threads=0, epsilon=0.1, alpha0=0.1,
+                    iterations_per_epoch=10)
+        with pytest.raises(ConfigurationError):
+            FullSGD(noisy, num_threads=2, epsilon=-1.0, alpha0=0.1,
+                    iterations_per_epoch=10)

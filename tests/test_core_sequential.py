@@ -1,0 +1,136 @@
+"""Unit tests for sequential SGD, mini-batch SGD and the schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.minibatch import run_minibatch_sgd
+from repro.core.schedules import ConstantRate, EpochHalvingRate
+from repro.core.sequential import run_sequential_sgd
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantRate(0.1)
+        assert schedule.rate(0) == 0.1
+        assert schedule.rate(10) == 0.1
+        assert schedule(5) == 0.1
+
+    def test_halving(self):
+        schedule = EpochHalvingRate(0.8)
+        assert schedule.rate(0) == 0.8
+        assert schedule.rate(1) == 0.4
+        assert schedule.rate(3) == 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRate(0.0)
+        with pytest.raises(ConfigurationError):
+            EpochHalvingRate(-1.0)
+        with pytest.raises(ConfigurationError):
+            EpochHalvingRate(0.1).rate(-1)
+
+
+class TestSequentialSGD:
+    def test_noiseless_contraction_is_exact(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_sequential_sgd(
+            objective, alpha=0.1, iterations=10, x0=np.array([1.0])
+        )
+        expected = 0.9 ** np.arange(11)
+        np.testing.assert_allclose(result.distances, expected, rtol=1e-12)
+
+    def test_converges_on_noisy_quadratic(self, quadratic_noisy, x0_small):
+        result = run_sequential_sgd(
+            quadratic_noisy, alpha=0.05, iterations=500, x0=x0_small,
+            seed=0, epsilon=0.25,
+        )
+        assert result.succeeded
+        assert result.final_distance < 1.0
+
+    def test_hit_time_is_first_entry(self, quadratic_noisy, x0_small):
+        result = run_sequential_sgd(
+            quadratic_noisy, alpha=0.05, iterations=500, x0=x0_small,
+            seed=1, epsilon=0.25,
+        )
+        hit = result.hit_time
+        assert hit is not None
+        assert result.distances[hit] ** 2 <= 0.25
+        assert all(d**2 > 0.25 for d in result.distances[:hit])
+
+    def test_stop_on_hit(self, quadratic_noisy, x0_small):
+        full = run_sequential_sgd(
+            quadratic_noisy, alpha=0.05, iterations=500, x0=x0_small,
+            seed=2, epsilon=0.25,
+        )
+        stopped = run_sequential_sgd(
+            quadratic_noisy, alpha=0.05, iterations=500, x0=x0_small,
+            seed=2, epsilon=0.25, stop_on_hit=True,
+        )
+        assert stopped.hit_time == full.hit_time
+        assert stopped.iterations == full.hit_time
+
+    def test_deterministic_under_seed(self, quadratic_noisy, x0_small):
+        a = run_sequential_sgd(quadratic_noisy, 0.05, 50, x0_small, seed=3)
+        b = run_sequential_sgd(quadratic_noisy, 0.05, 50, x0_small, seed=3)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_x0_at_optimum_hits_immediately(self):
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        result = run_sequential_sgd(
+            objective, alpha=0.1, iterations=5, x0=np.zeros(2), epsilon=0.1
+        )
+        assert result.hit_time == 0
+
+    def test_invalid_args(self, quadratic_noisy):
+        with pytest.raises(ConfigurationError):
+            run_sequential_sgd(quadratic_noisy, alpha=0.0, iterations=10)
+        with pytest.raises(ConfigurationError):
+            run_sequential_sgd(quadratic_noisy, alpha=0.1, iterations=-1)
+        with pytest.raises(ConfigurationError):
+            run_sequential_sgd(
+                quadratic_noisy, alpha=0.1, iterations=10, stop_on_hit=True
+            )
+        with pytest.raises(ConfigurationError):
+            run_sequential_sgd(
+                quadratic_noisy, alpha=0.1, iterations=10, x0=np.zeros(5)
+            )
+
+
+class TestMinibatch:
+    def test_batching_reduces_variance(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(1.0))
+        x0 = np.array([2.0, 2.0])
+        # Compare terminal distance distributions: bigger batch = closer.
+        small = [
+            run_minibatch_sgd(objective, 0.1, 200, 1, x0=x0, seed=s).final_distance
+            for s in range(10)
+        ]
+        large = [
+            run_minibatch_sgd(objective, 0.1, 200, 16, x0=x0, seed=s).final_distance
+            for s in range(10)
+        ]
+        assert np.mean(large) < np.mean(small)
+
+    def test_noiseless_matches_sequential(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        batch = run_minibatch_sgd(objective, 0.1, 20, 4, x0=np.array([1.0]))
+        seq = run_sequential_sgd(objective, 0.1, 20, x0=np.array([1.0]))
+        np.testing.assert_allclose(batch.distances, seq.distances)
+
+    def test_hit_time(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_minibatch_sgd(
+            objective, 0.5, 20, 2, x0=np.array([4.0]), epsilon=1.0
+        )
+        assert result.hit_time is not None
+
+    def test_invalid_args(self, quadratic_noisy):
+        with pytest.raises(ConfigurationError):
+            run_minibatch_sgd(quadratic_noisy, 0.0, 10, 2)
+        with pytest.raises(ConfigurationError):
+            run_minibatch_sgd(quadratic_noisy, 0.1, -1, 2)
+        with pytest.raises(ConfigurationError):
+            run_minibatch_sgd(quadratic_noisy, 0.1, 10, 0)

@@ -1,0 +1,53 @@
+"""Structural checks over every experiment's config presets.
+
+The benches choose quick()/full() presets by environment variable; these
+tests pin that both presets construct, that full is at least as large as
+quick on its headline knob, and that the registry's drivers all follow
+the run(config) -> ExperimentResult protocol (signature level — the
+drivers' behaviour is covered by test_exp_drivers.py)."""
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.cli import REGISTRY
+
+
+@pytest.mark.parametrize("key", sorted(REGISTRY))
+def test_presets_construct(key):
+    _module, config_cls = REGISTRY[key]
+    quick = config_cls.quick()
+    full = config_cls.full()
+    assert dataclasses.is_dataclass(quick)
+    assert type(quick) is type(full) is config_cls
+
+
+@pytest.mark.parametrize("key", sorted(REGISTRY))
+def test_full_not_smaller_than_quick(key):
+    """For every numeric/list field shared by both presets, full must be
+    >= quick in magnitude (full presets exist to tighten statistics)."""
+    _module, config_cls = REGISTRY[key]
+    quick = config_cls.quick()
+    full = config_cls.full()
+    widened = 0
+    for field in dataclasses.fields(config_cls):
+        q = getattr(quick, field.name)
+        f = getattr(full, field.name)
+        if isinstance(q, (int, float)) and not isinstance(q, bool):
+            if f > q:
+                widened += 1
+        elif isinstance(q, list):
+            if len(f) >= len(q):
+                widened += 1
+    assert widened >= 1  # full() genuinely scales something up
+
+
+@pytest.mark.parametrize("key", sorted(REGISTRY))
+def test_driver_protocol(key):
+    module, config_cls = REGISTRY[key]
+    assert hasattr(module, "run")
+    signature = inspect.signature(module.run)
+    assert len(signature.parameters) == 1
+    # The module documents itself (the CLI list command shows this line).
+    assert (module.__doc__ or "").strip()

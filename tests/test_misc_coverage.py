@@ -1,0 +1,172 @@
+"""Remaining coverage: dunder/reprs, edge branches, and small contracts
+not naturally owned by another test file."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import SequentialRunResult
+from repro.errors import (
+    NoRunnableThreadError,
+    ReproError,
+    SimulationError,
+    ThreadCrashedError,
+    UnknownAddressError,
+)
+from repro.metrics.ascii_plot import ascii_plot
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.clock import Clock
+from repro.runtime.program import FunctionProgram, ThreadContext
+from repro.runtime.rng import RngStream
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import SimThread, ThreadState
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.memory import SharedMemory
+from repro.shm.register import AtomicRegister
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error_type in (
+            UnknownAddressError,
+            SimulationError,
+            ThreadCrashedError,
+            NoRunnableThreadError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_unknown_address_carries_address(self):
+        error = UnknownAddressError(42)
+        assert error.address == 42
+        assert "42" in str(error)
+
+    def test_thread_crashed_carries_id(self):
+        error = ThreadCrashedError(3)
+        assert error.thread_id == 3
+
+
+class TestReprs:
+    def test_register_repr(self, memory):
+        reg = AtomicRegister(memory, memory.allocate(1, initial=2.0))
+        assert "value=2.0" in repr(reg)
+
+    def test_array_repr(self, memory):
+        array = AtomicArray.allocate(memory, 3)
+        assert "length=3" in repr(array)
+
+    def test_clock_repr(self):
+        clock = Clock()
+        clock.tick()
+        assert "now=1" in repr(clock)
+
+    def test_rng_repr(self):
+        assert "entropy" in repr(RngStream.root(5))
+
+    def test_thread_repr_and_context_repr(self, memory):
+        sim = Simulator(memory, RoundRobinScheduler())
+        reg = AtomicRegister(memory, memory.allocate(1))
+
+        def body(ctx):
+            yield reg.read_op()
+
+        thread = sim.spawn(FunctionProgram(body, name="demo"))
+        assert "demo" in repr(thread)
+        assert "thread_id=0" in repr(thread.context)
+
+    def test_simulator_repr(self, memory):
+        sim = Simulator(memory, RoundRobinScheduler())
+        assert "RoundRobinScheduler" in repr(sim)
+
+
+class TestSequentialResultHelpers:
+    def test_succeeded_property(self):
+        result = SequentialRunResult(
+            x_final=np.zeros(1),
+            distances=np.array([1.0, 0.1]),
+            hit_time=1,
+            epsilon=0.25,
+            iterations=1,
+        )
+        assert result.succeeded
+        assert result.final_distance == pytest.approx(0.1)
+
+    def test_not_succeeded(self):
+        result = SequentialRunResult(
+            x_final=np.ones(1),
+            distances=np.array([1.0, 1.0]),
+            hit_time=None,
+            epsilon=0.25,
+            iterations=1,
+        )
+        assert not result.succeeded
+
+
+class TestThreadLifecycleEdges:
+    def test_advancing_finished_thread_raises(self, memory):
+        from repro.errors import ProgramError
+
+        sim = Simulator(memory, RoundRobinScheduler())
+        reg = AtomicRegister(memory, memory.allocate(1))
+
+        def body(ctx):
+            yield reg.read_op()
+
+        thread = sim.spawn(FunctionProgram(body))
+        sim.step()
+        assert thread.state is ThreadState.FINISHED
+        with pytest.raises(ProgramError):
+            thread.advance(None)
+
+    def test_crash_closes_generator(self, memory):
+        closed = {}
+
+        def body(ctx):
+            try:
+                while True:
+                    yield reg.read_op()
+            finally:
+                closed["yes"] = True
+
+        sim = Simulator(memory, RoundRobinScheduler())
+        reg = AtomicRegister(memory, memory.allocate(1))
+        sim.spawn(FunctionProgram(body))
+        sim.spawn(FunctionProgram(body))
+        sim.crash(0)
+        assert closed.get("yes") is True
+
+    def test_program_name_default(self):
+        def my_function(ctx):
+            yield  # pragma: no cover
+
+        program = FunctionProgram(my_function)
+        assert program.name == "my_function"
+
+
+class TestAsciiPlotEdges:
+    def test_eight_series_supported_nine_rejected(self):
+        xs = [0, 1]
+        eight = {f"s{i}": [i, i + 1] for i in range(8)}
+        assert ascii_plot(xs, eight)
+        nine = {f"s{i}": [i, i + 1] for i in range(9)}
+        with pytest.raises(Exception):
+            ascii_plot(xs, nine)
+
+    def test_flat_series_plot(self):
+        # Degenerate y-range must not divide by zero.
+        text = ascii_plot([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in text
+
+    def test_all_dropped_logy_rejected(self):
+        with pytest.raises(Exception):
+            ascii_plot([0, 1], {"s": [0.0, -1.0]}, logy=True)
+
+
+class TestObjectiveNumericEdges:
+    def test_distance_at_optimum_zero(self):
+        objective = IsotropicQuadratic(dim=3)
+        assert objective.distance_to_opt(objective.x_star) == 0.0
+
+    def test_second_moment_zero_radius(self):
+        objective = IsotropicQuadratic(dim=2)
+        # At radius 0 only the noise term remains.
+        assert objective.second_moment_bound(0.0) == pytest.approx(2.0)

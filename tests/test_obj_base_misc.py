@@ -1,0 +1,115 @@
+"""Tests for the Objective base-class helpers and small leftovers
+(experiment runner validation, hitting-module validation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult, seed_range
+from repro.metrics.hitting import estimate_failure_probability
+from repro.metrics.report import Table
+from repro.objectives.base import Objective
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.rng import RngStream
+
+
+class MinimalObjective(Objective):
+    """The smallest legal Objective: f(x) = ½‖x‖², exact oracle."""
+
+    def __init__(self, dim: int = 2) -> None:
+        self.dim = dim
+
+    def value(self, x):
+        x = np.asarray(x, dtype=float)
+        return 0.5 * float(x @ x)
+
+    def gradient(self, x):
+        return np.asarray(x, dtype=float).copy()
+
+    @property
+    def x_star(self):
+        return np.zeros(self.dim)
+
+    def draw_sample(self, rng):
+        return None
+
+    def grad_at_sample(self, x, sample):
+        return self.gradient(x)
+
+    @property
+    def strong_convexity(self):
+        return 1.0
+
+    @property
+    def lipschitz_expected(self):
+        return 1.0
+
+    def second_moment_bound(self, radius):
+        return radius**2
+
+
+class TestObjectiveHelpers:
+    def test_distance_to_opt(self):
+        objective = MinimalObjective()
+        assert objective.distance_to_opt([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_suboptimality(self):
+        objective = MinimalObjective()
+        assert objective.suboptimality([2.0, 0.0]) == pytest.approx(2.0)
+        assert objective.suboptimality(objective.x_star) == 0.0
+
+    def test_in_success_region_boundary(self):
+        objective = MinimalObjective()
+        assert objective.in_success_region([1.0, 0.0], epsilon=1.0)
+        assert not objective.in_success_region([1.0, 0.1], epsilon=1.0)
+
+    def test_stochastic_gradient_returns_sample(self):
+        objective = MinimalObjective()
+        rng = RngStream.root(0)
+        gradient, sample = objective.stochastic_gradient(
+            np.array([1.0, 2.0]), rng
+        )
+        np.testing.assert_array_equal(gradient, [1.0, 2.0])
+        assert sample is None
+
+    def test_repr_mentions_dim(self):
+        assert "dim=2" in repr(MinimalObjective(2))
+        assert "dim=5" in repr(IsotropicQuadratic(dim=5))
+
+
+class TestRunnerValidation:
+    def test_seed_range_validates(self):
+        with pytest.raises(ConfigurationError):
+            seed_range(0, 0)
+
+    def test_render_without_series_skips_plot(self):
+        table = Table(["x"])
+        table.add_row([1])
+        result = ExperimentResult("EX", "t", table, xs=[], series={})
+        text = result.render(plot=True)
+        assert "verdict" in text
+
+    def test_render_failed_verdict(self):
+        table = Table(["x"])
+        table.add_row([1])
+        result = ExperimentResult("EX", "t", table, passed=False)
+        assert "FAIL" in result.render(plot=False)
+
+    def test_render_with_notes(self):
+        table = Table(["x"])
+        table.add_row([1])
+        result = ExperimentResult("EX", "t", table, notes="hello-notes")
+        assert "hello-notes" in result.render(plot=False)
+
+
+class TestHittingValidation:
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_failure_probability(lambda s: 1, num_runs=0)
+
+    def test_seeds_passed_through(self):
+        seen = []
+        estimate_failure_probability(
+            lambda s: seen.append(s) or 1, num_runs=3, base_seed=100
+        )
+        assert seen == [100, 101, 102]

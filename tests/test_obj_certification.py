@@ -1,0 +1,72 @@
+"""Certify every shipped objective against the paper's assumptions.
+
+These are the library's contract tests: the bound calculators consume
+(c, L, M²) from objectives, so each objective's hand-derived constants
+are validated numerically via the Section-3 inequalities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AssumptionViolationError
+from repro.objectives.datasets import make_classification, make_regression
+from repro.objectives.least_squares import LeastSquares, RidgeRegression
+from repro.objectives.logistic import LogisticRegression
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic, Quadratic
+from repro.objectives.sparse import SeparableQuadratic
+from repro.theory.assumptions import (
+    AssumptionReport,
+    certify_objective,
+    verify_strong_convexity,
+)
+
+
+def _objectives():
+    design, targets, _ = make_regression(40, 3, noise_sigma=0.2, seed=2)
+    cls_design, labels, _ = make_classification(40, 3, seed=2)
+    return [
+        IsotropicQuadratic(dim=3, curvature=1.5, noise=GaussianNoise(0.5)),
+        Quadratic(np.diag([0.5, 1.0, 2.0]), noise=GaussianNoise(0.5)),
+        LeastSquares(design, targets),
+        RidgeRegression(design, targets, regularization=0.3),
+        LogisticRegression(cls_design, labels, regularization=0.2),
+        SeparableQuadratic(np.array([1.0, 2.0, 0.5]), noise_sigma=0.2),
+    ]
+
+
+@pytest.mark.parametrize(
+    "objective", _objectives(), ids=lambda o: type(o).__name__
+)
+def test_certification_passes(objective):
+    report = certify_objective(objective, radius=2.0, seed=0)
+    assert isinstance(report, AssumptionReport)
+    report.raise_if_failed()
+    assert report.ok
+
+
+def test_report_raises_on_failure():
+    report = AssumptionReport(
+        objective="fake",
+        radius=1.0,
+        strong_convexity_margin=-1.0,
+        lipschitz_margin=0.0,
+        second_moment_margin=0.0,
+        unbiasedness_error=0.0,
+        ok=False,
+    )
+    with pytest.raises(AssumptionViolationError):
+        report.raise_if_failed()
+
+
+def test_strong_convexity_verifier_detects_lies():
+    """An objective claiming a larger c than it has must fail."""
+
+    class Liar(IsotropicQuadratic):
+        @property
+        def strong_convexity(self):
+            return 10.0 * self.curvature
+
+    liar = Liar(dim=2, curvature=1.0, noise=GaussianNoise(0.1))
+    margin = verify_strong_convexity(liar, radius=2.0)
+    assert margin < -0.5

@@ -1,0 +1,145 @@
+"""Unit tests for the quadratic objectives and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise, ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic, Quadratic
+from repro.runtime.rng import RngStream
+
+
+class TestNoiseModels:
+    def test_gaussian_second_moment(self):
+        noise = GaussianNoise(2.0)
+        assert noise.second_moment(3) == pytest.approx(12.0)
+
+    def test_gaussian_draw_statistics(self):
+        noise = GaussianNoise(1.5)
+        rng = RngStream.root(0)
+        draws = np.array([noise.draw(rng, 4) for _ in range(4000)])
+        assert abs(draws.mean()) < 0.05
+        assert abs(draws.std() - 1.5) < 0.05
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+    def test_zero_noise(self):
+        noise = ZeroNoise()
+        rng = RngStream.root(0)
+        np.testing.assert_array_equal(noise.draw(rng, 5), np.zeros(5))
+        assert noise.second_moment(5) == 0.0
+
+
+class TestIsotropicQuadratic:
+    def test_value_and_gradient(self):
+        objective = IsotropicQuadratic(dim=2, curvature=2.0, noise=ZeroNoise())
+        x = np.array([1.0, -1.0])
+        assert objective.value(x) == pytest.approx(2.0)
+        np.testing.assert_allclose(objective.gradient(x), [2.0, -2.0])
+
+    def test_shifted_optimum(self):
+        x_star = np.array([3.0, 4.0])
+        objective = IsotropicQuadratic(dim=2, x_star=x_star, noise=ZeroNoise())
+        assert objective.value(x_star) == 0.0
+        np.testing.assert_allclose(objective.gradient(x_star), np.zeros(2))
+        assert objective.distance_to_opt(np.zeros(2)) == pytest.approx(5.0)
+
+    def test_constants(self):
+        objective = IsotropicQuadratic(dim=3, curvature=2.5,
+                                       noise=GaussianNoise(1.0))
+        assert objective.strong_convexity == 2.5
+        assert objective.lipschitz_expected == 2.5
+        assert objective.second_moment_bound(2.0) == pytest.approx(
+            (2.5 * 2.0) ** 2 + 3.0
+        )
+
+    def test_oracle_unbiased(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(1.0))
+        rng = RngStream.root(1)
+        x = np.array([1.0, 2.0])
+        mean = np.mean(
+            [objective.stochastic_gradient(x, rng)[0] for _ in range(4000)], axis=0
+        )
+        np.testing.assert_allclose(mean, objective.gradient(x), atol=0.08)
+
+    def test_oracle_coupled_lipschitz_is_exact(self):
+        objective = IsotropicQuadratic(dim=2, curvature=1.5,
+                                       noise=GaussianNoise(2.0))
+        rng = RngStream.root(2)
+        x, y = np.array([1.0, 0.0]), np.array([0.0, 2.0])
+        sample = objective.draw_sample(rng)
+        gap = objective.grad_at_sample(x, sample) - objective.grad_at_sample(y, sample)
+        # Noise cancels exactly: |g(x)-g(y)| = c|x-y|.
+        assert np.linalg.norm(gap) == pytest.approx(
+            1.5 * np.linalg.norm(x - y)
+        )
+
+    def test_in_success_region(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        assert objective.in_success_region(np.array([0.5]), epsilon=0.25)
+        assert not objective.in_success_region(np.array([0.6]), epsilon=0.25)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            IsotropicQuadratic(dim=0)
+        with pytest.raises(ConfigurationError):
+            IsotropicQuadratic(dim=2, curvature=0.0)
+        with pytest.raises(ConfigurationError):
+            IsotropicQuadratic(dim=2, x_star=np.zeros(3))
+
+
+class TestGeneralQuadratic:
+    def test_eigen_constants(self):
+        matrix = np.diag([1.0, 4.0])
+        objective = Quadratic(matrix, noise=ZeroNoise())
+        assert objective.strong_convexity == pytest.approx(1.0)
+        assert objective.lipschitz_expected == pytest.approx(4.0)
+        assert objective.condition_number == pytest.approx(4.0)
+
+    def test_value_gradient_consistency(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(3, 3))
+        matrix = raw @ raw.T + 0.5 * np.eye(3)
+        objective = Quadratic(matrix, noise=ZeroNoise())
+        x = rng.normal(size=3)
+        # Finite-difference check of the gradient.
+        eps = 1e-6
+        for j in range(3):
+            e = np.zeros(3)
+            e[j] = eps
+            numeric = (objective.value(x + e) - objective.value(x - e)) / (2 * eps)
+            assert numeric == pytest.approx(objective.gradient(x)[j], rel=1e-4)
+
+    def test_strong_convexity_inequality_holds(self):
+        matrix = np.diag([0.5, 2.0])
+        objective = Quadratic(matrix, noise=ZeroNoise())
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x, y = rng.normal(size=2), rng.normal(size=2)
+            lhs = (x - y) @ (objective.gradient(x) - objective.gradient(y))
+            assert lhs >= 0.5 * np.sum((x - y) ** 2) - 1e-12
+
+    def test_rejects_bad_matrices(self):
+        with pytest.raises(ConfigurationError):
+            Quadratic(np.array([[1.0, 2.0]]))  # not square
+        with pytest.raises(ConfigurationError):
+            Quadratic(np.array([[1.0, 1.0], [0.0, 1.0]]))  # not symmetric
+        with pytest.raises(ConfigurationError):
+            Quadratic(np.diag([1.0, -1.0]))  # not PSD
+
+    def test_second_moment_bound_covers_samples(self):
+        objective = Quadratic(np.diag([1.0, 3.0]), noise=GaussianNoise(0.5))
+        rng = RngStream.root(5)
+        radius = 2.0
+        bound = objective.second_moment_bound(radius)
+        # Sample on the sphere of the operating radius.
+        x = objective.x_star + np.array([radius, 0.0])
+        estimate = np.mean(
+            [
+                np.sum(objective.stochastic_gradient(x, rng)[0] ** 2)
+                for _ in range(2000)
+            ]
+        )
+        assert estimate <= bound * 1.05

@@ -1,0 +1,222 @@
+"""Unit tests for least squares, ridge, logistic and sparse objectives
+plus the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objectives.datasets import make_classification, make_regression
+from repro.objectives.least_squares import LeastSquares, RidgeRegression
+from repro.objectives.logistic import LogisticRegression
+from repro.objectives.sparse import SeparableQuadratic
+from repro.runtime.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    return make_regression(num_points=60, dim=4, noise_sigma=0.1, seed=3)
+
+
+class TestDatasets:
+    def test_regression_shapes(self, regression_data):
+        design, targets, x_true = regression_data
+        assert design.shape == (60, 4)
+        assert targets.shape == (60,)
+        assert x_true.shape == (4,)
+
+    def test_regression_signal_dominates_noise(self, regression_data):
+        design, targets, x_true = regression_data
+        residual = targets - design @ x_true
+        assert np.std(residual) < 0.5 * np.std(targets)
+
+    def test_regression_determinism(self):
+        a = make_regression(20, 3, seed=9)
+        b = make_regression(20, 3, seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_regression_rejects_underdetermined(self):
+        with pytest.raises(ConfigurationError):
+            make_regression(num_points=2, dim=5)
+
+    def test_classification_labels(self):
+        _, labels, _ = make_classification(50, 3, seed=1)
+        assert set(np.unique(labels)) <= {-1.0, 1.0}
+
+    def test_classification_flip_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_classification(10, 2, flip_fraction=0.7)
+
+
+class TestLeastSquares:
+    def test_x_star_is_least_squares_solution(self, regression_data):
+        design, targets, _ = regression_data
+        objective = LeastSquares(design, targets)
+        expected, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        np.testing.assert_allclose(objective.x_star, expected, atol=1e-8)
+
+    def test_gradient_zero_at_optimum(self, regression_data):
+        design, targets, _ = regression_data
+        objective = LeastSquares(design, targets)
+        assert np.linalg.norm(objective.gradient(objective.x_star)) < 1e-10
+
+    def test_oracle_unbiased(self, regression_data):
+        design, targets, _ = regression_data
+        objective = LeastSquares(design, targets)
+        rng = RngStream.root(0)
+        x = np.ones(4)
+        mean = np.mean(
+            [objective.stochastic_gradient(x, rng)[0] for _ in range(6000)],
+            axis=0,
+        )
+        np.testing.assert_allclose(mean, objective.gradient(x), atol=0.2)
+
+    def test_strong_convexity_is_min_eigenvalue(self, regression_data):
+        design, targets, _ = regression_data
+        objective = LeastSquares(design, targets)
+        eigenvalues = np.linalg.eigvalsh(design.T @ design / len(targets))
+        assert objective.strong_convexity == pytest.approx(eigenvalues[0])
+
+    def test_rejects_rank_deficient(self):
+        design = np.ones((10, 2))  # rank 1
+        with pytest.raises(ConfigurationError):
+            LeastSquares(design, np.ones(10))
+
+    def test_rejects_shape_mismatch(self, regression_data):
+        design, targets, _ = regression_data
+        with pytest.raises(ConfigurationError):
+            LeastSquares(design, targets[:-1])
+
+    def test_second_moment_bound_holds_on_ball(self, regression_data):
+        design, targets, _ = regression_data
+        objective = LeastSquares(design, targets)
+        rng = RngStream.root(4)
+        radius = 1.0
+        bound = objective.second_moment_bound(radius)
+        x = objective.x_star + radius * np.array([1.0, 0, 0, 0]) / 1.0
+        estimate = np.mean(
+            [
+                np.sum(objective.stochastic_gradient(x, rng)[0] ** 2)
+                for _ in range(3000)
+            ]
+        )
+        assert estimate <= bound * 1.05
+
+
+class TestRidge:
+    def test_optimum_solves_regularized_normal_equations(self, regression_data):
+        design, targets, _ = regression_data
+        lam = 0.5
+        objective = RidgeRegression(design, targets, regularization=lam)
+        m, d = design.shape
+        expected = np.linalg.solve(
+            design.T @ design / m + lam * np.eye(d), design.T @ targets / m
+        )
+        np.testing.assert_allclose(objective.x_star, expected, atol=1e-10)
+
+    def test_gradient_zero_at_optimum(self, regression_data):
+        design, targets, _ = regression_data
+        objective = RidgeRegression(design, targets, regularization=0.3)
+        assert np.linalg.norm(objective.gradient(objective.x_star)) < 1e-10
+
+    def test_strong_convexity_includes_lambda(self, regression_data):
+        design, targets, _ = regression_data
+        plain = LeastSquares(design, targets)
+        ridge = RidgeRegression(design, targets, regularization=0.7)
+        assert ridge.strong_convexity == pytest.approx(
+            plain.strong_convexity + 0.7
+        )
+
+    def test_rejects_nonpositive_lambda(self, regression_data):
+        design, targets, _ = regression_data
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(design, targets, regularization=0.0)
+
+    def test_oracle_unbiased(self, regression_data):
+        design, targets, _ = regression_data
+        objective = RidgeRegression(design, targets, regularization=0.2)
+        rng = RngStream.root(1)
+        x = np.full(4, 0.5)
+        mean = np.mean(
+            [objective.stochastic_gradient(x, rng)[0] for _ in range(6000)],
+            axis=0,
+        )
+        np.testing.assert_allclose(mean, objective.gradient(x), atol=0.2)
+
+
+class TestLogistic:
+    @pytest.fixture(scope="class")
+    def logistic(self):
+        design, labels, _ = make_classification(80, 3, seed=5)
+        return LogisticRegression(design, labels, regularization=0.1)
+
+    def test_optimum_has_zero_gradient(self, logistic):
+        assert np.linalg.norm(logistic.gradient(logistic.x_star)) < 1e-6
+
+    def test_value_decreases_toward_optimum(self, logistic):
+        far = logistic.x_star + np.ones(3)
+        assert logistic.value(far) > logistic.value(logistic.x_star)
+
+    def test_oracle_unbiased(self, logistic):
+        rng = RngStream.root(2)
+        x = np.zeros(3)
+        mean = np.mean(
+            [logistic.stochastic_gradient(x, rng)[0] for _ in range(6000)],
+            axis=0,
+        )
+        np.testing.assert_allclose(mean, logistic.gradient(x), atol=0.1)
+
+    def test_gradient_finite_difference(self, logistic):
+        x = np.array([0.3, -0.2, 0.1])
+        eps = 1e-6
+        for j in range(3):
+            e = np.zeros(3)
+            e[j] = eps
+            numeric = (logistic.value(x + e) - logistic.value(x - e)) / (2 * eps)
+            assert numeric == pytest.approx(logistic.gradient(x)[j], abs=1e-5)
+
+    def test_strong_convexity_is_lambda(self, logistic):
+        assert logistic.strong_convexity == 0.1
+
+    def test_rejects_bad_labels(self):
+        design, labels, _ = make_classification(20, 2, seed=0)
+        labels = labels.copy()
+        labels[0] = 0.5
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(design, labels)
+
+
+class TestSeparableQuadratic:
+    def test_gradients_are_one_sparse(self):
+        objective = SeparableQuadratic(np.array([1.0, 2.0, 3.0]))
+        rng = RngStream.root(0)
+        x = np.array([1.0, 1.0, 1.0])
+        for _ in range(20):
+            gradient, sample = objective.stochastic_gradient(x, rng)
+            assert np.count_nonzero(gradient) <= 1
+        assert objective.gradient_sparsity == 1
+
+    def test_oracle_unbiased(self):
+        objective = SeparableQuadratic(np.array([1.0, 2.0]), noise_sigma=0.1)
+        rng = RngStream.root(1)
+        x = np.array([2.0, -1.0])
+        mean = np.mean(
+            [objective.stochastic_gradient(x, rng)[0] for _ in range(8000)],
+            axis=0,
+        )
+        np.testing.assert_allclose(mean, objective.gradient(x), atol=0.1)
+
+    def test_constants(self):
+        objective = SeparableQuadratic(np.array([0.5, 2.0]), noise_sigma=0.3)
+        assert objective.strong_convexity == 0.5
+        assert objective.lipschitz_expected == pytest.approx(
+            np.sqrt(0.25 + 4.0)
+        )
+        assert objective.second_moment_bound(1.0) == pytest.approx(
+            2 * 4.0 + 2 * 0.09
+        )
+
+    def test_rejects_bad_curvatures(self):
+        with pytest.raises(ConfigurationError):
+            SeparableQuadratic(np.array([1.0, -1.0]))
+        with pytest.raises(ConfigurationError):
+            SeparableQuadratic(np.array([]))

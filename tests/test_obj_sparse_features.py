@@ -1,0 +1,69 @@
+"""Tests for the sparse-feature regression workload (E12's substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objectives.sparse_features import (
+    SparseFeatureLeastSquares,
+    make_sparse_regression,
+)
+from repro.runtime.rng import RngStream
+from repro.theory.assumptions import certify_objective
+
+
+class TestGenerator:
+    def test_exact_row_sparsity(self):
+        design, _, _ = make_sparse_regression(40, 8, 3, seed=1)
+        assert np.all(np.count_nonzero(design, axis=1) == 3)
+
+    def test_every_column_covered(self):
+        design, _, _ = make_sparse_regression(40, 8, 2, seed=2)
+        assert np.all(np.count_nonzero(design, axis=0) > 0)
+
+    def test_full_density_is_dense(self):
+        design, _, _ = make_sparse_regression(30, 5, 5, seed=3)
+        assert np.all(design != 0)
+
+    def test_signal_recoverable(self):
+        design, targets, x_true = make_sparse_regression(
+            200, 6, 3, noise_sigma=0.05, seed=4
+        )
+        estimate, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        assert np.linalg.norm(estimate - x_true) < 0.2
+
+    def test_deterministic(self):
+        a = make_sparse_regression(20, 4, 2, seed=5)
+        b = make_sparse_regression(20, 4, 2, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_sparse_regression(20, 4, 0)
+        with pytest.raises(ConfigurationError):
+            make_sparse_regression(20, 4, 5)
+        with pytest.raises(ConfigurationError):
+            make_sparse_regression(2, 4, 2)
+
+
+class TestObjective:
+    @pytest.fixture(scope="class")
+    def objective(self):
+        design, targets, _ = make_sparse_regression(60, 6, 2, seed=6)
+        return SparseFeatureLeastSquares(design, targets)
+
+    def test_gradient_sparsity_matches_design(self, objective):
+        assert objective.gradient_sparsity == 2
+        assert objective.density == pytest.approx(2 / 6)
+
+    def test_oracle_gradients_are_k_sparse(self, objective):
+        rng = RngStream.root(0)
+        x = np.ones(6)
+        for _ in range(30):
+            gradient, _ = objective.stochastic_gradient(x, rng)
+            assert np.count_nonzero(gradient) <= 2
+
+    def test_is_a_valid_strongly_convex_objective(self, objective):
+        assert objective.strong_convexity > 0
+        report = certify_objective(objective, radius=1.5, seed=1)
+        report.raise_if_failed()

@@ -1,0 +1,165 @@
+"""Property-based tests of the bound calculators.
+
+The bounds are the paper's deliverable; these properties pin down the
+qualitative facts the text claims about them, over wide random parameter
+ranges: positivity, the 1/T decay, monotone growth in the delay, the
+√ vs linear growth orders, the exact crossover at τ = 4nd, and the
+step-size orderings.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.theory.bounds import (
+    contention_constant,
+    corollary_6_7_failure_bound,
+    corollary_6_7_step_size,
+    theorem_3_1_failure_bound,
+    theorem_3_1_step_size,
+    theorem_6_3_failure_bound,
+    theorem_6_3_step_size,
+)
+from repro.theory.lower_bound import required_delay, slowdown_factor
+
+pos = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+small_pos = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+tau_values = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+thread_counts = st.integers(min_value=1, max_value=64)
+dims = st.integers(min_value=1, max_value=64)
+horizons = st.integers(min_value=1, max_value=10**9)
+
+
+class TestBoundShapes:
+    @given(c=pos, m2=pos, eps=small_pos, T=horizons, d0=pos)
+    @settings(max_examples=200, deadline=None)
+    def test_theorem_3_1_bound_in_unit_interval_and_decaying(
+        self, c, m2, eps, T, d0
+    ):
+        b1 = theorem_3_1_failure_bound(T, eps, c, m2, d0)
+        b2 = theorem_3_1_failure_bound(2 * T, eps, c, m2, d0)
+        assert 0.0 <= b2 <= b1 <= 1.0
+
+    @given(c=pos, m2=pos, L=pos, eps=small_pos, d0=pos, T=horizons,
+           tau_a=tau_values, tau_b=tau_values)
+    @settings(max_examples=200, deadline=None)
+    def test_theorem_6_3_monotone_in_tau(
+        self, c, m2, L, eps, d0, T, tau_a, tau_b
+    ):
+        lo, hi = sorted((tau_a, tau_b))
+        assert theorem_6_3_failure_bound(
+            T, eps, c, m2, L, lo, d0
+        ) <= theorem_6_3_failure_bound(T, eps, c, m2, L, hi, d0)
+
+    @given(c=pos, m2=pos, L=pos, eps=small_pos, d0=pos, T=horizons,
+           n=thread_counts, d=dims, tau_a=tau_values, tau_b=tau_values)
+    @settings(max_examples=200, deadline=None)
+    def test_corollary_6_7_monotone_in_tau(
+        self, c, m2, L, eps, d0, T, n, d, tau_a, tau_b
+    ):
+        lo, hi = sorted((tau_a, tau_b))
+        assert corollary_6_7_failure_bound(
+            T, eps, c, m2, L, lo, n, d, d0
+        ) <= corollary_6_7_failure_bound(T, eps, c, m2, L, hi, n, d, d0)
+
+    @given(c=pos, m2=pos, L=pos, eps=small_pos, n=thread_counts, d=dims)
+    @settings(max_examples=200, deadline=None)
+    def test_crossover_exactly_at_4nd(self, c, m2, L, eps, n, d):
+        """The Cor 6.7 and Thm 6.3 *numerators* coincide at τ = 4nd, so
+        the prescribed step sizes are equal there — and ordered on each
+        side."""
+        crossover = 4.0 * n * d
+        alpha_new = corollary_6_7_step_size(c, m2, L, crossover, n, d, eps)
+        alpha_old = theorem_6_3_step_size(c, m2, L, crossover, eps)
+        assert alpha_new == pytest.approx(alpha_old, rel=1e-9)
+        beyond = 4.0 * crossover
+        assert corollary_6_7_step_size(
+            c, m2, L, beyond, n, d, eps
+        ) > theorem_6_3_step_size(c, m2, L, beyond, eps)
+        before = crossover / 4.0
+        assert corollary_6_7_step_size(
+            c, m2, L, before, n, d, eps
+        ) < theorem_6_3_step_size(c, m2, L, before, eps)
+
+    @given(c=pos, m2=pos, L=pos, eps=small_pos, n=thread_counts, d=dims,
+           tau=st.floats(min_value=0.1, max_value=1e5))
+    @settings(max_examples=200, deadline=None)
+    def test_step_sizes_positive_and_below_sequential(
+        self, c, m2, L, eps, n, d, tau
+    ):
+        sequential = theorem_3_1_step_size(c, m2, eps)
+        asynchronous = corollary_6_7_step_size(c, m2, L, tau, n, d, eps)
+        assert 0.0 < asynchronous <= sequential
+
+    @given(tau=st.floats(min_value=1.0, max_value=1e6), n=thread_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_contention_constant_sqrt_scaling(self, tau, n):
+        base = contention_constant(tau, n)
+        assert contention_constant(4 * tau, n) == pytest.approx(2 * base)
+        assert contention_constant(tau, n) == pytest.approx(
+            2 * math.sqrt(tau * n)
+        )
+
+    @given(c=pos, m2=pos, L=pos, eps=small_pos, d0=pos, n=thread_counts,
+           d=dims)
+    @settings(max_examples=100, deadline=None)
+    def test_sqrt_vs_linear_growth_orders(self, c, m2, L, eps, d0, n, d):
+        """Quadrupling τ doubles the new bound's extra term but
+        quadruples the old one's: measured on the un-truncated
+        numerators via huge-T evaluations."""
+        T = 10**12
+        tau = 16.0 * n * d  # beyond the crossover
+
+        # Guard against the min(1, .)/max(0, .) truncation: every bound
+        # evaluated must be strictly interior for the ratios to reflect
+        # the formula.
+        evaluations = [
+            theorem_6_3_failure_bound(T, eps, c, m2, L, 4 * tau, d0),
+            corollary_6_7_failure_bound(T, eps, c, m2, L, 4 * tau, n, d, d0),
+        ]
+        assume(all(1e-15 < b < 0.99 for b in evaluations))
+
+        def extra_new(t):
+            return corollary_6_7_failure_bound(
+                T, eps, c, m2, L, t, n, d, d0
+            ) - corollary_6_7_failure_bound(T, eps, c, m2, L, 0.0, n, d, d0)
+
+        def extra_old(t):
+            return theorem_6_3_failure_bound(
+                T, eps, c, m2, L, t, d0
+            ) - theorem_6_3_failure_bound(T, eps, c, m2, L, 0.0, d0)
+
+        assume(extra_new(tau) > 1e-15 and extra_old(tau) > 1e-15)
+        new_ratio = extra_new(4 * tau) / extra_new(tau)
+        old_ratio = extra_old(4 * tau) / extra_old(tau)
+        assert new_ratio == pytest.approx(2.0, rel=1e-3)
+        assert old_ratio == pytest.approx(4.0, rel=1e-3)
+
+
+class TestLowerBoundCalculus:
+    @given(alpha=st.floats(min_value=0.01, max_value=0.9))
+    @settings(max_examples=200, deadline=None)
+    def test_required_delay_is_minimal(self, alpha):
+        tau = required_delay(alpha)
+        assert 2 * (1 - alpha) ** tau <= alpha + 1e-12
+        if tau > 1:
+            assert 2 * (1 - alpha) ** (tau - 1) > alpha - 1e-12
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.9),
+        tau=st.integers(min_value=1, max_value=10**6),
+        k=st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_slowdown_linear_homogeneous(self, alpha, tau, k):
+        assert slowdown_factor(alpha, k * tau) == pytest.approx(
+            k * slowdown_factor(alpha, tau), rel=1e-9
+        )
+
+    @given(alpha=st.floats(min_value=0.01, max_value=0.9),
+           tau=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_slowdown_positive(self, alpha, tau):
+        assert slowdown_factor(alpha, tau) > 0

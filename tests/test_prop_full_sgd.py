@@ -1,0 +1,93 @@
+"""Property-based invariants of Algorithm 2 over random adversaries.
+
+Whatever the scheduler does, a finished FullSGD run must satisfy:
+the returned model equals x0 plus exactly the applied deltas; every
+iteration is tagged with the epoch its counter index dictates and the
+correspondingly halved step size; the epoch register ends at the final
+epoch; and total work equals epochs × T.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.full_sgd import FullSGD
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+
+
+@st.composite
+def full_sgd_cases(draw):
+    return dict(
+        num_threads=draw(st.integers(min_value=1, max_value=4)),
+        iterations_per_epoch=draw(st.integers(min_value=5, max_value=40)),
+        num_epochs=draw(st.integers(min_value=1, max_value=4)),
+        alpha0=draw(st.floats(min_value=0.01, max_value=0.2)),
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+        kind=draw(st.sampled_from(["random", "bounded", "priority"])),
+        delay=draw(st.integers(min_value=1, max_value=200)),
+        use_dcas=draw(st.booleans()),
+    )
+
+
+def _scheduler(case):
+    if case["kind"] == "random":
+        return RandomScheduler(seed=case["seed"])
+    if case["kind"] == "bounded":
+        return BoundedDelayScheduler(case["delay"], seed=case["seed"],
+                                     victims=[0])
+    return PriorityDelayScheduler(victims=[0], delay=case["delay"],
+                                  seed=case["seed"])
+
+
+@given(case=full_sgd_cases())
+@settings(max_examples=40, deadline=None)
+def test_full_sgd_invariants(case):
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+    x0 = np.array([1.5, -1.5])
+    driver = FullSGD(
+        objective,
+        num_threads=case["num_threads"],
+        epsilon=0.1,
+        alpha0=case["alpha0"],
+        iterations_per_epoch=case["iterations_per_epoch"],
+        num_epochs=case["num_epochs"],
+        x0=x0,
+        use_dcas_loop=case["use_dcas"],
+    )
+    out = driver.run(_scheduler(case), seed=case["seed"])
+
+    # Work accounting: epochs * T iterations, no more, no less.
+    assert out.total_iterations == (
+        case["num_epochs"] * case["iterations_per_epoch"]
+    )
+
+    # Epoch tagging and step-size halving.
+    for record in out.records:
+        expected_epoch = record.index // case["iterations_per_epoch"]
+        assert record.epoch == expected_epoch
+        assert record.step_size == case["alpha0"] / (2**expected_epoch)
+
+    # The model equals x0 plus exactly the applied deltas.
+    total = x0.astype(float).copy()
+    for record in out.records:
+        delta = -record.step_size * record.gradient
+        total = total + delta * np.asarray(record.applied, dtype=float)
+    np.testing.assert_allclose(out.r, total, rtol=1e-9, atol=1e-12)
+
+    # Guard bookkeeping: rejected components are exactly the
+    # non-applied non-zero ones.
+    rejected = sum(
+        1
+        for record in out.records
+        for j, landed in enumerate(record.applied)
+        if not landed and record.gradient[j] != 0.0
+    )
+    assert rejected == out.rejected_updates
+
+    # Total order on iterations (Lemma 6.1 holds under Algorithm 2 too).
+    orders = [r.order_time for r in out.records]
+    assert orders == sorted(orders)

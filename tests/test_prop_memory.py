@@ -1,0 +1,103 @@
+"""Property-based tests of the shared-memory substrate (hypothesis).
+
+Random programs of atomic operations are applied to the memory; the
+recorded log must replay exactly, reads must be coherent, and fetch&add
+accounting must balance — i.e. the memory really is an atomic,
+sequentially consistent register set.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.shm.history import (
+    check_fetch_add_totals,
+    check_log_replay,
+    check_read_coherence,
+)
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import (
+    CompareAndSwap,
+    FetchAdd,
+    GuardedFetchAdd,
+    Noop,
+    Read,
+    Write,
+)
+
+NUM_CELLS = 4
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+address = st.integers(min_value=0, max_value=NUM_CELLS - 1)
+
+
+def _operations():
+    return st.one_of(
+        st.builds(Read, address=address),
+        st.builds(Write, address=address, value=finite),
+        st.builds(FetchAdd, address=address, delta=finite),
+        st.builds(CompareAndSwap, address=address, expected=finite, new=finite),
+        st.builds(
+            GuardedFetchAdd,
+            address=address,
+            delta=finite,
+            guard_address=address,
+            guard_expected=st.sampled_from([0.0, 1.0]),
+        ),
+        st.builds(Noop, address=address),
+    )
+
+
+@given(ops=st.lists(_operations(), min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_log_replays_exactly(ops):
+    memory = SharedMemory(record_log=True)
+    memory.allocate(NUM_CELLS)
+    for op in ops:
+        memory.execute(op)
+    final = check_log_replay(memory.log, {}, memory.size)
+    for addr in range(NUM_CELLS):
+        assert final.get(addr, 0.0) == memory.peek(addr)
+
+
+@given(ops=st.lists(_operations(), min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_reads_are_coherent(ops):
+    memory = SharedMemory(record_log=True)
+    memory.allocate(NUM_CELLS)
+    for op in ops:
+        memory.execute(op)
+    check_read_coherence(memory.log)
+
+
+@given(
+    deltas=st.lists(finite, min_size=1, max_size=50),
+    interleave_reads=st.booleans(),
+)
+@settings(max_examples=200, deadline=None)
+def test_fetch_add_never_loses_updates(deltas, interleave_reads):
+    """Linearizability content of fetch&add: final = initial + sum."""
+    memory = SharedMemory(record_log=True)
+    base = memory.allocate(1, initial=1.0)
+    for delta in deltas:
+        memory.execute(FetchAdd(base, delta))
+        if interleave_reads:
+            memory.execute(Read(base))
+    check_fetch_add_totals(memory.log, [base], 1.0, {base: memory.peek(base)})
+
+
+@given(ops=st.lists(_operations(), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_execution_is_deterministic(ops):
+    """Replaying the identical op sequence yields identical memory."""
+    images = []
+    for _ in range(2):
+        memory = SharedMemory(record_log=False)
+        memory.allocate(NUM_CELLS)
+        for op in ops:
+            memory.execute(op)
+        images.append([memory.peek(a) for a in range(NUM_CELLS)])
+    assert images[0] == images[1]

@@ -1,0 +1,156 @@
+"""Property-based tests over iteration records: the accumulator
+trajectory, the serializer round-trip, and record geometry helpers."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.results import accumulator_trajectory
+from repro.metrics.serialize import record_from_dict, record_to_dict
+from repro.runtime.events import IterationRecord
+from repro.theory.contention import delay_sequence, interval_contention
+
+DIM = 3
+
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-100.0, max_value=100.0
+)
+
+
+@st.composite
+def iteration_records(draw, max_count=12):
+    """A structurally valid stream of iteration records.
+
+    Times are made consistent (start < read_start <= read_end <=
+    first_update <= end) and globally increasing enough to be a legal
+    trace shape, though overlaps are allowed (that's the point).
+    """
+    count = draw(st.integers(min_value=1, max_value=max_count))
+    records = []
+    base = 0
+    for index in range(count):
+        start = base + draw(st.integers(min_value=0, max_value=3))
+        read_start = start + 1 + draw(st.integers(min_value=0, max_value=3))
+        read_end = read_start + DIM - 1
+        gradient = np.array([draw(finite) for _ in range(DIM)])
+        nonzero = [j for j in range(DIM) if gradient[j] != 0.0]
+        update_times = [None] * DIM
+        t = read_end
+        for j in nonzero:
+            t += 1 + draw(st.integers(min_value=0, max_value=2))
+            update_times[j] = t
+        end = t if nonzero else read_end
+        first_update = update_times[nonzero[0]] if nonzero else None
+        applied = [
+            update_times[j] is not None
+            and draw(st.booleans() if draw(st.booleans()) else st.just(True))
+            for j in range(DIM)
+        ]
+        records.append(
+            IterationRecord(
+                time=end,
+                thread_id=draw(st.integers(min_value=0, max_value=3)),
+                index=index,
+                epoch=draw(st.integers(min_value=0, max_value=2)),
+                start_time=start,
+                read_start_time=read_start,
+                read_end_time=read_end,
+                first_update_time=first_update,
+                end_time=end,
+                view=np.array([draw(finite) for _ in range(DIM)]),
+                gradient=gradient,
+                applied=applied,
+                update_times=update_times,
+                step_size=draw(
+                    st.floats(min_value=1e-4, max_value=1.0,
+                              allow_nan=False)
+                ),
+            )
+        )
+        base = start + 1
+    return records
+
+
+class TestAccumulatorTrajectory:
+    @given(records=iteration_records())
+    @settings(max_examples=100, deadline=None)
+    def test_shape_and_initial_row(self, records):
+        x0 = np.zeros(DIM)
+        trajectory = accumulator_trajectory(x0, records)
+        assert trajectory.shape == (len(records) + 1, DIM)
+        np.testing.assert_array_equal(trajectory[0], x0)
+
+    @given(records=iteration_records(), shift=finite)
+    @settings(max_examples=100, deadline=None)
+    def test_translation_equivariance(self, records, shift):
+        """Shifting x0 shifts every x_t by the same vector."""
+        x0 = np.zeros(DIM)
+        shifted = x0 + shift
+        base = accumulator_trajectory(x0, records)
+        moved = accumulator_trajectory(shifted, records)
+        np.testing.assert_allclose(moved, base + shift, rtol=1e-9, atol=1e-9)
+
+    @given(records=iteration_records())
+    @settings(max_examples=100, deadline=None)
+    def test_steps_match_applied_deltas(self, records):
+        x0 = np.zeros(DIM)
+        trajectory = accumulator_trajectory(x0, records)
+        for t, record in enumerate(records, start=1):
+            delta = trajectory[t] - trajectory[t - 1]
+            expected = -record.step_size * record.gradient * np.asarray(
+                record.applied, dtype=float
+            )
+            np.testing.assert_allclose(delta, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestSerializationRoundtrip:
+    @given(records=iteration_records(max_count=6))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_is_identity_on_analysis_fields(self, records):
+        for record in records:
+            clone = record_from_dict(record_to_dict(record))
+            assert clone.order_time == record.order_time
+            assert clone.start_time == record.start_time
+            assert clone.end_time == record.end_time
+            np.testing.assert_array_equal(clone.gradient, record.gradient)
+            assert clone.applied == record.applied
+
+    @given(records=iteration_records(max_count=8))
+    @settings(max_examples=50, deadline=None)
+    def test_contention_invariant_under_roundtrip(self, records):
+        clones = [record_from_dict(record_to_dict(r)) for r in records]
+        np.testing.assert_array_equal(
+            interval_contention(records), interval_contention(clones)
+        )
+        np.testing.assert_array_equal(
+            delay_sequence(records), delay_sequence(clones)
+        )
+
+
+class TestRecordGeometry:
+    @given(records=iteration_records(max_count=8))
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_is_symmetric(self, records):
+        for a in records:
+            for b in records:
+                assert a.overlaps(b) == b.overlaps(a)
+
+    @given(records=iteration_records(max_count=8))
+    @settings(max_examples=100, deadline=None)
+    def test_every_record_overlaps_itself(self, records):
+        for record in records:
+            assert record.overlaps(record)
+
+    @given(records=iteration_records(max_count=8))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_sequence_at_least_one(self, records):
+        delays = delay_sequence(records)
+        assert np.all(delays >= 1)
+
+    @given(records=iteration_records(max_count=8))
+    @settings(max_examples=100, deadline=None)
+    def test_contention_bounded_by_count(self, records):
+        contention = interval_contention(records)
+        assert np.all(contention <= len(records) - 1)
+        assert np.all(contention >= 0)

@@ -1,0 +1,119 @@
+"""Property-based scheduler stress tests.
+
+Every scheduler in the library, driven over randomized thread counts,
+program lengths and seeds, must satisfy the basic liveness/sanity
+contract: the simulation quiesces, every non-crashed thread finishes its
+program, the counter accounting balances, and replays are faithful.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.runtime.program import FunctionProgram
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.sched.crash import CrashPlan, CrashScheduler
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.replay import RecordingScheduler, ReplayScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.sequential import SequentialScheduler
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+@st.composite
+def stress_cases(draw):
+    return dict(
+        num_threads=draw(st.integers(min_value=1, max_value=6)),
+        rounds=draw(st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=6
+        )),
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+        kind=draw(st.sampled_from(
+            ["sequential", "round_robin", "random", "bounded", "priority"]
+        )),
+        delay=draw(st.integers(min_value=1, max_value=50)),
+    )
+
+
+def _build(kind, seed, delay, num_threads):
+    if kind == "sequential":
+        return SequentialScheduler()
+    if kind == "round_robin":
+        return RoundRobinScheduler()
+    if kind == "random":
+        return RandomScheduler(seed=seed)
+    if kind == "bounded":
+        return BoundedDelayScheduler(delay, seed=seed, victims=[0])
+    return PriorityDelayScheduler(victims=[0], delay=delay, seed=seed)
+
+
+def _run_case(case, scheduler):
+    memory = SharedMemory(record_log=False)
+    counter = AtomicCounter.allocate(memory)
+    sim = Simulator(memory, scheduler, seed=case["seed"])
+    rounds = case["rounds"]
+    for i in range(case["num_threads"]):
+        per_thread = rounds[i % len(rounds)]
+
+        def loop(ctx, k=per_thread):
+            for _ in range(k):
+                yield counter.increment_op()
+            return "done"
+
+        sim.spawn(FunctionProgram(loop))
+    sim.run()
+    return sim, counter
+
+
+@given(case=stress_cases())
+@settings(max_examples=60, deadline=None)
+def test_every_scheduler_quiesces_and_balances(case):
+    scheduler = _build(
+        case["kind"], case["seed"], case["delay"], case["num_threads"]
+    )
+    sim, counter = _run_case(case, scheduler)
+    assert sim.is_done
+    assert all(t.state is ThreadState.FINISHED for t in sim.threads)
+    expected = sum(
+        case["rounds"][i % len(case["rounds"])]
+        for i in range(case["num_threads"])
+    )
+    assert counter.count == expected
+    assert sim.now == expected  # one step per increment, nothing wasted
+
+
+@given(case=stress_cases())
+@settings(max_examples=40, deadline=None)
+def test_record_then_replay_is_identical(case):
+    scheduler = _build(
+        case["kind"], case["seed"], case["delay"], case["num_threads"]
+    )
+    recorder = RecordingScheduler(scheduler)
+    sim_a, counter_a = _run_case(case, recorder)
+    sim_b, counter_b = _run_case(case, ReplayScheduler(recorder.schedule))
+    assert counter_a.count == counter_b.count
+    assert sim_a.now == sim_b.now
+
+
+@given(
+    case=stress_cases(),
+    crash_step=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_crashes_never_deadlock(case, crash_step):
+    if case["num_threads"] < 2:
+        return  # nothing to crash
+    inner = _build(
+        case["kind"], case["seed"], case["delay"], case["num_threads"]
+    )
+    scheduler = CrashScheduler(
+        inner, [CrashPlan(thread_id=1, after_steps=crash_step)]
+    )
+    sim, counter = _run_case(case, scheduler)
+    assert sim.is_done
+    survivors = [t for t in sim.threads if t.state is ThreadState.FINISHED]
+    assert len(survivors) >= case["num_threads"] - 1

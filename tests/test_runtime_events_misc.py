@@ -1,0 +1,164 @@
+"""Unit tests for the event types, the FullSGD epoch-event stream, the
+Lemma 6.1 incomplete-iteration bound, and experiment-runner details."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.full_sgd import FullSGD, FullSGDThreadProgram
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.events import (
+    CrashEvent,
+    EpochEvent,
+    IterationRecord,
+    SpawnEvent,
+    StepRecord,
+)
+from repro.runtime.simulator import Simulator
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.register import AtomicRegister
+from repro.theory.contention import max_incomplete_iterations
+
+
+class TestEventTypes:
+    def test_iteration_record_order_time_prefers_first_update(self):
+        record = IterationRecord(
+            time=9, thread_id=0, start_time=0, first_update_time=5, end_time=9
+        )
+        assert record.order_time == 5
+
+    def test_iteration_record_order_time_falls_back_to_end(self):
+        record = IterationRecord(
+            time=9, thread_id=0, start_time=0, first_update_time=None,
+            end_time=9,
+        )
+        assert record.order_time == 9
+
+    def test_overlaps_boundary_inclusive(self):
+        a = IterationRecord(time=5, thread_id=0, start_time=0, end_time=5)
+        b = IterationRecord(time=9, thread_id=1, start_time=5, end_time=9)
+        assert a.overlaps(b)
+        c = IterationRecord(time=9, thread_id=1, start_time=6, end_time=9)
+        assert not a.overlaps(c)
+
+    def test_epoch_event_defaults(self):
+        event = EpochEvent(time=3, thread_id=1, epoch=2, learning_rate=0.05)
+        assert event.kind == "start"
+
+    def test_step_record_fields(self):
+        from repro.shm.ops import Read
+
+        record = StepRecord(time=1, thread_id=2, op=Read(0), result=1.5)
+        assert record.result == 1.5
+
+
+class TestEpochEventStream:
+    def _run(self, scheduler, seed=3):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        memory = SharedMemory(record_log=False)
+        model = AtomicArray.allocate(memory, 2, name="model")
+        model.load(np.array([2.0, -2.0]))
+        counter = AtomicCounter.allocate(memory)
+        epoch_register = AtomicRegister(memory, memory.allocate(1))
+        sim = Simulator(memory, scheduler, seed=seed)
+        from repro.core.schedules import EpochHalvingRate
+
+        for _ in range(3):
+            sim.spawn(
+                FullSGDThreadProgram(
+                    model, counter, epoch_register, objective,
+                    EpochHalvingRate(0.1), iterations_per_epoch=30,
+                    num_epochs=4,
+                )
+            )
+        sim.run()
+        return sim
+
+    def test_each_epoch_started_exactly_once(self):
+        sim = self._run(RandomScheduler(seed=4))
+        epoch_events = [e for e in sim.trace if isinstance(e, EpochEvent)]
+        epochs = sorted(e.epoch for e in epoch_events)
+        # Epoch 0 needs no CAS; epochs 1..3 each ratcheted exactly once.
+        assert epochs == [1, 2, 3]
+
+    def test_epoch_events_monotone_in_time(self):
+        sim = self._run(RandomScheduler(seed=5))
+        epoch_events = [e for e in sim.trace if isinstance(e, EpochEvent)]
+        times = [e.time for e in sorted(epoch_events, key=lambda e: e.epoch)]
+        assert times == sorted(times)
+
+    def test_epoch_event_carries_halved_rate(self):
+        sim = self._run(RandomScheduler(seed=6))
+        for event in sim.trace:
+            if isinstance(event, EpochEvent):
+                assert event.learning_rate == pytest.approx(
+                    0.1 / (2**event.epoch)
+                )
+
+
+class TestLemma61Incomplete:
+    def test_bounded_by_thread_count_on_real_traces(self):
+        objective = IsotropicQuadratic(dim=3, noise=GaussianNoise(0.4))
+        x0 = np.full(3, 2.0)
+        for n in (2, 4, 8):
+            for scheduler in (
+                RandomScheduler(seed=7),
+                PriorityDelayScheduler(victims=[0], delay=60, seed=7),
+            ):
+                result = run_lock_free_sgd(
+                    objective, scheduler, num_threads=n, step_size=0.02,
+                    iterations=150, x0=x0, seed=7,
+                )
+                assert max_incomplete_iterations(result.records) <= n
+
+    def test_synthetic_cases(self):
+        def rec(first, end, tid=0):
+            return IterationRecord(
+                time=end, thread_id=tid, start_time=first - 1,
+                first_update_time=first, end_time=end,
+            )
+
+        # Three nested in-flight iterations.
+        records = [rec(0, 10), rec(1, 9), rec(2, 8)]
+        assert max_incomplete_iterations(records) == 3
+        # Sequential: never more than 1.
+        records = [rec(0, 1), rec(2, 3), rec(4, 5)]
+        assert max_incomplete_iterations(records) == 1
+        # Point updates (first == end) are never in flight.
+        records = [rec(5, 5)]
+        assert max_incomplete_iterations(records) == 0
+        assert max_incomplete_iterations([]) == 0
+
+
+class TestSimulatorTraceComposition:
+    def test_trace_contains_spawns_then_iterations(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        result = run_lock_free_sgd(
+            objective, RandomScheduler(seed=8), num_threads=2,
+            step_size=0.05, iterations=10, x0=np.array([1.0, 1.0]), seed=8,
+        )
+        assert len(result.records) == 10
+
+    def test_crash_event_emitted(self):
+        from repro.runtime.program import FunctionProgram
+
+        memory = SharedMemory()
+        counter = AtomicCounter.allocate(memory)
+        sim = Simulator(memory, RandomScheduler(seed=9))
+
+        def loop(ctx):
+            for _ in range(5):
+                yield counter.increment_op()
+
+        sim.spawn(FunctionProgram(loop))
+        sim.spawn(FunctionProgram(loop))
+        sim.crash(1)
+        sim.run()
+        kinds = [type(e).__name__ for e in sim.trace]
+        assert kinds.count("SpawnEvent") == 2
+        assert kinds.count("CrashEvent") == 1

@@ -1,0 +1,72 @@
+"""Unit tests for RngStream and Clock."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.clock import Clock
+from repro.runtime.rng import RngStream, spawn_streams
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream.root(42)
+        b = RngStream.root(42)
+        assert a.normal() == b.normal()
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_different_seeds_differ(self):
+        draws_a = RngStream.root(1).normal(size=8)
+        draws_b = RngStream.root(2).normal(size=8)
+        assert not np.allclose(draws_a, draws_b)
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        first = [s.normal() for s in RngStream.root(7).spawn(3)]
+        second = [s.normal() for s in RngStream.root(7).spawn(3)]
+        assert first == second
+        assert len(set(first)) == 3  # children differ from each other
+
+    def test_spawn_one(self):
+        child = RngStream.root(3).spawn_one()
+        assert isinstance(child, RngStream)
+
+    def test_spawn_streams_helper(self):
+        streams = spawn_streams(5, 4)
+        assert len(streams) == 4
+
+    def test_choice_and_weights(self):
+        stream = RngStream.root(0)
+        options = ["a", "b", "c"]
+        picks = {stream.choice(options) for _ in range(50)}
+        assert picks <= set(options)
+        assert len(picks) > 1
+
+    def test_choice_with_p(self):
+        stream = RngStream.root(0)
+        picks = {stream.choice(["a", "b"], p=[1.0, 0.0]) for _ in range(10)}
+        assert picks == {"a"}
+
+    def test_uniform_bounds(self):
+        stream = RngStream.root(1)
+        draws = stream.uniform(2.0, 3.0, size=100)
+        assert np.all(draws >= 2.0) and np.all(draws < 3.0)
+
+    def test_shuffle_in_place(self):
+        stream = RngStream.root(9)
+        items = list(range(20))
+        stream.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_tick_returns_pre_increment(self):
+        clock = Clock()
+        assert clock.tick() == 0
+        assert clock.tick() == 1
+        assert clock.now == 2
+
+    def test_custom_start(self):
+        clock = Clock(start=10)
+        assert clock.tick() == 10

@@ -1,0 +1,207 @@
+"""Unit tests for SimThread, Program protocol and the Simulator loop."""
+
+import pytest
+
+from repro.errors import (
+    NoRunnableThreadError,
+    ProgramError,
+    SchedulerError,
+    SimulationError,
+    ThreadCrashedError,
+)
+from repro.runtime.events import SpawnEvent
+from repro.runtime.program import FunctionProgram
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.sequential import SequentialScheduler
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.register import AtomicRegister
+
+
+def make_sim(scheduler=None, seed=0):
+    memory = SharedMemory()
+    return memory, Simulator(memory, scheduler or RoundRobinScheduler(), seed=seed)
+
+
+def incrementer(counter, rounds):
+    def body(ctx):
+        total = 0.0
+        for _ in range(rounds):
+            total += yield counter.increment_op()
+        return total
+
+    return FunctionProgram(body, name="incrementer")
+
+
+class TestSpawnAndRun:
+    def test_counter_sums_across_threads(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        for _ in range(3):
+            sim.spawn(incrementer(counter, 5))
+        sim.run()
+        assert counter.count == 15
+        assert sim.now == 15
+        assert sim.is_done
+
+    def test_results_collects_return_values(self):
+        memory, sim = make_sim(SequentialScheduler())
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 3))
+        sim.spawn(incrementer(counter, 2))
+        sim.run()
+        results = sim.results()
+        # Sequential: thread 0 sees 0,1,2; thread 1 sees 3,4.
+        assert results[0] == 3.0
+        assert results[1] == 7.0
+
+    def test_spawn_emits_event(self):
+        _, sim = make_sim()
+        memory = sim.memory
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1), name="worker")
+        spawns = [e for e in sim.trace if isinstance(e, SpawnEvent)]
+        assert len(spawns) == 1
+        assert spawns[0].name == "worker"
+
+    def test_program_finishing_without_yield(self):
+        _, sim = make_sim()
+
+        def body(ctx):
+            return 42
+            yield  # pragma: no cover - makes it a generator
+
+        thread = sim.spawn(FunctionProgram(body))
+        assert thread.state is ThreadState.FINISHED
+        assert thread.result == 42
+        assert sim.is_done
+
+    def test_run_max_steps(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 100))
+        executed = sim.run(max_steps=10)
+        assert executed == 10
+        assert not sim.is_done
+
+    def test_run_stop_predicate(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 100))
+        sim.run(stop=lambda s: s.now >= 7)
+        assert sim.now == 7
+
+    def test_step_on_finished_simulation_raises(self):
+        _, sim = make_sim()
+        with pytest.raises(NoRunnableThreadError):
+            sim.step()
+
+    def test_yielding_non_operation_raises(self):
+        _, sim = make_sim()
+
+        def body(ctx):
+            yield "not an op"
+
+        with pytest.raises(ProgramError):
+            sim.spawn(FunctionProgram(body))
+
+
+class TestCrash:
+    def test_crashed_thread_takes_no_steps(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 10))
+        sim.spawn(incrementer(counter, 10))
+        sim.crash(1)
+        sim.run()
+        assert counter.count == 10
+        assert sim.threads[1].state is ThreadState.CRASHED
+
+    def test_crash_budget_is_n_minus_1(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1))
+        sim.spawn(incrementer(counter, 1))
+        sim.crash(0)
+        with pytest.raises(SimulationError):
+            sim.crash(1)
+
+    def test_crash_twice_rejected(self):
+        memory, sim = make_sim()
+        counter = AtomicCounter.allocate(memory)
+        for _ in range(3):
+            sim.spawn(incrementer(counter, 1))
+        sim.crash(0)
+        with pytest.raises(ThreadCrashedError):
+            sim.crash(0)
+
+
+class TestSchedulerContract:
+    def test_bad_scheduler_choice_detected(self):
+        class BadScheduler:
+            def select(self, sim):
+                return 99
+
+        memory = SharedMemory()
+        sim = Simulator(memory, BadScheduler())
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1))
+        with pytest.raises(SchedulerError):
+            sim.step()
+
+    def test_scheduler_picking_finished_thread_detected(self):
+        class StubbornScheduler:
+            def select(self, sim):
+                return 0
+
+        memory = SharedMemory()
+        sim = Simulator(memory, StubbornScheduler())
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1))
+        sim.spawn(incrementer(counter, 1))
+        sim.step()  # thread 0 finishes (single op program)
+        with pytest.raises(SchedulerError):
+            sim.step()
+
+
+class TestAnnotations:
+    def test_annotations_visible_to_simulator(self):
+        _, sim = make_sim()
+        memory = sim.memory
+        reg = AtomicRegister(memory, memory.allocate(1))
+
+        def body(ctx):
+            ctx.annotate("stage", "before")
+            yield reg.read_op()
+            ctx.annotate("stage", "after")
+
+        sim.spawn(FunctionProgram(body))
+        assert sim.annotations(0)["stage"] == "before"
+        sim.step()
+        assert sim.annotations(0)["stage"] == "after"
+
+    def test_record_steps(self):
+        memory = SharedMemory()
+        sim = Simulator(memory, RoundRobinScheduler(), record_steps=True)
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 3))
+        sim.run()
+        assert len(sim.steps) == 3
+        assert [s.time for s in sim.steps] == [0, 1, 2]
+
+    def test_thread_rngs_differ(self):
+        _, sim = make_sim()
+        memory = sim.memory
+        reg = AtomicRegister(memory, memory.allocate(1))
+        draws = {}
+
+        def body(ctx):
+            draws[ctx.thread_id] = ctx.rng.normal()
+            yield reg.read_op()
+
+        sim.spawn(FunctionProgram(body))
+        sim.spawn(FunctionProgram(body))
+        sim.run()
+        assert draws[0] != draws[1]

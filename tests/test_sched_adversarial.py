@@ -1,0 +1,192 @@
+"""Unit tests for the adaptive adversaries (greedy ascent, stale-gradient
+attack, priority delay)."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.sequential import run_sequential_sgd
+from repro.metrics.trace import iterations_to_stay_below
+from repro.objectives.noise import ZeroNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.adaptive import GreedyAscentAdversary
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+from repro.theory.contention import tau_max
+
+
+class TestGreedyAscent:
+    def test_prefers_the_most_harmful_pending_update(self):
+        """With two pending fetch&adds — one pushing the model away from
+        x*, one pulling it closer — the adversary schedules the harmful
+        one."""
+        from repro.runtime.program import FunctionProgram
+        from repro.runtime.simulator import Simulator
+        from repro.shm.array import AtomicArray
+        from repro.shm.memory import SharedMemory
+
+        memory = SharedMemory()
+        model = AtomicArray.allocate(memory, 2)
+        model.load(np.array([1.0, 1.0]))
+        adversary = GreedyAscentAdversary(model, np.zeros(2))
+        sim = Simulator(memory, adversary, seed=0)
+
+        def helpful(ctx):
+            yield model.fetch_add_op(0, -0.5)  # toward x*
+
+        def harmful(ctx):
+            yield model.fetch_add_op(1, +0.5)  # away from x*
+
+        sim.spawn(FunctionProgram(helpful))
+        sim.spawn(FunctionProgram(harmful))
+        record = sim.step()
+        assert record.thread_id == 1  # the harmful update goes first
+
+    def test_falls_back_to_round_robin_without_harmful_updates(self):
+        from repro.runtime.program import FunctionProgram
+        from repro.runtime.simulator import Simulator
+        from repro.shm.array import AtomicArray
+        from repro.shm.memory import SharedMemory
+
+        memory = SharedMemory()
+        model = AtomicArray.allocate(memory, 1)
+        model.load(np.array([2.0]))
+        adversary = GreedyAscentAdversary(model, np.zeros(1))
+        sim = Simulator(memory, adversary, seed=0)
+
+        def reader(ctx):
+            yield model.read_op(0)
+            yield model.read_op(0)
+
+        sim.spawn(FunctionProgram(reader))
+        sim.spawn(FunctionProgram(reader))
+        order = [sim.step().thread_id for _ in range(4)]
+        assert sorted(order) == [0, 0, 1, 1]
+
+    def test_still_converges_under_adaptive_adversary(self):
+        """The adversary can reorder but not invent updates: on a convex
+        objective with small alpha, lock-free SGD still converges."""
+        from repro.core.epoch_sgd import EpochSGDProgram
+        from repro.runtime.simulator import Simulator
+        from repro.shm.array import AtomicArray
+        from repro.shm.counter import AtomicCounter
+        from repro.shm.memory import SharedMemory
+
+        objective = IsotropicQuadratic(dim=2, noise=ZeroNoise())
+        memory = SharedMemory(record_log=False)
+        model = AtomicArray.allocate(memory, 2, name="model")
+        model.load(np.array([4.0, -4.0]))
+        counter = AtomicCounter.allocate(memory)
+        sim = Simulator(memory, GreedyAscentAdversary(model, objective.x_star),
+                        seed=1)
+        for _ in range(3):
+            sim.spawn(EpochSGDProgram(model, counter, objective, 0.05, 300))
+        sim.run()
+        assert objective.distance_to_opt(model.snapshot()) < 1e-3
+
+
+class TestStaleGradientAttack:
+    def test_slowdown_grows_with_delay(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        x0 = np.array([10.0])
+        target = 1e-4 * 10.0
+        times = []
+        for delay in (20, 120):
+            result = run_lock_free_sgd(
+                objective,
+                StaleGradientAttack(victim=1, runner=0, delay=delay),
+                num_threads=2,
+                step_size=0.1,
+                iterations=1500,
+                x0=x0,
+                seed=0,
+            )
+            times.append(iterations_to_stay_below(result.distances, target))
+        assert times[0] is not None and times[1] is not None
+        assert times[1] > 1.5 * times[0]
+
+    def test_victim_updates_are_stale(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_lock_free_sgd(
+            objective,
+            StaleGradientAttack(victim=1, runner=0, delay=40),
+            num_threads=2,
+            step_size=0.1,
+            iterations=200,
+            x0=np.array([10.0]),
+            seed=0,
+        )
+        assert tau_max(result.records) >= 40
+
+    def test_rounds_budget(self):
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_lock_free_sgd(
+            objective,
+            StaleGradientAttack(victim=1, runner=0, delay=50, rounds=2),
+            num_threads=2,
+            step_size=0.1,
+            iterations=400,
+            x0=np.array([10.0]),
+            seed=0,
+        )
+        # After the budget the schedule is fair, so the run completes.
+        assert result.iterations == 400
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            StaleGradientAttack(delay=-1)
+
+    def test_terminates_with_single_runnable_thread(self):
+        # Victim alone (runner crashes early) must not deadlock.
+        objective = IsotropicQuadratic(dim=1, noise=ZeroNoise())
+        result = run_lock_free_sgd(
+            objective,
+            StaleGradientAttack(victim=0, runner=1, delay=10),
+            num_threads=1,
+            step_size=0.1,
+            iterations=20,
+            x0=np.array([1.0]),
+            seed=0,
+        )
+        assert result.iterations == 20
+
+
+class TestPriorityDelay:
+    def test_inflates_tau_max(self):
+        objective = IsotropicQuadratic(dim=2)
+        x0 = np.array([2.0, 2.0])
+        plain = run_lock_free_sgd(
+            objective, RandomScheduler(seed=1), num_threads=3,
+            step_size=0.02, iterations=200, x0=x0, seed=1,
+        )
+        delayed = run_lock_free_sgd(
+            objective,
+            PriorityDelayScheduler(victims=[0], delay=100, seed=1),
+            num_threads=3, step_size=0.02, iterations=200, x0=x0, seed=1,
+        )
+        assert tau_max(delayed.records) > tau_max(plain.records)
+
+    def test_zero_delay_behaves_like_random(self):
+        objective = IsotropicQuadratic(dim=2)
+        result = run_lock_free_sgd(
+            objective,
+            PriorityDelayScheduler(victims=[0], delay=0, seed=1),
+            num_threads=3, step_size=0.02, iterations=100,
+            x0=np.array([1.0, 1.0]), seed=1,
+        )
+        assert result.iterations == 100
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityDelayScheduler(victims=[0], delay=-5)
+
+    def test_run_completes_despite_holds(self):
+        objective = IsotropicQuadratic(dim=2)
+        result = run_lock_free_sgd(
+            objective,
+            PriorityDelayScheduler(victims=[0, 1], delay=50, seed=2),
+            num_threads=2, step_size=0.02, iterations=60,
+            x0=np.array([1.0, 1.0]), seed=2,
+        )
+        assert result.iterations == 60

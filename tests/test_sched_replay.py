@@ -1,0 +1,92 @@
+"""Tests for schedule recording/replay and the wall-clock metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.errors import ConfigurationError, SchedulerError
+from repro.metrics.trace import parallel_speedup, parallel_wallclock
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.replay import RecordingScheduler, ReplayScheduler
+
+
+@pytest.fixture
+def workload():
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+    x0 = np.array([2.0, -2.0])
+
+    def run(scheduler):
+        return run_lock_free_sgd(
+            objective, scheduler, num_threads=3, step_size=0.05,
+            iterations=60, x0=x0, seed=5,
+        )
+
+    return run
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_run_exactly(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        original = workload(recorder)
+        assert len(recorder.schedule) == original.sim_steps
+
+        replayed = workload(ReplayScheduler(recorder.schedule))
+        np.testing.assert_array_equal(original.x_final, replayed.x_final)
+        np.testing.assert_array_equal(original.distances, replayed.distances)
+        assert original.sim_steps == replayed.sim_steps
+
+    def test_strict_replay_detects_divergence(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        corrupted = list(recorder.schedule)
+        # Make an early decision point at a thread that will have
+        # finished by then — guaranteed divergence: repeat thread 0
+        # forever from the midpoint.
+        midpoint = len(corrupted) // 2
+        corrupted[midpoint:] = [0] * (len(corrupted) - midpoint)
+        with pytest.raises(SchedulerError):
+            workload(ReplayScheduler(corrupted, strict=True))
+
+    def test_strict_replay_rejects_short_schedule(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        with pytest.raises(SchedulerError):
+            workload(ReplayScheduler(recorder.schedule[:10], strict=True))
+
+    def test_lenient_replay_falls_back(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        # Truncated schedule with strict=False completes anyway.
+        result = workload(ReplayScheduler(recorder.schedule[:10], strict=False))
+        assert result.iterations == 60
+
+    def test_remaining_counter(self):
+        replay = ReplayScheduler([0, 1, 0])
+        assert replay.remaining == 3
+
+
+class TestWallclockMetrics:
+    def test_parallel_wallclock_is_max(self):
+        assert parallel_wallclock([10, 30, 20]) == 30
+
+    def test_speedup_balanced(self):
+        assert parallel_speedup(90, [30, 30, 30]) == pytest.approx(3.0)
+
+    def test_speedup_imbalanced(self):
+        assert parallel_speedup(90, [60, 20, 10]) == pytest.approx(1.5)
+
+    def test_speedup_of_real_run(self, workload):
+        result = workload(RandomScheduler(seed=11))
+        speedup = parallel_speedup(
+            result.sim_steps, list(result.thread_steps.values())
+        )
+        assert 1.0 <= speedup <= 3.0
+        assert sum(result.thread_steps.values()) == result.sim_steps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_wallclock([])
+        with pytest.raises(ConfigurationError):
+            parallel_speedup(5, [10])

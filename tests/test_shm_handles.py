@@ -1,0 +1,123 @@
+"""Unit tests for AtomicRegister, AtomicArray and AtomicCounter handles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidOperationError
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import FetchAdd, GuardedFetchAdd, Read, Write
+from repro.shm.register import AtomicRegister
+
+
+class TestRegister:
+    def test_op_constructors_bind_address(self, memory):
+        reg = AtomicRegister(memory, memory.allocate(1))
+        assert isinstance(reg.read_op(), Read)
+        assert reg.read_op().address == reg.address
+        assert reg.write_op(2.0) == Write(reg.address, 2.0)
+        assert reg.fetch_add_op(1.5) == FetchAdd(reg.address, 1.5)
+        assert reg.cas_op(0.0, 1.0).expected == 0.0
+
+    def test_direct_operations_roundtrip(self, memory):
+        reg = AtomicRegister(memory, memory.allocate(1))
+        reg.write_direct(4.0)
+        assert reg.read_direct() == 4.0
+        assert reg.fetch_add_direct(1.0) == 4.0
+        assert reg.value == 5.0
+
+    def test_direct_cas(self, memory):
+        reg = AtomicRegister(memory, memory.allocate(1, initial=1.0))
+        assert reg.cas_direct(1.0, 2.0) is True
+        assert reg.cas_direct(1.0, 3.0) is False
+        assert reg.value == 2.0
+
+    def test_direct_ops_are_logged(self, memory):
+        reg = AtomicRegister(memory, memory.allocate(1))
+        reg.write_direct(1.0)
+        reg.read_direct()
+        assert len(memory.log) == 2
+
+    def test_guarded_fetch_add_op(self, memory):
+        guard = AtomicRegister(memory, memory.allocate(1, initial=2.0))
+        reg = AtomicRegister(memory, memory.allocate(1))
+        op = reg.guarded_fetch_add_op(0.5, guard, 2.0)
+        assert isinstance(op, GuardedFetchAdd)
+        ok, prev = memory.execute(op)
+        assert ok and prev == 0.0
+        assert reg.value == 0.5
+
+
+class TestArray:
+    def test_allocate_and_snapshot(self, memory):
+        array = AtomicArray.allocate(memory, 4, name="m", initial=1.0)
+        snapshot = array.snapshot()
+        np.testing.assert_allclose(snapshot, np.ones(4))
+
+    def test_load_and_snapshot_roundtrip(self, memory):
+        array = AtomicArray.allocate(memory, 3)
+        values = np.array([1.0, -2.0, 3.5])
+        array.load(values)
+        np.testing.assert_allclose(array.snapshot(), values)
+
+    def test_load_wrong_length(self, memory):
+        array = AtomicArray.allocate(memory, 3)
+        with pytest.raises(InvalidOperationError):
+            array.load(np.zeros(2))
+
+    def test_index_bounds(self, memory):
+        array = AtomicArray.allocate(memory, 3)
+        with pytest.raises(InvalidOperationError):
+            array.read_op(3)
+        with pytest.raises(InvalidOperationError):
+            array.read_op(-1)
+
+    def test_address_mapping_roundtrip(self, memory):
+        memory.allocate(5)  # offset the base
+        array = AtomicArray.allocate(memory, 4)
+        for index in range(4):
+            address = array.address_of(index)
+            assert array.contains_address(address)
+            assert array.index_of_address(address) == index
+        assert not array.contains_address(array.base - 1)
+        with pytest.raises(InvalidOperationError):
+            array.index_of_address(array.base + 4)
+
+    def test_per_entry_ops(self, memory):
+        array = AtomicArray.allocate(memory, 2)
+        memory.execute(array.fetch_add_op(1, 3.0))
+        assert memory.execute(array.read_op(1)) == 3.0
+        assert memory.execute(array.read_op(0)) == 0.0
+
+    def test_iter_registers(self, memory):
+        array = AtomicArray.allocate(memory, 3)
+        registers = list(array)
+        assert len(registers) == 3
+        assert [r.address for r in registers] == [array.base + i for i in range(3)]
+
+    def test_len(self, memory):
+        assert len(AtomicArray.allocate(memory, 7)) == 7
+
+    def test_zero_length_rejected(self, memory):
+        with pytest.raises(InvalidOperationError):
+            AtomicArray(memory, 0, 0)
+
+
+class TestCounter:
+    def test_increment_direct_returns_previous(self, memory):
+        counter = AtomicCounter.allocate(memory, name="c")
+        assert counter.increment_direct() == 0.0
+        assert counter.increment_direct() == 1.0
+        assert counter.count == 2
+
+    def test_increment_op_descriptor(self, memory):
+        counter = AtomicCounter.allocate(memory)
+        op = counter.increment_op()
+        assert isinstance(op, FetchAdd)
+        assert op.delta == 1.0
+
+    def test_counter_is_register(self, memory):
+        counter = AtomicCounter.allocate(memory, initial=5.0)
+        assert isinstance(counter, AtomicRegister)
+        assert counter.value == 5.0

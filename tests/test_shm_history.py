@@ -1,0 +1,122 @@
+"""Unit tests for the history/consistency checkers."""
+
+import pytest
+
+from repro.errors import HistoryViolationError
+from repro.shm.history import (
+    check_fetch_add_totals,
+    check_log_replay,
+    check_read_coherence,
+    thread_operation_counts,
+)
+from repro.shm.memory import LogRecord, SharedMemory
+from repro.shm.ops import CompareAndSwap, FetchAdd, Read, Write
+
+
+def _run_program(memory: SharedMemory):
+    base = memory.allocate(2)
+    memory.execute(FetchAdd(base, 3.0), thread_id=0)
+    memory.execute(Read(base), thread_id=1)
+    memory.execute(Write(base + 1, 5.0), thread_id=1)
+    memory.execute(CompareAndSwap(base + 1, 5.0, 6.0), thread_id=0)
+    memory.execute(FetchAdd(base, -1.0), thread_id=2)
+    memory.execute(Read(base + 1), thread_id=2)
+    return base
+
+
+class TestReplay:
+    def test_valid_log_replays_clean(self, memory):
+        base = _run_program(memory)
+        final = check_log_replay(memory.log, {}, memory.size)
+        assert final[base] == 2.0
+        assert final[base + 1] == 6.0
+
+    def test_corrupted_read_result_detected(self, memory):
+        _run_program(memory)
+        bad = memory.log[1]
+        memory.log[1] = LogRecord(
+            seq=bad.seq, time=bad.time, thread_id=bad.thread_id, op=bad.op,
+            result=999.0,
+        )
+        with pytest.raises(HistoryViolationError):
+            check_log_replay(memory.log, {}, memory.size)
+
+    def test_corrupted_faa_result_detected(self, memory):
+        _run_program(memory)
+        bad = memory.log[0]
+        memory.log[0] = LogRecord(
+            seq=bad.seq, time=bad.time, thread_id=bad.thread_id, op=bad.op,
+            result=1.0,
+        )
+        with pytest.raises(HistoryViolationError):
+            check_log_replay(memory.log, {}, memory.size)
+
+    def test_corrupted_cas_result_detected(self, memory):
+        _run_program(memory)
+        index = next(
+            i for i, r in enumerate(memory.log)
+            if isinstance(r.op, CompareAndSwap)
+        )
+        bad = memory.log[index]
+        memory.log[index] = LogRecord(
+            seq=bad.seq, time=bad.time, thread_id=bad.thread_id, op=bad.op,
+            result=not bad.result,
+        )
+        with pytest.raises(HistoryViolationError):
+            check_log_replay(memory.log, {}, memory.size)
+
+    def test_respects_nonzero_initial(self, memory):
+        base = memory.allocate(1, initial=4.0)
+        memory.execute(Read(base))
+        check_log_replay(memory.log, {base: 4.0}, memory.size)
+        with pytest.raises(HistoryViolationError):
+            check_log_replay(memory.log, {base: 0.0}, memory.size)
+
+
+class TestReadCoherence:
+    def test_coherent_log_passes(self, memory):
+        _run_program(memory)
+        check_read_coherence(memory.log)
+
+    def test_stale_read_detected(self, memory):
+        base = memory.allocate(1)
+        memory.execute(Write(base, 1.0))
+        memory.execute(Read(base))
+        bad = memory.log[1]
+        memory.log[1] = LogRecord(
+            seq=bad.seq, time=bad.time, thread_id=bad.thread_id, op=bad.op,
+            result=0.0,
+        )
+        with pytest.raises(HistoryViolationError):
+            check_read_coherence(memory.log)
+
+
+class TestFetchAddTotals:
+    def test_totals_match(self, memory):
+        base = memory.allocate(1)
+        for delta in [1.0, 2.5, -0.5, 10.0]:
+            memory.execute(FetchAdd(base, delta))
+        check_fetch_add_totals(
+            memory.log, [base], 0.0, {base: memory.peek(base)}
+        )
+
+    def test_lost_update_detected(self, memory):
+        base = memory.allocate(1)
+        memory.execute(FetchAdd(base, 1.0))
+        memory.execute(FetchAdd(base, 1.0))
+        with pytest.raises(HistoryViolationError):
+            check_fetch_add_totals(memory.log, [base], 0.0, {base: 1.0})
+
+    def test_overwritten_address_skipped(self, memory):
+        base = memory.allocate(1)
+        memory.execute(FetchAdd(base, 1.0))
+        memory.execute(Write(base, 100.0))
+        # Write resets the accounting; the checker must not flag it.
+        check_fetch_add_totals(memory.log, [base], 0.0, {base: 100.0})
+
+
+class TestThreadCounts:
+    def test_counts_by_thread(self, memory):
+        _run_program(memory)
+        counts = thread_operation_counts(memory.log)
+        assert counts == {0: 2, 1: 2, 2: 2}

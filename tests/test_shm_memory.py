@@ -1,0 +1,174 @@
+"""Unit tests for the shared-memory substrate (SharedMemory + ops)."""
+
+import pytest
+
+from repro.errors import InvalidOperationError, UnknownAddressError
+from repro.shm.memory import SharedMemory
+from repro.shm.ops import (
+    CompareAndSwap,
+    DoubleCompareSingleSwap,
+    FetchAdd,
+    GuardedFetchAdd,
+    Noop,
+    Read,
+    Write,
+)
+
+
+class TestAllocation:
+    def test_allocate_returns_consecutive_bases(self):
+        mem = SharedMemory()
+        assert mem.allocate(3) == 0
+        assert mem.allocate(2) == 3
+        assert mem.size == 5
+
+    def test_allocate_initial_value(self):
+        mem = SharedMemory()
+        base = mem.allocate(2, initial=7.5)
+        assert mem.peek(base) == 7.5
+        assert mem.peek(base + 1) == 7.5
+
+    def test_named_segment_lookup(self):
+        mem = SharedMemory()
+        mem.allocate(4, name="model")
+        segment = mem.segment("model")
+        assert segment.base == 0
+        assert segment.length == 4
+
+    def test_duplicate_name_rejected(self):
+        mem = SharedMemory()
+        mem.allocate(1, name="x")
+        with pytest.raises(InvalidOperationError):
+            mem.allocate(1, name="x")
+
+    def test_zero_length_rejected(self):
+        mem = SharedMemory()
+        with pytest.raises(InvalidOperationError):
+            mem.allocate(0)
+
+    def test_unknown_segment(self):
+        mem = SharedMemory()
+        with pytest.raises(UnknownAddressError):
+            mem.segment("nope")
+
+
+class TestPrimitives:
+    def test_read_initial_zero(self, memory):
+        base = memory.allocate(1)
+        assert memory.execute(Read(base)) == 0.0
+
+    def test_write_then_read(self, memory):
+        base = memory.allocate(1)
+        memory.execute(Write(base, 3.25))
+        assert memory.execute(Read(base)) == 3.25
+
+    def test_fetch_add_returns_previous(self, memory):
+        base = memory.allocate(1, initial=10.0)
+        assert memory.execute(FetchAdd(base, 5.0)) == 10.0
+        assert memory.execute(FetchAdd(base, -2.5)) == 15.0
+        assert memory.peek(base) == 12.5
+
+    def test_cas_success(self, memory):
+        base = memory.allocate(1, initial=1.0)
+        assert memory.execute(CompareAndSwap(base, 1.0, 9.0)) is True
+        assert memory.peek(base) == 9.0
+
+    def test_cas_failure_leaves_value(self, memory):
+        base = memory.allocate(1, initial=1.0)
+        assert memory.execute(CompareAndSwap(base, 2.0, 9.0)) is False
+        assert memory.peek(base) == 1.0
+
+    def test_guarded_fetch_add_guard_matches(self, memory):
+        guard = memory.allocate(1, initial=3.0)
+        target = memory.allocate(1, initial=1.0)
+        ok, previous = memory.execute(
+            GuardedFetchAdd(address=target, delta=2.0, guard_address=guard,
+                            guard_expected=3.0)
+        )
+        assert ok is True
+        assert previous == 1.0
+        assert memory.peek(target) == 3.0
+
+    def test_guarded_fetch_add_guard_mismatch(self, memory):
+        guard = memory.allocate(1, initial=3.0)
+        target = memory.allocate(1, initial=1.0)
+        ok, current = memory.execute(
+            GuardedFetchAdd(address=target, delta=2.0, guard_address=guard,
+                            guard_expected=4.0)
+        )
+        assert ok is False
+        assert current == 1.0
+        assert memory.peek(target) == 1.0
+
+    def test_dcss_both_match(self, memory):
+        guard = memory.allocate(1, initial=1.0)
+        target = memory.allocate(1, initial=5.0)
+        op = DoubleCompareSingleSwap(
+            address=target, expected=5.0, new=7.0,
+            guard_address=guard, guard_expected=1.0,
+        )
+        assert memory.execute(op) is True
+        assert memory.peek(target) == 7.0
+        assert memory.peek(guard) == 1.0  # guard untouched (single swap)
+
+    def test_dcss_guard_mismatch(self, memory):
+        guard = memory.allocate(1, initial=1.0)
+        target = memory.allocate(1, initial=5.0)
+        op = DoubleCompareSingleSwap(
+            address=target, expected=5.0, new=7.0,
+            guard_address=guard, guard_expected=0.0,
+        )
+        assert memory.execute(op) is False
+        assert memory.peek(target) == 5.0
+
+    def test_dcss_target_mismatch(self, memory):
+        guard = memory.allocate(1, initial=1.0)
+        target = memory.allocate(1, initial=5.0)
+        op = DoubleCompareSingleSwap(
+            address=target, expected=4.0, new=7.0,
+            guard_address=guard, guard_expected=1.0,
+        )
+        assert memory.execute(op) is False
+
+    def test_noop_changes_nothing(self, memory):
+        base = memory.allocate(1, initial=2.0)
+        assert memory.execute(Noop(base)) is None
+        assert memory.peek(base) == 2.0
+
+    def test_out_of_range_address(self, memory):
+        with pytest.raises(UnknownAddressError):
+            memory.execute(Read(99))
+
+    def test_negative_address(self, memory):
+        memory.allocate(1)
+        with pytest.raises(UnknownAddressError):
+            memory.execute(Read(-1))
+
+
+class TestLogging:
+    def test_log_records_sequence(self, memory):
+        base = memory.allocate(1)
+        memory.execute(FetchAdd(base, 1.0), time=0, thread_id=2)
+        memory.execute(Read(base), time=1, thread_id=3)
+        assert len(memory.log) == 2
+        assert memory.log[0].seq == 0
+        assert memory.log[0].thread_id == 2
+        assert memory.log[1].result == 1.0
+
+    def test_log_disabled(self):
+        mem = SharedMemory(record_log=False)
+        base = mem.allocate(1)
+        mem.execute(FetchAdd(base, 1.0))
+        assert mem.log == []
+        assert mem.peek(base) == 1.0
+
+    def test_peek_and_poke_not_logged(self, memory):
+        base = memory.allocate(1)
+        memory.poke(base, 4.0)
+        assert memory.peek(base) == 4.0
+        assert memory.log == []
+
+    def test_peek_range(self, memory):
+        base = memory.allocate(3, initial=1.0)
+        memory.poke(base + 1, 2.0)
+        assert memory.peek_range(base, 3) == [1.0, 2.0, 1.0]

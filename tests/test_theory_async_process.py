@@ -1,0 +1,137 @@
+"""Tests for the Theorem 6.5 auxiliary process V_t and the
+contention-maximizing adversary."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.results import accumulator_trajectory
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.contention_max import ContentionMaximizer
+from repro.sched.random_sched import RandomScheduler
+from repro.theory.async_martingale import evaluate_async_process
+from repro.theory.bounds import corollary_6_7_step_size
+from repro.theory.contention import tau_avg, tau_max
+from repro.theory.martingale import ConvexRateSupermartingale
+
+
+def _run_and_evaluate(scheduler, iterations=120, epsilon=0.05, seed=2):
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+    x0 = np.array([2.0, -2.0])
+    radius = 2.0 * objective.distance_to_opt(x0)
+    second_moment = objective.second_moment_bound(radius)
+    # A deliberately small alpha so the Thm 6.5 discount stays positive.
+    alpha = corollary_6_7_step_size(
+        objective.strong_convexity, second_moment,
+        objective.lipschitz_expected, 64, 4, 2, epsilon,
+    )
+    result = run_lock_free_sgd(
+        objective, scheduler, num_threads=4, step_size=alpha,
+        iterations=iterations, x0=x0, seed=seed,
+    )
+    process = ConvexRateSupermartingale(
+        epsilon=epsilon,
+        alpha=alpha,
+        strong_convexity=objective.strong_convexity,
+        second_moment=second_moment,
+        x_star=objective.x_star,
+    )
+    trajectory = accumulator_trajectory(x0, result.records)
+    trace = evaluate_async_process(
+        result.records, trajectory, process, objective.lipschitz_expected
+    )
+    return result, trace
+
+
+class TestAsyncProcess:
+    def test_v0_equals_w0(self):
+        _, trace = _run_and_evaluate(RandomScheduler(seed=1))
+        assert trace.v[0] == pytest.approx(trace.w[0])
+        assert trace.correction[0] == 0.0
+
+    def test_correction_nonnegative(self):
+        _, trace = _run_and_evaluate(RandomScheduler(seed=2))
+        assert np.all(trace.correction >= 0.0)
+
+    def test_discount_positive_under_prescribed_alpha(self):
+        _, trace = _run_and_evaluate(RandomScheduler(seed=3))
+        assert 0.0 < trace.discount <= 1.0
+
+    def test_failure_lower_bound(self):
+        """On a run that never hits (tiny epsilon), the proof's terminal
+        inequality V_T >= T (1 - alpha^2 H L M C sqrt(d)) must hold."""
+        _, trace = _run_and_evaluate(
+            RandomScheduler(seed=4), iterations=60, epsilon=1e-6
+        )
+        assert trace.hit_time is None
+        assert trace.failure_lower_bound_holds()
+
+    def test_frozen_after_success(self):
+        result, trace = _run_and_evaluate(
+            RandomScheduler(seed=5), iterations=400, epsilon=0.5
+        )
+        if trace.hit_time is not None:
+            frozen = trace.v[trace.hit_time]
+            assert np.all(trace.v[trace.hit_time:] == frozen)
+        assert trace.failure_lower_bound_holds()
+
+    def test_trajectory_shape_validated(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        result, trace = _run_and_evaluate(RandomScheduler(seed=6))
+        process = ConvexRateSupermartingale(
+            epsilon=0.05, alpha=1e-3, strong_convexity=1.0,
+            second_moment=10.0, x_star=np.zeros(2),
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_async_process(
+                result.records, np.zeros((3, 2)), process, 1.0
+            )
+
+
+class TestContentionMaximizer:
+    def test_inflates_tau_avg_toward_ceiling(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        x0 = np.array([1.5, -1.5])
+        n = 4
+        benign = run_lock_free_sgd(
+            objective, RandomScheduler(seed=7), num_threads=n,
+            step_size=0.01, iterations=200, x0=x0, seed=7,
+        )
+        hostile = run_lock_free_sgd(
+            objective, ContentionMaximizer(), num_threads=n,
+            step_size=0.01, iterations=200, x0=x0, seed=7,
+        )
+        assert tau_avg(hostile.records) > tau_avg(benign.records)
+        # ... and still within the Gibson-Gramoli ceiling.
+        assert tau_avg(hostile.records) <= 2 * n
+
+    def test_run_completes(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        result = run_lock_free_sgd(
+            objective, ContentionMaximizer(), num_threads=3,
+            step_size=0.02, iterations=90, x0=np.array([1.0, 1.0]), seed=8,
+        )
+        assert result.iterations == 90
+
+    def test_lemma_bounds_survive_the_worst_case(self):
+        from repro.theory.contention import lemma_6_2_violations, lemma_6_4_bound
+
+        objective = IsotropicQuadratic(dim=3, noise=GaussianNoise(0.3))
+        n = 5
+        result = run_lock_free_sgd(
+            objective, ContentionMaximizer(), num_threads=n,
+            step_size=0.02, iterations=150, x0=np.full(3, 1.5), seed=9,
+        )
+        assert lemma_6_2_violations(result.records, 1, n) == []
+        max_sum, bound = lemma_6_4_bound(result.records)
+        assert max_sum <= bound + 1e-9
+
+    def test_single_thread_degenerates_gracefully(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+        result = run_lock_free_sgd(
+            objective, ContentionMaximizer(), num_threads=1,
+            step_size=0.05, iterations=20, x0=np.array([1.0, 1.0]), seed=10,
+        )
+        assert result.iterations == 20

@@ -1,0 +1,204 @@
+"""Unit tests for the bound calculators and the lower-bound calculus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.bounds import (
+    contention_constant,
+    corollary_6_7_failure_bound,
+    corollary_6_7_step_size,
+    slowdown_versus_sequential,
+    theorem_3_1_failure_bound,
+    theorem_3_1_step_size,
+    theorem_6_3_failure_bound,
+    theorem_6_3_step_size,
+    theorem_6_5_failure_bound,
+    theorem_6_5_precondition,
+)
+from repro.theory.lower_bound import (
+    adversarial_contraction,
+    attack_variance,
+    max_tolerable_delay,
+    required_delay,
+    sequential_contraction,
+    slowdown_factor,
+)
+from repro.theory.plog import plog
+
+
+class TestTheorem31:
+    def test_step_size_formula(self):
+        assert theorem_3_1_step_size(2.0, 10.0, 0.5, 0.8) == pytest.approx(
+            2.0 * 0.5 * 0.8 / 10.0
+        )
+
+    def test_bound_decays_as_one_over_t(self):
+        kwargs = dict(epsilon=0.5, strong_convexity=1.0, second_moment=10.0,
+                      x0_distance=3.0)
+        b1 = theorem_3_1_failure_bound(iterations=1000, **kwargs)
+        b2 = theorem_3_1_failure_bound(iterations=2000, **kwargs)
+        assert b2 == pytest.approx(b1 / 2)
+
+    def test_bound_clipped_to_one(self):
+        assert theorem_3_1_failure_bound(
+            iterations=1, epsilon=0.01, strong_convexity=1.0,
+            second_moment=100.0, x0_distance=10.0,
+        ) == 1.0
+
+    def test_exact_formula(self):
+        T, eps, c, m2, d0 = 500, 0.5, 1.0, 10.0, 3.0
+        expected = m2 / (c**2 * eps * T) * plog(math.e * d0**2 / eps)
+        assert theorem_3_1_failure_bound(T, eps, c, m2, d0) == pytest.approx(
+            expected
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem_3_1_step_size(0.0, 1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            theorem_3_1_failure_bound(0, 0.1, 1.0, 1.0, 1.0)
+
+
+class TestTheorem63:
+    def test_tau_zero_matches_sequential(self):
+        assert theorem_6_3_step_size(1.0, 10.0, 1.0, 0.0, 0.5) == pytest.approx(
+            theorem_3_1_step_size(1.0, 10.0, 0.5)
+        )
+        assert theorem_6_3_failure_bound(
+            100, 0.5, 1.0, 10.0, 1.0, 0.0, 2.0
+        ) == pytest.approx(theorem_3_1_failure_bound(100, 0.5, 1.0, 10.0, 2.0))
+
+    def test_penalty_is_linear_in_tau(self):
+        def numerator(tau):
+            # Recover the numerator from the bound at large T.
+            T = 10**9
+            bound = theorem_6_3_failure_bound(T, 0.5, 1.0, 10.0, 1.0, tau, 2.0)
+            return bound * T
+
+        base = numerator(0)
+        slope1 = numerator(10) - base
+        slope2 = numerator(20) - base
+        assert slope2 == pytest.approx(2 * slope1)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            theorem_6_3_step_size(1.0, 1.0, 1.0, -1.0, 0.1)
+
+
+class TestCorollary67:
+    def test_contention_constant(self):
+        assert contention_constant(9.0, 4) == pytest.approx(12.0)
+        with pytest.raises(ConfigurationError):
+            contention_constant(-1.0, 4)
+        with pytest.raises(ConfigurationError):
+            contention_constant(1.0, 0)
+
+    def test_penalty_is_sqrt_in_tau(self):
+        def numerator(tau):
+            T = 10**9
+            bound = corollary_6_7_failure_bound(
+                T, 0.5, 1.0, 10.0, 1.0, tau, 4, 2, 2.0
+            )
+            return bound * T
+
+        base = numerator(0)
+        gain1 = numerator(16) - base
+        gain2 = numerator(64) - base
+        assert gain2 == pytest.approx(2 * gain1)  # sqrt(64/16) = 2
+
+    def test_step_size_consistent_with_bound_numerator(self):
+        c, m2, L, tau, n, d, eps = 1.0, 10.0, 1.0, 25.0, 4, 2, 0.5
+        alpha = corollary_6_7_step_size(c, m2, L, tau, n, d, eps)
+        M = math.sqrt(m2)
+        C = contention_constant(tau, n)
+        denominator = m2 + 2 * math.sqrt(eps) * L * M * C * math.sqrt(d)
+        assert alpha == pytest.approx(c * eps / denominator)
+
+    def test_beats_theorem_63_past_crossover(self):
+        c, m2, L, n, d, eps, d0, T = 1.0, 10.0, 1.0, 4, 2, 0.5, 2.0, 10**7
+        crossover = 4 * n * d
+        before = crossover / 4
+        after = crossover * 4
+        assert corollary_6_7_failure_bound(
+            T, eps, c, m2, L, before, n, d, d0
+        ) > theorem_6_3_failure_bound(T, eps, c, m2, L, before, d0)
+        assert corollary_6_7_failure_bound(
+            T, eps, c, m2, L, after, n, d, d0
+        ) < theorem_6_3_failure_bound(T, eps, c, m2, L, after, d0)
+
+    def test_slowdown_factor_formula(self):
+        got = slowdown_versus_sequential(0.25, 20.0, 1.0, 16.0, 4, 2)
+        M = math.sqrt(20.0)
+        extra = 4 * 0.5 * 1.0 * M * math.sqrt(64) * math.sqrt(2)
+        assert got == pytest.approx((20.0 + extra) / 20.0)
+
+
+class TestTheorem65:
+    def test_precondition_boundary(self):
+        # alpha^2 * H * L * M * C * sqrt(d) exactly 1 -> False; below -> True.
+        assert theorem_6_5_precondition(0.1, 1.0, 1.0, 1.0, 99.0, 1)
+        assert not theorem_6_5_precondition(0.1, 1.0, 1.0, 1.0, 100.0, 1)
+
+    def test_bound_formula(self):
+        got = theorem_6_5_failure_bound(
+            iterations=100, initial_value=50.0, alpha=0.01,
+            lipschitz_H=2.0, lipschitz=1.0, gradient_bound=3.0,
+            contention=10.0, dim=4,
+        )
+        discount = 1 - 0.01**2 * 2.0 * 1.0 * 3.0 * 10.0 * 2.0
+        assert got == pytest.approx(min(1.0, 50.0 / (discount * 100)))
+
+    def test_violated_precondition_raises(self):
+        with pytest.raises(ConfigurationError):
+            theorem_6_5_failure_bound(
+                iterations=100, initial_value=1.0, alpha=1.0,
+                lipschitz_H=10.0, lipschitz=1.0, gradient_bound=1.0,
+                contention=10.0, dim=1,
+            )
+
+
+class TestTheorem51Calculus:
+    def test_required_delay_satisfies_condition(self):
+        for alpha in (0.05, 0.1, 0.3):
+            tau = required_delay(alpha)
+            assert 2 * (1 - alpha) ** tau <= alpha
+            assert 2 * (1 - alpha) ** (tau - 1) > alpha or tau == 1
+
+    def test_contraction_formulas(self):
+        assert sequential_contraction(0.1, 10) == pytest.approx(0.9**10)
+        assert adversarial_contraction(0.1, 100) == pytest.approx(
+            abs(0.9**100 - 0.1)
+        )
+
+    def test_slowdown_linear_in_tau(self):
+        s1 = slowdown_factor(0.1, 100)
+        s2 = slowdown_factor(0.1, 200)
+        assert s2 == pytest.approx(2 * s1)
+
+    def test_slowdown_matches_paper_expression(self):
+        alpha, tau = 0.2, 50
+        expected = tau * math.log(1 - alpha) / (math.log(alpha) - math.log(2))
+        assert slowdown_factor(alpha, tau) == pytest.approx(expected)
+
+    def test_attack_variance_closed_form(self):
+        alpha, tau, sigma = 0.1, 5, 2.0
+        contraction_sq = 0.81
+        geometric = sum(contraction_sq**k for k in range(tau))
+        expected = alpha**2 * sigma**2 * (1 + geometric)
+        assert attack_variance(alpha, tau, sigma) == pytest.approx(expected)
+
+    def test_max_tolerable_delay_consistent(self):
+        alpha = 0.15
+        boundary = max_tolerable_delay(alpha)
+        assert required_delay(alpha) == max(1, math.ceil(boundary))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_delay(1.5)
+        with pytest.raises(ConfigurationError):
+            slowdown_factor(0.1, 0)
+        with pytest.raises(ConfigurationError):
+            attack_variance(0.1, 1, -1.0)

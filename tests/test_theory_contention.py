@@ -1,0 +1,194 @@
+"""Unit + property tests for the contention analytics (Lemmas 6.1/6.2/6.4,
+tau_max, tau_avg)."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.events import IterationRecord
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.theory.contention import (
+    delay_sequence,
+    interval_contention,
+    iteration_intervals,
+    lemma_6_2_max_bad,
+    lemma_6_2_violations,
+    lemma_6_4_bound,
+    lemma_6_4_sums,
+    tau_avg,
+    tau_max,
+    thread_count,
+)
+
+
+def record(start, end, thread=0, read_start=None):
+    """Construct a minimal IterationRecord for synthetic interval tests."""
+    return IterationRecord(
+        time=end,
+        thread_id=thread,
+        start_time=start,
+        read_start_time=read_start if read_start is not None else start + 1,
+        read_end_time=read_start if read_start is not None else start + 1,
+        first_update_time=end,
+        end_time=end,
+    )
+
+
+class TestIntervalContention:
+    def test_disjoint_intervals_have_zero_contention(self):
+        records = [record(0, 1), record(2, 3), record(4, 5)]
+        np.testing.assert_array_equal(interval_contention(records), [0, 0, 0])
+
+    def test_fully_overlapping(self):
+        records = [record(0, 10, t) for t in range(3)]
+        np.testing.assert_array_equal(interval_contention(records), [2, 2, 2])
+
+    def test_chain_overlap(self):
+        records = [record(0, 2), record(1, 3), record(2, 4)]
+        # 0 overlaps 1 and (at the boundary point 2) record 2.
+        np.testing.assert_array_equal(interval_contention(records), [2, 2, 2])
+
+    def test_tau_max_and_avg(self):
+        records = [record(0, 10), record(1, 2), record(20, 21)]
+        assert tau_max(records) == 1  # (0,10) and (1,2) overlap each other
+        assert tau_avg(records) == pytest.approx((1 + 1 + 0) / 3)
+
+    def test_empty_trace(self):
+        assert tau_max([]) == 0
+        assert tau_avg([]) == 0.0
+        assert interval_contention([]).size == 0
+        assert delay_sequence([]).size == 0
+
+    def test_intervals_sorted_by_order_time(self):
+        records = [record(5, 9), record(0, 3)]
+        intervals = iteration_intervals(records)
+        assert intervals[0, 0] == 0
+
+    def test_thread_count(self):
+        records = [record(0, 1, 0), record(2, 3, 1), record(4, 5, 0)]
+        assert thread_count(records) == 2
+
+
+class TestDelaySequence:
+    def test_serial_execution_has_delay_one(self):
+        # Each iteration reads after all previous completed: tau_t = 1.
+        records = [record(10 * i, 10 * i + 5, read_start=10 * i + 1)
+                   for i in range(5)]
+        np.testing.assert_array_equal(delay_sequence(records), [1, 1, 1, 1, 1])
+
+    def test_pending_predecessor_increases_delay(self):
+        # Iteration 1 reads while iteration 0 is still writing.
+        records = [
+            record(0, 100, thread=0, read_start=1),
+            record(2, 50, thread=1, read_start=3),
+        ]
+        delays = delay_sequence(records)
+        # Ordered by first update: (2,50) comes first then (0,100).
+        assert delays[1] == 2  # the late-ordered one misses both
+
+
+class TestLemma62:
+    def test_synthetic_violation_free(self):
+        records = [record(i, i + 3, thread=i % 2) for i in range(40)]
+        assert lemma_6_2_violations(records, 2, 2) == []
+
+    def test_max_bad_reports_windows(self):
+        records = [record(i, i + 3, thread=i % 2) for i in range(40)]
+        max_bad, windows = lemma_6_2_max_bad(records, 2, 2)
+        assert windows > 0
+        assert max_bad < 2
+
+    def test_short_trace_has_no_windows(self):
+        records = [record(0, 1)]
+        assert lemma_6_2_violations(records, 4, 4) == []
+        assert lemma_6_2_max_bad(records, 4, 4) == (0, 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(Exception):
+            lemma_6_2_violations([], 0, 2)
+        with pytest.raises(Exception):
+            lemma_6_2_max_bad([], 2, 0)
+
+
+class TestLemma64Sums:
+    def test_all_ones_delay(self):
+        sums = lemma_6_4_sums(np.ones(10, dtype=int))
+        # Each position: only m=1 can satisfy tau >= m.
+        np.testing.assert_array_equal(sums[:-1], np.ones(9, dtype=int))
+        assert sums[-1] == 0  # nothing after the last element
+
+    def test_known_small_case(self):
+        delays = np.array([1, 3, 2, 1])
+        # t=0: m=1 -> tau_1=3>=1 yes; m=2 -> tau_2=2>=2 yes; m=3 -> tau_3=1>=3 no.
+        sums = lemma_6_4_sums(delays)
+        assert sums[0] == 2
+
+    def test_empty(self):
+        assert lemma_6_4_sums(np.array([], dtype=int)).size == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based: real executions under randomized schedulers must satisfy
+# the combinatorial lemmas (they are theorems about *any* execution).
+# ----------------------------------------------------------------------
+@st.composite
+def execution_params(draw):
+    return dict(
+        num_threads=draw(st.integers(min_value=2, max_value=6)),
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+        scheduler_kind=draw(st.sampled_from(["random", "bounded", "priority"])),
+        delay=draw(st.integers(min_value=1, max_value=120)),
+    )
+
+
+def _build_scheduler(params):
+    if params["scheduler_kind"] == "random":
+        return RandomScheduler(seed=params["seed"])
+    if params["scheduler_kind"] == "bounded":
+        return BoundedDelayScheduler(
+            params["delay"], seed=params["seed"], victims=[0]
+        )
+    return PriorityDelayScheduler(
+        victims=[0], delay=params["delay"], seed=params["seed"]
+    )
+
+
+@given(params=execution_params())
+@settings(max_examples=25, deadline=None)
+def test_execution_lemmas_hold(params):
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
+    result = run_lock_free_sgd(
+        objective,
+        _build_scheduler(params),
+        num_threads=params["num_threads"],
+        step_size=0.02,
+        iterations=60,
+        x0=np.array([1.0, 1.0]),
+        seed=params["seed"],
+    )
+    records = result.records
+    n = params["num_threads"]
+
+    # Lemma 6.1: the first-update order is total (strictly increasing).
+    orders = [r.order_time for r in records]
+    assert orders == sorted(orders)
+    assert len(set(orders)) == len(orders)
+
+    # Gibson-Gramoli: tau_avg <= 2n.
+    assert tau_avg(records) <= 2 * n
+
+    # Lemma 6.2 for K in {1, 2}.
+    assert lemma_6_2_violations(records, 1, n) == []
+    assert lemma_6_2_violations(records, 2, n) == []
+
+    # Lemma 6.4: max indicator sum <= 2 sqrt(tau_max * n).
+    max_sum, bound = lemma_6_4_bound(records)
+    assert max_sum <= bound + 1e-9

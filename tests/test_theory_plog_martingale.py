@@ -1,0 +1,142 @@
+"""Tests for plog (incl. property-based) and the rate supermartingale."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.theory.martingale import ConvexRateSupermartingale, estimate_drift
+from repro.theory.plog import plog
+
+
+class TestPlogUnit:
+    def test_branch_values(self):
+        assert plog(1.0) == pytest.approx(1.0)
+        assert plog(math.e) == pytest.approx(2.0)
+        assert plog(0.5) == 0.5
+        assert plog(0.0) == 0.0
+        assert plog(-2.0) == -2.0
+
+    def test_array_input(self):
+        values = np.array([0.5, 1.0, math.e])
+        np.testing.assert_allclose(plog(values), [0.5, 1.0, 2.0])
+
+    def test_scalar_returns_float(self):
+        assert isinstance(plog(2.0), float)
+
+
+positive = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestPlogProperties:
+    @given(x=positive)
+    @settings(max_examples=300, deadline=None)
+    def test_continuous_and_below_identity(self, x):
+        # plog(x) <= x for x >= 0 (equality only at branch point region).
+        assert plog(x) <= x + 1e-12
+
+    @given(x=positive, y=positive)
+    @settings(max_examples=300, deadline=None)
+    def test_monotone(self, x, y):
+        lo, hi = min(x, y), max(x, y)
+        assert plog(lo) <= plog(hi) + 1e-12
+
+    @given(x=st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=200, deadline=None)
+    def test_log_branch(self, x):
+        assert plog(x) == pytest.approx(1.0 + math.log(x))
+
+    @given(
+        x=positive, y=positive,
+        lam=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_concave(self, x, y, lam):
+        mid = lam * x + (1 - lam) * y
+        assert plog(mid) >= lam * plog(x) + (1 - lam) * plog(y) - 1e-9
+
+
+class TestSupermartingale:
+    def make(self, epsilon=0.5, alpha=None, sigma=0.5, dim=2):
+        objective = IsotropicQuadratic(dim=dim, noise=GaussianNoise(sigma))
+        c = objective.strong_convexity
+        second_moment = objective.second_moment_bound(4.0)
+        if alpha is None:
+            alpha = c * epsilon / second_moment
+        process = ConvexRateSupermartingale(
+            epsilon=epsilon,
+            alpha=alpha,
+            strong_convexity=c,
+            second_moment=second_moment,
+            x_star=objective.x_star,
+        )
+        return objective, process
+
+    def test_requires_small_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ConvexRateSupermartingale(
+                epsilon=0.5, alpha=1.0, strong_convexity=1.0,
+                second_moment=100.0, x_star=np.zeros(1),
+            )
+
+    def test_horizon_infinite(self):
+        _, process = self.make()
+        assert process.horizon == math.inf
+
+    def test_failure_implies_wt_at_least_t(self):
+        """Definition 6.1's second condition: W_T >= T while outside S."""
+        _, process = self.make()
+        outside = np.array([2.0, 2.0])  # ||x||^2 = 8 > eps
+        for t in (0, 10, 500):
+            assert process.value(t, outside) >= t
+
+    def test_lipschitz_constant_formula(self):
+        _, process = self.make(epsilon=0.5)
+        normalizer = (
+            2 * process.alpha * process.strong_convexity * 0.5
+            - process.alpha**2 * process.second_moment
+        )
+        assert process.lipschitz_constant == pytest.approx(
+            2 * math.sqrt(0.5) / normalizer
+        )
+
+    def test_lipschitz_property_empirically(self):
+        _, process = self.make()
+        rng = np.random.default_rng(0)
+        H = process.lipschitz_constant
+        for _ in range(200):
+            u = rng.normal(size=2) * 3
+            v = rng.normal(size=2) * 3
+            gap = abs(process.value(5, u) - process.value(5, v))
+            assert gap <= H * np.linalg.norm(u - v) + 1e-9
+
+    @pytest.mark.parametrize("scale", [1.2, 2.0, 4.0])
+    def test_drift_nonpositive_outside_success_region(self, scale):
+        """The supermartingale inequality (Definition 6.1, Eq. 6),
+        verified by Monte Carlo at points outside S."""
+        objective, process = self.make()
+        point = np.array([1.0, 1.0]) * scale
+        drift = estimate_drift(process, objective, point, t=3,
+                               num_samples=4000, seed=1)
+        # Allow CLT slack: drift must not be significantly positive.
+        assert drift <= 0.05
+
+    def test_initial_value_bound_formula(self):
+        _, process = self.make(epsilon=0.5)
+        x0 = np.array([3.0, 0.0])
+        normalizer = (
+            2 * process.alpha * process.strong_convexity * 0.5
+            - process.alpha**2 * process.second_moment
+        )
+        expected = 0.5 / normalizer * plog(math.e * 9.0 / 0.5)
+        assert process.initial_value_bound(x0) == pytest.approx(expected)
+
+    def test_in_success_region(self):
+        _, process = self.make(epsilon=1.0)
+        assert process.in_success_region(np.array([0.5, 0.5]))
+        assert not process.in_success_region(np.array([1.0, 1.0]))
