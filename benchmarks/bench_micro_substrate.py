@@ -4,20 +4,34 @@ Not a paper artifact — these track the throughput of the simulator's hot
 paths (atomic ops, scheduler rounds, whole SGD iterations) so substrate
 regressions show up in the bench suite.  These use pytest-benchmark's
 normal repeated-rounds mode, unlike the single-shot experiment benches.
+
+``test_steps_per_sec_tracing_elided_vs_full`` additionally records the
+two-tier engine's headline number — steps/sec on the default EpochSGD +
+round-robin workload with full tracing vs tracing elided — into
+``benchmarks/results/BENCH_micro_substrate.json`` so the perf trajectory
+accumulates across PRs (CI uploads the file as an artifact).
 """
+
+import json
+import pathlib
+import time
 
 import numpy as np
 
-from repro.core.epoch_sgd import run_lock_free_sgd
+from repro.core.epoch_sgd import EpochSGDProgram, run_lock_free_sgd
 from repro.objectives.noise import GaussianNoise
 from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.policy import TraceConfig
 from repro.runtime.program import FunctionProgram
 from repro.runtime.simulator import Simulator
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
+from repro.shm.array import AtomicArray
 from repro.shm.counter import AtomicCounter
 from repro.shm.memory import SharedMemory
 from repro.shm.ops import FetchAdd, Read
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_memory_fetch_add_throughput(benchmark):
@@ -74,3 +88,73 @@ def test_lock_free_sgd_iteration_throughput(benchmark):
         ).iterations
 
     assert benchmark(run) == 200
+
+
+def _epoch_sgd_simulator(trace_config: TraceConfig) -> Simulator:
+    """The default Algorithm-1 workload: 4 EpochSGD threads over a
+    4-dim quadratic under round-robin scheduling."""
+    objective = IsotropicQuadratic(dim=4, noise=GaussianNoise(0.3))
+    memory = SharedMemory(record_log=trace_config.record_log)
+    model = AtomicArray.allocate(memory, objective.dim, name="model")
+    model.load(np.full(objective.dim, 2.0))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    sim = Simulator(
+        memory, RoundRobinScheduler(), seed=1, trace_config=trace_config
+    )
+    for thread_index in range(4):
+        sim.spawn(
+            EpochSGDProgram(
+                model=model,
+                counter=counter,
+                objective=objective,
+                step_size=0.02,
+                max_iterations=400,
+                record_iterations=trace_config.record_iterations,
+            ),
+            name=f"worker-{thread_index}",
+        )
+    return sim
+
+
+def _time_run(trace_config: TraceConfig) -> float:
+    """One timed execution of the workload; returns steps/sec."""
+    sim = _epoch_sgd_simulator(trace_config)
+    start = time.perf_counter()
+    sim.run_fast()
+    elapsed = time.perf_counter() - start
+    return sim.now / elapsed
+
+
+def test_steps_per_sec_tracing_elided_vs_full():
+    """Two-tier engine headline: eliding tracing on the default EpochSGD +
+    round-robin workload must be >= 2x full tracing, and the measured
+    steps/sec land in BENCH_micro_substrate.json for the perf trajectory.
+
+    Traced and elided runs are interleaved (and each side takes its best)
+    so a transient noisy-neighbor window penalizes both sides alike
+    instead of skewing the ratio.
+    """
+    traced = 0.0
+    elided = 0.0
+    for _ in range(5):
+        traced = max(traced, _time_run(TraceConfig.full()))
+        elided = max(elided, _time_run(TraceConfig.off()))
+    speedup = elided / traced
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "micro_substrate.steps_per_sec",
+        "workload": "EpochSGD x4 threads, dim=4, round-robin, T=400",
+        "traced_steps_per_sec": round(traced, 1),
+        "elided_steps_per_sec": round(elided, 1),
+        "speedup": round(speedup, 2),
+        "unix_time": int(time.time()),
+    }
+    out = RESULTS_DIR / "BENCH_micro_substrate.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\ntraced={traced:,.0f} steps/s  elided={elided:,.0f} steps/s  "
+          f"speedup={speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"elided tracing must be >= 2x full tracing, got {speedup:.2f}x "
+        f"({traced:,.0f} vs {elided:,.0f} steps/s)"
+    )

@@ -5,6 +5,11 @@ Each bench runs one experiment driver (quick preset by default; set
 its wall-clock through pytest-benchmark, prints the experiment's
 table/figure, and writes it to ``benchmarks/results/<id>.txt`` so the
 regenerated artifacts survive the run.
+
+Monte-Carlo drivers that support process-parallel seed ensembles honor
+``REPRO_BENCH_JOBS`` (or the ``--jobs`` pytest option): 1 = serial (the
+default), 0 = one worker per CPU.  Results are bitwise identical for any
+value — only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -16,6 +21,24 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+_JOBS_OVERRIDE = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for ensemble-capable benches "
+        "(overrides REPRO_BENCH_JOBS; 1 = serial, 0 = one per CPU)",
+    )
+
+
+def pytest_configure(config):
+    global _JOBS_OVERRIDE
+    _JOBS_OVERRIDE = config.getoption("--jobs", default=None)
+
 
 def bench_scale() -> str:
     """'quick' (default) or 'full', from REPRO_BENCH_SCALE."""
@@ -23,9 +46,23 @@ def bench_scale() -> str:
     return scale if scale in ("quick", "full") else "quick"
 
 
+def bench_jobs() -> int:
+    """Ensemble worker count: --jobs option, else REPRO_BENCH_JOBS, else 1."""
+    if _JOBS_OVERRIDE is not None:
+        return _JOBS_OVERRIDE
+    try:
+        return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    except ValueError:
+        return 1
+
+
 def pick_config(config_cls):
-    """The preset matching the requested scale."""
-    return config_cls.full() if bench_scale() == "full" else config_cls.quick()
+    """The preset matching the requested scale, with the jobs knob set
+    on configs that have one."""
+    config = config_cls.full() if bench_scale() == "full" else config_cls.quick()
+    if hasattr(config, "jobs"):
+        config.jobs = bench_jobs()
+    return config
 
 
 @pytest.fixture

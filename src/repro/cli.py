@@ -69,10 +69,16 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _run_one(
-    key: str, scale: str, out_dir: Optional[pathlib.Path], plot: bool
+    key: str,
+    scale: str,
+    out_dir: Optional[pathlib.Path],
+    plot: bool,
+    jobs: Optional[int] = None,
 ) -> bool:
     module, config_cls = REGISTRY[key]
     config = config_cls.full() if scale == "full" else config_cls.quick()
+    if jobs is not None and hasattr(config, "jobs"):
+        config.jobs = jobs
     result = module.run(config)
     text = result.render(plot=plot)
     print(text)
@@ -98,7 +104,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     all_passed = True
     for key in keys:
-        passed = _run_one(key, args.scale, out_dir, not args.no_plot)
+        passed = _run_one(key, args.scale, out_dir, not args.no_plot, args.jobs)
         all_passed = all_passed and passed
         print()
     return 0 if all_passed else 1
@@ -165,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--no-plot", action="store_true", help="omit the ASCII figure"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for Monte-Carlo ensembles on experiments "
+        "that support them (1 = serial, 0 = one per CPU); results are "
+        "identical for any value",
     )
     run_parser.set_defaults(func=cmd_run)
 

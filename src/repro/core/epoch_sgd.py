@@ -29,6 +29,7 @@ from repro.core.results import LockFreeRunResult, accumulator_trajectory
 from repro.errors import ConfigurationError
 from repro.objectives.base import Objective
 from repro.runtime.events import IterationRecord
+from repro.runtime.policy import TraceConfig
 from repro.runtime.program import Program, ThreadContext
 from repro.runtime.simulator import Simulator
 from repro.shm.array import AtomicArray
@@ -275,6 +276,7 @@ def run_lock_free_sgd(
     program_factory: Optional[Callable[..., Program]] = None,
     record_memory_log: bool = False,
     stop_epsilon: Optional[float] = None,
+    trace_config: Optional[TraceConfig] = None,
 ) -> LockFreeRunResult:
     """Run Algorithm 1 with ``num_threads`` threads until quiescence.
 
@@ -306,20 +308,27 @@ def run_lock_free_sgd(
             (hitting-time experiments that don't need the post-hit tail).
             Threads are abandoned mid-iteration; records of completed
             iterations remain valid.
+        trace_config: Optional engine tracing policy.  The default is
+            :meth:`TraceConfig.analysis` (iteration records on, memory
+            log and step records off); pass :meth:`TraceConfig.off` for
+            pure-throughput runs.  ``record_memory_log=True`` overrides
+            its ``record_log``.
 
     Returns:
         A :class:`~repro.core.results.LockFreeRunResult`.
     """
     if num_threads < 1:
         raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
-    memory = SharedMemory(record_log=record_memory_log)
+    if trace_config is None:
+        trace_config = TraceConfig.analysis()
+    memory = SharedMemory(record_log=record_memory_log or trace_config.record_log)
     model = AtomicArray.allocate(memory, objective.dim, name="model")
     initial = (
         np.zeros(objective.dim) if x0 is None else np.asarray(x0, dtype=float).copy()
     )
     model.load(initial)
     counter = AtomicCounter.allocate(memory, name="iteration_counter")
-    sim = Simulator(memory, scheduler, seed=seed)
+    sim = Simulator(memory, scheduler, seed=seed, trace_config=trace_config)
 
     for thread_index in range(num_threads):
         if program_factory is not None:
@@ -333,11 +342,12 @@ def run_lock_free_sgd(
                 objective=objective,
                 step_size=step_size,
                 max_iterations=iterations,
+                record_iterations=trace_config.record_iterations,
             )
         sim.spawn(program, name=f"worker-{thread_index}")
 
     if stop_epsilon is None:
-        sim.run()
+        sim.run_fast()
     else:
         x_star = objective.x_star
 

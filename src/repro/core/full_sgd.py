@@ -297,7 +297,7 @@ class FullSGD:
                 ),
                 name=f"worker-{thread_index}",
             )
-        sim.run()
+        sim.run_fast()
 
         records = collect_iteration_records(sim)
         trajectory = accumulator_trajectory(self.x0, records)

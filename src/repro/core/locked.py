@@ -16,8 +16,6 @@ sequential run's distribution.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.epoch_sgd import sgd_iteration_body

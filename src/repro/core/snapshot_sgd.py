@@ -196,7 +196,7 @@ def run_snapshot_sgd(
             ),
             name=f"snapshot-worker-{thread_index}",
         )
-    sim.run()
+    sim.run_fast()
 
     records = sorted(
         (e for e in sim.trace if isinstance(e, IterationRecord)),

@@ -52,6 +52,21 @@ class ThreadCrashedError(SimulationError):
         self.thread_id = thread_id
 
 
+class ThreadFinishedError(SimulationError):
+    """An operation was attempted on a thread that already finished.
+
+    Distinct from :class:`ThreadCrashedError`: a finished thread completed
+    its program normally — crashing it is meaningless (the adversary's
+    crash budget only applies to threads that could still take steps).
+    """
+
+    def __init__(self, thread_id: int) -> None:
+        super().__init__(
+            f"thread {thread_id} has already finished and cannot be crashed"
+        )
+        self.thread_id = thread_id
+
+
 class NoRunnableThreadError(SimulationError):
     """The scheduler was asked to pick a step but no thread is runnable."""
 

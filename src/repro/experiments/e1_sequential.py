@@ -13,14 +13,16 @@ exceeds the bound.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.sequential import run_sequential_sgd
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.ensemble import run_ensemble
+from repro.experiments.runner import ExperimentResult, seed_range
 from repro.metrics.report import Table
 from repro.metrics.stats import wilson_interval
 from repro.objectives.noise import GaussianNoise
@@ -42,6 +44,7 @@ class E1Config:
     num_runs: int = 100
     base_seed: int = 100
     radius_slack: float = 2.0
+    jobs: int = 1
 
     @classmethod
     def quick(cls) -> "E1Config":
@@ -52,35 +55,51 @@ class E1Config:
         return cls(num_runs=400, horizons=[50, 100, 200, 400, 800, 1600])
 
 
-def run(config: E1Config) -> ExperimentResult:
-    """Execute E1 and compare measured P(F_T) with the Theorem 3.1 bound."""
+def _problem(config: E1Config) -> Tuple[IsotropicQuadratic, np.ndarray, float]:
+    """(objective, x0, alpha) — rebuilt identically in every worker."""
     objective = IsotropicQuadratic(
         dim=config.dim,
         curvature=config.curvature,
         noise=GaussianNoise(config.noise_sigma),
     )
     x0 = np.full(config.dim, config.x0_scale)
-    x0_distance = objective.distance_to_opt(x0)
-    radius = config.radius_slack * x0_distance
+    radius = config.radius_slack * objective.distance_to_opt(x0)
     second_moment = objective.second_moment_bound(radius)
     alpha = theorem_3_1_step_size(
         objective.strong_convexity, second_moment, config.epsilon, config.vartheta
     )
+    return objective, x0, alpha
 
-    max_horizon = max(config.horizons)
-    hit_times: List[float] = []
-    for offset in range(config.num_runs):
-        result = run_sequential_sgd(
-            objective,
-            alpha=alpha,
-            iterations=max_horizon,
-            x0=x0,
-            seed=config.base_seed + offset,
-            epsilon=config.epsilon,
-            stop_on_hit=True,
+
+def _hit_time_worker(config: E1Config, seed: int) -> float:
+    """One seeded sequential run → its hitting time (inf = never hit)."""
+    objective, x0, alpha = _problem(config)
+    result = run_sequential_sgd(
+        objective,
+        alpha=alpha,
+        iterations=max(config.horizons),
+        x0=x0,
+        seed=seed,
+        epsilon=config.epsilon,
+        stop_on_hit=True,
+    )
+    return math.inf if result.hit_time is None else float(result.hit_time)
+
+
+def run(config: E1Config) -> ExperimentResult:
+    """Execute E1 and compare measured P(F_T) with the Theorem 3.1 bound."""
+    objective, x0, alpha = _problem(config)
+    x0_distance = objective.distance_to_opt(x0)
+    radius = config.radius_slack * x0_distance
+    second_moment = objective.second_moment_bound(radius)
+
+    hits = np.array(
+        run_ensemble(
+            functools.partial(_hit_time_worker, config),
+            seed_range(config.base_seed, config.num_runs),
+            jobs=config.jobs,
         )
-        hit_times.append(math.inf if result.hit_time is None else result.hit_time)
-    hits = np.array(hit_times)
+    )
 
     table = Table(
         ["T", "measured P(F_T)", "wilson low", "wilson high", "Thm 3.1 bound", "ok"],

@@ -14,7 +14,7 @@ anywhere — this is a combinatorial fact, so it must hold exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -22,6 +22,7 @@ use the worst measured τ_max, so the comparison is honest).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -30,6 +31,7 @@ import numpy as np
 
 from repro.core.epoch_sgd import run_lock_free_sgd
 from repro.core.sequential import run_sequential_sgd
+from repro.experiments.ensemble import run_ensemble
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.report import Table
 from repro.metrics.stats import wilson_interval
@@ -64,6 +66,7 @@ class E5Config:
     radius_slack: float = 2.0
     vartheta: float = 1.0
     base_seed: int = 500
+    jobs: int = 1
 
     @classmethod
     def quick(cls) -> "E5Config":
@@ -90,6 +93,54 @@ def _scheduler(config: E5Config, delay_bound: int, seed: int) -> BoundedDelaySch
     return BoundedDelayScheduler(
         delay_bound, seed=seed, victims=[0], bias=0.9
     )
+
+
+def _objective(config: E5Config) -> IsotropicQuadratic:
+    return IsotropicQuadratic(
+        dim=config.dim, noise=GaussianNoise(config.noise_sigma)
+    )
+
+
+def _lockfree_worker(
+    config: E5Config,
+    delay_bound: int,
+    alpha: float,
+    iterations: int,
+    stop_epsilon: Optional[float],
+    seed: int,
+) -> Tuple[float, int]:
+    """One seeded lock-free run → (hitting time or inf, realized τ_max)."""
+    objective = _objective(config)
+    x0 = np.full(config.dim, config.x0_scale)
+    result = run_lock_free_sgd(
+        objective,
+        _scheduler(config, delay_bound, seed),
+        num_threads=config.num_threads,
+        step_size=alpha,
+        iterations=iterations,
+        x0=x0,
+        seed=seed,
+        epsilon=config.epsilon,
+        stop_epsilon=stop_epsilon,
+    )
+    hit = math.inf if result.hit_time is None else float(result.hit_time)
+    return hit, measure_tau_max(result.records)
+
+
+def _sequential_worker(config: E5Config, alpha: float, seed: int) -> float:
+    """One seeded sequential baseline run → hitting time or inf."""
+    objective = _objective(config)
+    x0 = np.full(config.dim, config.x0_scale)
+    result = run_sequential_sgd(
+        objective,
+        alpha=alpha,
+        iterations=config.slowdown_iterations,
+        x0=x0,
+        seed=seed,
+        epsilon=config.epsilon,
+        stop_on_hit=True,
+    )
+    return math.inf if result.hit_time is None else float(result.hit_time)
 
 
 def _pilot_tau_max(
@@ -144,23 +195,18 @@ def run(config: E5Config) -> ExperimentResult:
     )
 
     max_horizon = max(config.horizons)
-    hit_times: List[float] = []
-    realized_tau_max = assumed_tau_max
-    for offset in range(config.num_runs):
-        seed = config.base_seed + offset
-        result = run_lock_free_sgd(
-            objective,
-            _scheduler(config, config.delay_bound, seed),
-            num_threads=config.num_threads,
-            step_size=alpha,
-            iterations=max_horizon,
-            x0=x0,
-            seed=seed,
-            epsilon=config.epsilon,
-        )
-        realized_tau_max = max(realized_tau_max, measure_tau_max(result.records))
-        hit_times.append(math.inf if result.hit_time is None else result.hit_time)
-    hits = np.array(hit_times)
+    bound_runs = run_ensemble(
+        functools.partial(
+            _lockfree_worker, config, config.delay_bound, alpha, max_horizon, None
+        ),
+        range(config.base_seed, config.base_seed + config.num_runs),
+        jobs=config.jobs,
+    )
+    hits = np.array([hit for hit, _tau in bound_runs])
+    realized_tau_max = max(
+        (tau for _hit, tau in bound_runs), default=assumed_tau_max
+    )
+    realized_tau_max = max(realized_tau_max, assumed_tau_max)
 
     bound_table = Table(
         ["T", "measured P(F_T)", "wilson low", "Cor 6.7 bound", "ok"],
@@ -201,19 +247,18 @@ def run(config: E5Config) -> ExperimentResult:
     # Part 2: hitting-time slowdown vs the sqrt(tau_max*n) prediction.
     # ------------------------------------------------------------------
     seq_alpha = theorem_3_1_step_size(c, second_moment, config.epsilon)
-    seq_hits: List[int] = []
-    for offset in range(config.slowdown_runs):
-        result = run_sequential_sgd(
-            objective,
-            alpha=seq_alpha,
-            iterations=config.slowdown_iterations,
-            x0=x0,
-            seed=config.base_seed + 7000 + offset,
-            epsilon=config.epsilon,
-            stop_on_hit=True,
+    seq_hits: List[float] = [
+        hit
+        for hit in run_ensemble(
+            functools.partial(_sequential_worker, config, seq_alpha),
+            range(
+                config.base_seed + 7000,
+                config.base_seed + 7000 + config.slowdown_runs,
+            ),
+            jobs=config.jobs,
         )
-        if result.hit_time is not None:
-            seq_hits.append(result.hit_time)
+        if math.isfinite(hit)
+    ]
     seq_mean = float(np.mean(seq_hits)) if seq_hits else float("nan")
 
     slowdown_table = Table(
@@ -243,24 +288,24 @@ def run(config: E5Config) -> ExperimentResult:
             config.dim,
             config.epsilon,
         )
-        run_hits: List[int] = []
-        tau_realized = tau_pilot
-        for offset in range(config.slowdown_runs):
-            seed = config.base_seed + 8000 + 37 * delay_bound + offset
-            result = run_lock_free_sgd(
-                objective,
-                _scheduler(config, delay_bound, seed),
-                num_threads=config.num_threads,
-                step_size=alpha_d,
-                iterations=config.slowdown_iterations,
-                x0=x0,
-                seed=seed,
-                epsilon=config.epsilon,
-                stop_epsilon=config.epsilon,
-            )
-            tau_realized = max(tau_realized, measure_tau_max(result.records))
-            if result.hit_time is not None:
-                run_hits.append(result.hit_time)
+        first_seed = config.base_seed + 8000 + 37 * delay_bound
+        slowdown_results = run_ensemble(
+            functools.partial(
+                _lockfree_worker,
+                config,
+                delay_bound,
+                alpha_d,
+                config.slowdown_iterations,
+                config.epsilon,
+            ),
+            range(first_seed, first_seed + config.slowdown_runs),
+            jobs=config.jobs,
+        )
+        run_hits = [hit for hit, _tau in slowdown_results if math.isfinite(hit)]
+        tau_realized = max(
+            (tau for _hit, tau in slowdown_results), default=tau_pilot
+        )
+        tau_realized = max(tau_realized, tau_pilot)
         mean_hit = float(np.mean(run_hits)) if run_hits else float("nan")
         slowdown = mean_hit / seq_mean if seq_hits and run_hits else float("nan")
         sqrt_prediction = slowdown_versus_sequential(

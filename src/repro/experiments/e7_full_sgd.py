@@ -17,13 +17,15 @@ formula.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.full_sgd import FullSGD, recommended_num_epochs
+from repro.experiments.ensemble import run_ensemble
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.report import Table
 from repro.objectives.noise import GaussianNoise
@@ -46,6 +48,7 @@ class E7Config:
     num_runs: int = 8
     adversary_delay: int = 40
     base_seed: int = 1500
+    jobs: int = 1
 
     @classmethod
     def quick(cls) -> "E7Config":
@@ -58,6 +61,33 @@ class E7Config:
             num_runs=20,
             iterations_per_epoch=800,
         )
+
+
+def _make_scheduler(config: E7Config, kind: str, seed: int):
+    if kind == "random":
+        return RandomScheduler(seed=seed)
+    return PriorityDelayScheduler(
+        victims=[0], delay=config.adversary_delay, seed=seed
+    )
+
+
+def _full_sgd_worker(
+    config: E7Config, epsilon: float, kind: str, seed: int
+) -> Tuple[float, float]:
+    """One seeded FullSGD run → (final distance, rejected update count)."""
+    objective = IsotropicQuadratic(
+        dim=config.dim, noise=GaussianNoise(config.noise_sigma)
+    )
+    driver = FullSGD(
+        objective,
+        num_threads=config.num_threads,
+        epsilon=epsilon,
+        alpha0=config.alpha0,
+        iterations_per_epoch=config.iterations_per_epoch,
+        x0=np.full(config.dim, config.x0_scale),
+    )
+    out = driver.run(_make_scheduler(config, kind, seed), seed=seed)
+    return float(out.distance), float(out.rejected_updates)
 
 
 def run(config: E7Config) -> ExperimentResult:
@@ -94,15 +124,10 @@ def run(config: E7Config) -> ExperimentResult:
             config.alpha0, gradient_bound, config.num_threads, epsilon
         )
         schedulers = [
-            ("random", lambda seed: RandomScheduler(seed=seed)),
-            (
-                f"priority-delay({config.adversary_delay})",
-                lambda seed: PriorityDelayScheduler(
-                    victims=[0], delay=config.adversary_delay, seed=seed
-                ),
-            ),
+            ("random", "random"),
+            (f"priority-delay({config.adversary_delay})", "priority-delay"),
         ]
-        for name, make_scheduler in schedulers:
+        for name, kind in schedulers:
             driver = FullSGD(
                 objective,
                 num_threads=config.num_threads,
@@ -111,13 +136,13 @@ def run(config: E7Config) -> ExperimentResult:
                 iterations_per_epoch=config.iterations_per_epoch,
                 x0=x0,
             )
-            distances = []
-            rejected = []
-            for offset in range(config.num_runs):
-                seed = config.base_seed + offset
-                out = driver.run(make_scheduler(seed), seed=seed)
-                distances.append(out.distance)
-                rejected.append(out.rejected_updates)
+            cell = run_ensemble(
+                functools.partial(_full_sgd_worker, config, epsilon, kind),
+                range(config.base_seed, config.base_seed + config.num_runs),
+                jobs=config.jobs,
+            )
+            distances = [distance for distance, _rejected in cell]
+            rejected = [rejected_count for _distance, rejected_count in cell]
             mean_distance = float(np.mean(distances))
             target = math.sqrt(epsilon)
             ok = mean_distance <= target

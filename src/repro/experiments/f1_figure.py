@@ -16,7 +16,6 @@ marked applied.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

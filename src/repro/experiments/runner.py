@@ -9,7 +9,7 @@ it, tests assert on its ``series``, and EXPERIMENTS.md quotes its table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.metrics.ascii_plot import ascii_plot

@@ -54,6 +54,7 @@ def estimate_failure_probability(
     run_once: Callable[[int], Optional[int]],
     num_runs: int,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> FailureEstimate:
     """Estimate P(F_T) by repeated seeded runs.
 
@@ -64,16 +65,28 @@ def estimate_failure_probability(
             directly: ``lambda s: run(...).hit_time``.
         num_runs: Ensemble size.
         base_seed: Seeds used are ``base_seed .. base_seed+num_runs-1``.
+        jobs: Worker processes for the ensemble (1 = serial).  With
+            ``jobs != 1``, ``run_once`` must be picklable (a module-level
+            function or ``functools.partial``); see
+            :mod:`repro.experiments.ensemble`.  Results are merged in
+            seed order, so the estimate is identical for any ``jobs``.
 
     Returns:
         A :class:`FailureEstimate`.
     """
     if num_runs < 1:
         raise ConfigurationError(f"num_runs must be >= 1, got {num_runs}")
+    # Imported lazily: the ensemble runner lives in the experiments layer
+    # (which imports metrics at module load), and the serial path must
+    # not depend on it at all.
+    from repro.experiments.ensemble import run_ensemble
+
+    raw_hits = run_ensemble(
+        run_once, range(base_seed, base_seed + num_runs), jobs=jobs
+    )
     failures = 0
     hit_times: List[int] = []
-    for offset in range(num_runs):
-        hit = run_once(base_seed + offset)
+    for hit in raw_hits:
         if hit is None:
             failures += 1
         else:

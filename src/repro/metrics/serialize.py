@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

@@ -8,8 +8,6 @@ returns its gradient, so E[g̃(x)] = ∇f(x) exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.errors import ConfigurationError

@@ -14,7 +14,7 @@ The d· factor keeps the oracle unbiased: E[g̃(x)] = ∇f(x).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.objectives.base import Objective, Sample
 from repro.objectives.least_squares import LeastSquares
 from repro.runtime.rng import RngStream
 

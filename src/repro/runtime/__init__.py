@@ -23,11 +23,14 @@ from repro.runtime.events import (
     SpawnEvent,
     StepRecord,
 )
+from repro.runtime.policy import TraceConfig, live_hook
 from repro.runtime.program import Program, ThreadContext
 from repro.runtime.thread import SimThread, ThreadState
 from repro.runtime.simulator import Simulator
 
 __all__ = [
+    "TraceConfig",
+    "live_hook",
     "RngStream",
     "spawn_streams",
     "Clock",

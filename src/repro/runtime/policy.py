@@ -1,0 +1,91 @@
+"""Engine tracing policy — what a run materializes, decided up front.
+
+Every simulated step *can* produce three kinds of artifact: a
+:class:`~repro.shm.memory.LogRecord` in the memory's operation log, a
+:class:`~repro.runtime.events.StepRecord` in the simulator, and (from the
+programs themselves) semantic events such as
+:class:`~repro.runtime.events.IterationRecord`.  Monte-Carlo ensembles
+run the same program hundreds of times and usually need only a scalar per
+run, so constructing those records is pure overhead on the hottest loop
+in the codebase.
+
+:class:`TraceConfig` is the single policy object the layers agree on:
+
+* the **runtime** (:class:`~repro.runtime.simulator.Simulator`) keeps
+  step records only when ``record_steps`` is set *or* the scheduler
+  declares a live ``on_step`` hook (see :func:`live_hook` — benign
+  schedulers inherit the base class no-op and cost nothing);
+* the **shm** layer maps ``record_log`` onto
+  ``SharedMemory(record_log=...)``;
+* **metrics**-facing drivers map ``record_iterations`` onto their
+  programs' per-iteration event emission (the contention and convergence
+  analyses need those records; throughput benchmarks don't).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+#: Attribute set on the scheduler base class's default no-op hooks so the
+#: engine can tell "inherited the do-nothing hook" apart from "genuinely
+#: wants callbacks" without an isinstance check (schedulers are
+#: duck-typed).
+ENGINE_NOOP_ATTR = "_engine_noop"
+
+
+def live_hook(obj: Any, name: str) -> Optional[Callable]:
+    """Return ``obj.<name>`` if it is a real (non-default) hook.
+
+    Returns ``None`` when the attribute is missing or is one of the
+    scheduler base class's no-op defaults (marked with
+    :data:`ENGINE_NOOP_ATTR`), so callers can bind hooks once at
+    construction and skip the call entirely on the hot path.
+    """
+    hook = getattr(obj, name, None)
+    if hook is None or getattr(hook, ENGINE_NOOP_ATTR, False):
+        return None
+    return hook
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What one simulation run materializes.
+
+    Attributes:
+        record_steps: Keep a :class:`~repro.runtime.events.StepRecord` per
+            scheduled step in ``Simulator.steps``.
+        record_log: Keep the shared memory's totally ordered
+            :class:`~repro.shm.memory.LogRecord` operation log.
+        record_iterations: Programs emit their per-iteration semantic
+            events (:class:`~repro.runtime.events.IterationRecord`) into
+            the trace.
+    """
+
+    record_steps: bool = False
+    record_log: bool = True
+    record_iterations: bool = True
+
+    @classmethod
+    def full(cls) -> "TraceConfig":
+        """Everything on — debugging, history checking, replay capture."""
+        return cls(record_steps=True, record_log=True, record_iterations=True)
+
+    @classmethod
+    def analysis(cls) -> "TraceConfig":
+        """What the convergence/contention analyses need: iteration
+        records, no step records, no memory log (the default of the
+        experiment drivers)."""
+        return cls(record_steps=False, record_log=False, record_iterations=True)
+
+    @classmethod
+    def off(cls) -> "TraceConfig":
+        """Nothing materialized — pure-throughput mode; only final
+        memory state and thread results survive the run."""
+        return cls(record_steps=False, record_log=False, record_iterations=False)
+
+    def requires_step_records(self, scheduler: Any) -> bool:
+        """Whether step records must be built for this run: either the
+        policy keeps them, or ``scheduler`` has a live ``on_step`` hook
+        that consumes them."""
+        return self.record_steps or live_hook(scheduler, "on_step") is not None

@@ -11,6 +11,16 @@ This realizes the *strong adaptive adversary*: nothing about the
 algorithm's state is hidden from the scheduler, including randomness that
 threads have already drawn.  Crashing up to ``n - 1`` threads is supported
 via :meth:`crash`.
+
+Engine notes (see DESIGN.md "Performance architecture"): scheduler hooks
+are bound once at construction (benign schedulers that inherit the base
+class no-ops cost nothing per step), the runnable-thread count is
+maintained incrementally instead of rescanning every thread, and
+:meth:`run_fast` is a batch loop that skips :class:`StepRecord`
+construction entirely when no consumer (``record_steps`` or a live
+``on_step`` hook) needs it.  :meth:`run_fast` executes the exact same
+schedule as :meth:`run` — elision changes what is materialized, never
+what happens.
 """
 
 from __future__ import annotations
@@ -19,16 +29,20 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import (
     NoRunnableThreadError,
+    ProgramError,
     SchedulerError,
     SimulationError,
     ThreadCrashedError,
+    ThreadFinishedError,
 )
 from repro.runtime.clock import Clock
 from repro.runtime.events import CrashEvent, Event, SpawnEvent, StepRecord
+from repro.runtime.policy import TraceConfig, live_hook
 from repro.runtime.program import Program, ThreadContext
 from repro.runtime.rng import RngStream
 from repro.runtime.thread import SimThread, ThreadState
 from repro.shm.memory import SharedMemory
+from repro.shm.ops import DISPATCH_TABLE, Operation
 
 
 class Simulator:
@@ -44,6 +58,10 @@ class Simulator:
         record_steps: Keep a :class:`StepRecord` for every scheduled step
             in :attr:`steps`.  Off by default — semantic events in
             :attr:`trace` are usually enough and much lighter.
+        trace_config: Optional :class:`TraceConfig` policy; when given,
+            its ``record_steps`` overrides the ``record_steps`` argument
+            (drivers thread one policy object through memory, simulator
+            and programs).
 
     Example:
         >>> mem = SharedMemory(record_log=False)
@@ -58,6 +76,7 @@ class Simulator:
         scheduler,
         seed: int = 0,
         record_steps: bool = False,
+        trace_config: Optional[TraceConfig] = None,
     ) -> None:
         self.memory = memory
         self.scheduler = scheduler
@@ -65,9 +84,19 @@ class Simulator:
         self.threads: List[SimThread] = []
         self.trace: List[Event] = []
         self.steps: List[StepRecord] = []
-        self.record_steps = record_steps
+        if trace_config is None:
+            trace_config = TraceConfig(
+                record_steps=record_steps, record_log=memory.record_log
+            )
+        self.trace_config = trace_config
+        self.record_steps = trace_config.record_steps
         self._rng_root = RngStream.root(seed)
         self._crashed_count = 0
+        self._runnable_count = 0
+        # Hooks are resolved once: schedulers that inherit the base class
+        # no-ops (or define no hook at all) pay nothing per spawn/step.
+        self._on_spawn = live_hook(scheduler, "on_spawn")
+        self._on_step = live_hook(scheduler, "on_step")
 
     # ------------------------------------------------------------------
     # Thread management
@@ -79,29 +108,36 @@ class Simulator:
         context = ThreadContext(thread_id, self._rng_root.spawn_one(), self)
         thread = SimThread(thread_id, program, context, name=name)
         self.threads.append(thread)
+        if thread.is_runnable:
+            self._runnable_count += 1
         self.trace.append(
             SpawnEvent(time=self.clock.now, thread_id=thread_id, name=thread.name)
         )
-        hook = getattr(self.scheduler, "on_spawn", None)
-        if hook is not None:
-            hook(self, thread)
+        if self._on_spawn is not None:
+            self._on_spawn(self, thread)
         return thread
 
     def crash(self, thread_id: int) -> None:
         """Adversarially crash a thread (it takes no further steps).
 
         The model allows the adversary to crash at most ``n - 1`` threads;
-        exceeding that budget raises :class:`SimulationError`.
+        exceeding that budget raises :class:`SimulationError`.  Crashing a
+        thread twice raises :class:`ThreadCrashedError`; asking to crash a
+        thread that already *finished* raises :class:`ThreadFinishedError`
+        (a finished thread is beyond the adversary's reach).
         """
         thread = self._thread(thread_id)
-        if not thread.is_runnable:
+        if thread.state is ThreadState.CRASHED:
             raise ThreadCrashedError(thread_id)
+        if thread.state is ThreadState.FINISHED:
+            raise ThreadFinishedError(thread_id)
         if self._crashed_count + 1 >= len(self.threads):
             raise SimulationError(
                 "the adversary may crash at most n - 1 of the n threads"
             )
         thread.crash()
         self._crashed_count += 1
+        self._runnable_count -= 1
         self.trace.append(CrashEvent(time=self.clock.now, thread_id=thread_id))
 
     def _thread(self, thread_id: int) -> SimThread:
@@ -118,9 +154,14 @@ class Simulator:
         return [t.thread_id for t in self.threads if t.is_runnable]
 
     @property
+    def runnable_count(self) -> int:
+        """Number of threads the scheduler may pick right now (O(1))."""
+        return self._runnable_count
+
+    @property
     def is_done(self) -> bool:
         """True when no thread can take another step."""
-        return not any(t.is_runnable for t in self.threads)
+        return self._runnable_count == 0
 
     @property
     def now(self) -> int:
@@ -152,7 +193,7 @@ class Simulator:
             NoRunnableThreadError: If every thread has finished or crashed.
             SchedulerError: If the scheduler picked a non-runnable thread.
         """
-        if self.is_done:
+        if self._runnable_count == 0:
             raise NoRunnableThreadError("all threads finished or crashed")
         choice = self.scheduler.select(self)
         thread = self._thread(choice)
@@ -165,12 +206,13 @@ class Simulator:
         time = self.clock.tick()
         result = self.memory.execute(op, time=time, thread_id=thread.thread_id)
         thread.advance(result)
+        if not thread.is_runnable:
+            self._runnable_count -= 1
         record = StepRecord(time=time, thread_id=thread.thread_id, op=op, result=result)
         if self.record_steps:
             self.steps.append(record)
-        hook = getattr(self.scheduler, "on_step", None)
-        if hook is not None:
-            hook(self, record)
+        if self._on_step is not None:
+            self._on_step(self, record)
         return record
 
     def run(
@@ -184,13 +226,97 @@ class Simulator:
         Returns the number of steps executed by this call.
         """
         executed = 0
-        while not self.is_done:
+        while self._runnable_count:
             if max_steps is not None and executed >= max_steps:
                 break
             if stop is not None and stop(self):
                 break
             self.step()
             executed += 1
+        return executed
+
+    def run_fast(self, max_steps: Optional[int] = None) -> int:
+        """Batch execution loop for ensemble/throughput runs.
+
+        Semantically identical to ``run(max_steps)`` — same scheduler
+        decisions, same memory effects, same thread results — but when no
+        consumer needs per-step records (``record_steps`` off and no live
+        ``on_step`` hook) the loop skips :class:`StepRecord` construction
+        and per-step attribute lookups entirely.  Falls back to
+        :meth:`run` whenever step records are required.
+
+        Returns the number of steps executed by this call.
+        """
+        if self.record_steps or self._on_step is not None:
+            return self.run(max_steps=max_steps)
+        # Engine-internal fast path: the loop below reaches into Clock,
+        # SimThread and SharedMemory internals (all same-engine classes)
+        # to avoid per-step method-call and bookkeeping overhead, while
+        # preserving step()'s exact observable semantics: same scheduler
+        # consultations, same clock values seen by programs, same memory
+        # effects and sequence numbers, same error types.
+        executed = 0
+        remaining = -1 if max_steps is None else max_steps
+        select = self.scheduler.select
+        memory = self.memory
+        record_log = memory.record_log
+        execute = memory.execute
+        values = memory._values
+        table = DISPATCH_TABLE
+        table_len = len(table)
+        clock = self.clock
+        threads = self.threads
+        runnable = ThreadState.RUNNABLE
+        applied_fast = 0
+        try:
+            while self._runnable_count and executed != remaining:
+                choice = select(self)
+                try:
+                    thread = threads[choice]
+                    if choice < 0:
+                        raise IndexError(choice)
+                except IndexError:
+                    raise SchedulerError(f"no such thread: {choice}") from None
+                if thread.state is not runnable:
+                    raise SchedulerError(
+                        f"scheduler picked thread {choice} in state "
+                        f"{thread.state.value}"
+                    )
+                op = thread.pending_op
+                time = clock._now
+                clock._now = time + 1
+                if record_log:
+                    result = execute(op, time=time, thread_id=thread.thread_id)
+                else:
+                    opcode = op.opcode
+                    if 0 <= opcode < table_len:
+                        result = table[opcode](op, values)
+                    else:
+                        result = memory._apply(op)
+                    applied_fast += 1
+                thread.steps_taken += 1
+                try:
+                    next_op = thread._generator.send(result)
+                except StopIteration as stop:
+                    thread.state = ThreadState.FINISHED
+                    thread.pending_op = None
+                    thread.result = stop.value
+                    self._runnable_count -= 1
+                else:
+                    if not isinstance(next_op, Operation):
+                        raise ProgramError(
+                            f"thread {thread.thread_id} ({thread.name}) "
+                            f"yielded {next_op!r}; programs must yield "
+                            f"Operation descriptors"
+                        )
+                    thread.pending_op = next_op
+                executed += 1
+        finally:
+            # The direct-dispatch branch bypasses memory.execute; restore
+            # its sequence counter so any later logged operation numbers
+            # correctly.
+            if applied_fast:
+                memory._seq += applied_fast
         return executed
 
     def __repr__(self) -> str:

@@ -12,6 +12,7 @@ import abc
 from typing import TYPE_CHECKING, List
 
 from repro.errors import NoRunnableThreadError
+from repro.runtime.policy import ENGINE_NOOP_ATTR
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.events import StepRecord
@@ -36,6 +37,13 @@ class Scheduler(abc.ABC):
 
     def on_step(self, sim: "Simulator", record: "StepRecord") -> None:
         """Called after each executed step.  Default: no-op."""
+
+    # Mark the default hooks so the engine can skip schedulers that never
+    # overrode them (and elide StepRecord construction entirely — see
+    # repro.runtime.policy.live_hook).  Wrapper schedulers that *forward*
+    # hooks (replay, crash) override these methods, so they stay live.
+    setattr(on_spawn, ENGINE_NOOP_ATTR, True)
+    setattr(on_step, ENGINE_NOOP_ATTR, True)
 
     @staticmethod
     def _runnable(sim: "Simulator") -> List[int]:

@@ -8,6 +8,8 @@ bound (Gibson & Gramoli) is calibrated against.
 
 from __future__ import annotations
 
+from repro.errors import NoRunnableThreadError
+from repro.runtime.thread import ThreadState
 from repro.sched.base import Scheduler
 
 
@@ -18,10 +20,16 @@ class RoundRobinScheduler(Scheduler):
         self._last = -1
 
     def select(self, sim) -> int:
-        ids = self._runnable(sim)
-        for candidate in ids:
-            if candidate > self._last:
+        # Circular scan from the last pick: equivalent to "smallest
+        # runnable id greater than _last, else smallest runnable id", but
+        # without materializing the runnable-id list every step — with all
+        # threads runnable (the common case) this is O(1).
+        threads = sim.threads
+        n = len(threads)
+        start = self._last + 1
+        for offset in range(n):
+            candidate = (start + offset) % n
+            if threads[candidate].state is ThreadState.RUNNABLE:
                 self._last = candidate
                 return candidate
-        self._last = ids[0]
-        return ids[0]
+        raise NoRunnableThreadError("scheduler consulted with no runnable thread")

@@ -17,6 +17,7 @@ checkers in :mod:`repro.shm.history` verify it after the fact.
 """
 
 from repro.shm.ops import (
+    DISPATCH_TABLE,
     CompareAndSwap,
     DoubleCompareSingleSwap,
     FetchAdd,
@@ -37,6 +38,7 @@ from repro.shm.history import (
 )
 
 __all__ = [
+    "DISPATCH_TABLE",
     "Operation",
     "Read",
     "Write",

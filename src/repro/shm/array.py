@@ -10,7 +10,7 @@ taking steps).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ the memory and assert these invariants.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from repro.errors import HistoryViolationError
 from repro.shm.memory import LogRecord

@@ -10,20 +10,11 @@ analysis in :mod:`repro.theory.contention` can inspect it afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import InvalidOperationError, UnknownAddressError
-from repro.shm.ops import (
-    CompareAndSwap,
-    DoubleCompareSingleSwap,
-    FetchAdd,
-    GuardedFetchAdd,
-    Noop,
-    Operation,
-    Read,
-    Write,
-)
+from repro.shm.ops import DISPATCH_TABLE, Operation
 
 
 @dataclass(frozen=True)
@@ -165,44 +156,14 @@ class SharedMemory:
             raise UnknownAddressError(address)
 
     def _apply(self, op: Operation) -> Any:
-        values = self._values
-        if isinstance(op, Read):
-            self._check(op.address)
-            return values[op.address]
-        if isinstance(op, FetchAdd):
-            self._check(op.address)
-            previous = values[op.address]
-            values[op.address] = previous + op.delta
-            return previous
-        if isinstance(op, Write):
-            self._check(op.address)
-            values[op.address] = op.value
-            return None
-        if isinstance(op, CompareAndSwap):
-            self._check(op.address)
-            if values[op.address] == op.expected:
-                values[op.address] = op.new
-                return True
-            return False
-        if isinstance(op, GuardedFetchAdd):
-            self._check(op.address)
-            self._check(op.guard_address)
-            current = values[op.address]
-            if values[op.guard_address] == op.guard_expected:
-                values[op.address] = current + op.delta
-                return (True, current)
-            return (False, current)
-        if isinstance(op, DoubleCompareSingleSwap):
-            self._check(op.address)
-            self._check(op.guard_address)
-            if (
-                values[op.guard_address] == op.guard_expected
-                and values[op.address] == op.expected
-            ):
-                values[op.address] = op.new
-                return True
-            return False
-        if isinstance(op, Noop):
-            self._check(op.address)
-            return None
+        # Opcode-table dispatch: one class-attribute lookup plus a tuple
+        # index, instead of the former isinstance chain (up to 7 checks on
+        # the hottest path of every simulation step).
+        opcode = getattr(op, "opcode", -1)
+        if 0 <= opcode < len(DISPATCH_TABLE):
+            return DISPATCH_TABLE[opcode](op, self._values)
+        if isinstance(op, Operation) and opcode >= 0:
+            # Custom descriptor registered outside the built-in table:
+            # fall back to its own apply().
+            return op.apply(self._values)
         raise InvalidOperationError(f"unknown operation type: {type(op).__name__}")

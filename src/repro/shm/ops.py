@@ -9,11 +9,32 @@ is one *shared-memory step* — the unit in which the paper measures time.
 All descriptors are small frozen dataclasses so they can be logged,
 compared and replayed.  ``address`` is an integer into the flat location
 table managed by :class:`~repro.shm.memory.SharedMemory`.
+
+Dispatch: every concrete descriptor class carries a dense integer
+:attr:`~Operation.opcode` and implements :meth:`~Operation.apply`, the
+pure semantics of the primitive against a flat value table.  The memory
+applies descriptors through :data:`DISPATCH_TABLE` — a tuple indexed by
+opcode — instead of an ``isinstance`` chain, which is what keeps the
+simulator's per-step cost flat (this is the innermost loop of every
+Monte-Carlo run; see DESIGN.md "Performance architecture").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, ClassVar, List, Tuple
+
+from repro.errors import UnknownAddressError
+
+#: Dense opcodes, one per concrete descriptor class (indices into
+#: :data:`DISPATCH_TABLE`).
+OP_READ = 0
+OP_WRITE = 1
+OP_FETCH_ADD = 2
+OP_COMPARE_AND_SWAP = 3
+OP_DCSS = 4
+OP_GUARDED_FETCH_ADD = 5
+OP_NOOP = 6
 
 
 @dataclass(frozen=True)
@@ -24,12 +45,38 @@ class Operation:
         address: Flat index of the memory location this operation targets.
     """
 
+    #: Dense dispatch index; concrete subclasses override it.  ``-1``
+    #: marks the abstract base (never dispatchable).
+    opcode: ClassVar[int] = -1
+
     address: int
+
+    def apply(self, values: List[float]):
+        """Apply this primitive to the flat location table ``values``.
+
+        Mutates ``values`` in place and returns the step result fed back
+        to the invoking thread.  Raises :class:`UnknownAddressError` for
+        out-of-range addresses.  Subclasses must override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement apply()"
+        )
+
+
+def _check(values: List[float], address: int) -> None:
+    if not 0 <= address < len(values):
+        raise UnknownAddressError(address)
 
 
 @dataclass(frozen=True)
 class Read(Operation):
     """Atomically read a location; the step result is its current value."""
+
+    opcode: ClassVar[int] = OP_READ
+
+    def apply(self, values: List[float]) -> float:
+        _check(values, self.address)
+        return values[self.address]
 
 
 @dataclass(frozen=True)
@@ -42,7 +89,14 @@ class Write(Operation):
     demonstrate exactly that failure mode.
     """
 
+    opcode: ClassVar[int] = OP_WRITE
+
     value: float
+
+    def apply(self, values: List[float]) -> None:
+        _check(values, self.address)
+        values[self.address] = self.value
+        return None
 
 
 @dataclass(frozen=True)
@@ -54,7 +108,15 @@ class FetchAdd(Operation):
     was performed."
     """
 
+    opcode: ClassVar[int] = OP_FETCH_ADD
+
     delta: float
+
+    def apply(self, values: List[float]) -> float:
+        _check(values, self.address)
+        previous = values[self.address]
+        values[self.address] = previous + self.delta
+        return previous
 
 
 @dataclass(frozen=True)
@@ -65,8 +127,17 @@ class CompareAndSwap(Operation):
     ``True``; otherwise leave it unchanged and return ``False``.
     """
 
+    opcode: ClassVar[int] = OP_COMPARE_AND_SWAP
+
     expected: float
     new: float
+
+    def apply(self, values: List[float]) -> bool:
+        _check(values, self.address)
+        if values[self.address] == self.expected:
+            values[self.address] = self.new
+            return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -81,10 +152,23 @@ class DoubleCompareSingleSwap(Operation):
     is ``True``; otherwise nothing changes and the result is ``False``.
     """
 
+    opcode: ClassVar[int] = OP_DCSS
+
     expected: float
     new: float
     guard_address: int = -1
     guard_expected: float = 0.0
+
+    def apply(self, values: List[float]) -> bool:
+        _check(values, self.address)
+        _check(values, self.guard_address)
+        if (
+            values[self.guard_address] == self.guard_expected
+            and values[self.address] == self.expected
+        ):
+            values[self.address] = self.new
+            return True
+        return False
 
 
 @dataclass(frozen=True)
@@ -104,9 +188,20 @@ class GuardedFetchAdd(Operation):
     add happens atomically iff the epoch still matches).
     """
 
+    opcode: ClassVar[int] = OP_GUARDED_FETCH_ADD
+
     delta: float
     guard_address: int = -1
     guard_expected: float = 0.0
+
+    def apply(self, values: List[float]) -> Tuple[bool, float]:
+        _check(values, self.address)
+        _check(values, self.guard_address)
+        current = values[self.address]
+        if values[self.guard_address] == self.guard_expected:
+            values[self.address] = current + self.delta
+            return (True, current)
+        return (False, current)
 
 
 @dataclass(frozen=True)
@@ -117,4 +212,38 @@ class Noop(Operation):
     it still consumes one unit of logical time.
     """
 
+    opcode: ClassVar[int] = OP_NOOP
+
     address: int = 0
+
+    def apply(self, values: List[float]) -> None:
+        _check(values, self.address)
+        return None
+
+
+def _build_dispatch_table() -> Tuple[Callable, ...]:
+    """The opcode-indexed dispatch table.
+
+    Entry ``i`` is the unbound ``apply`` of the descriptor class whose
+    opcode is ``i``; :meth:`SharedMemory._apply` indexes it with
+    ``op.opcode`` instead of walking an ``isinstance`` chain.
+    """
+    classes = (
+        Read,
+        Write,
+        FetchAdd,
+        CompareAndSwap,
+        DoubleCompareSingleSwap,
+        GuardedFetchAdd,
+        Noop,
+    )
+    table: List[Callable] = [Operation.apply] * len(classes)
+    for cls in classes:
+        if table[cls.opcode] is not Operation.apply:
+            raise ValueError(f"duplicate opcode {cls.opcode} for {cls.__name__}")
+        table[cls.opcode] = cls.apply
+    return tuple(table)
+
+
+#: Opcode-indexed tuple of ``apply`` functions, built once at import.
+DISPATCH_TABLE: Tuple[Callable, ...] = _build_dispatch_table()

@@ -8,8 +8,6 @@ methods that execute immediately (for sequential algorithms and tests).
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.shm.memory import SharedMemory
 from repro.shm.ops import (
     CompareAndSwap,

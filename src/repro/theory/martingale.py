@@ -30,7 +30,6 @@ against our actual oracles rather than trusting the algebra.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

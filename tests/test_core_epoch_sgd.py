@@ -11,9 +11,7 @@ from repro.objectives.noise import ZeroNoise
 from repro.objectives.quadratic import IsotropicQuadratic
 from repro.objectives.sparse import SeparableQuadratic
 from repro.sched.random_sched import RandomScheduler
-from repro.sched.round_robin import RoundRobinScheduler
 from repro.sched.sequential import SequentialScheduler
-from repro.shm.history import check_fetch_add_totals
 
 
 class TestIterationBudget:
@@ -83,7 +81,6 @@ class TestSharedModelSemantics:
             record_memory_log=True,
         )
         # Addresses 0..1 are the model (allocated first).
-        from repro.shm.memory import SharedMemory  # local import for clarity
 
         # final values read off the returned snapshot
         check_log = result.x_final

@@ -9,7 +9,6 @@ from repro.core.full_sgd import FullSGD, recommended_num_epochs
 from repro.errors import ConfigurationError
 from repro.objectives.noise import GaussianNoise
 from repro.objectives.quadratic import IsotropicQuadratic
-from repro.runtime.events import EpochEvent
 from repro.sched.priority_delay import PriorityDelayScheduler
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.stale_attack import StaleGradientAttack

@@ -17,7 +17,6 @@ from repro.runtime.program import FunctionProgram
 from repro.runtime.simulator import Simulator
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
-from repro.shm.memory import SharedMemory
 from repro.shm.versioned import VersionedArray
 
 

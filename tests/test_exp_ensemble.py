@@ -1,0 +1,122 @@
+"""Tests for the process-parallel seed-ensemble runner (tier 2 of the
+execution engine): chunking, job resolution, order preservation, the
+serial fallback, and byte-identity of parallel vs serial results."""
+
+import functools
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import e1_sequential, ensemble
+from repro.experiments.ensemble import (
+    resolve_jobs,
+    run_ensemble,
+    seed_chunks,
+)
+
+
+def _square(seed: int) -> int:
+    """Module-level (hence picklable) worker."""
+    return seed * seed
+
+
+def _seeded_tuple(offset: int, seed: int):
+    """Picklable worker with bound config state, via functools.partial."""
+    return (seed, float(seed + offset), [seed] * 3)
+
+
+class TestResolveJobs:
+    def test_none_and_one_mean_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_and_negative_mean_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-3) >= 1
+
+    def test_explicit_count_taken_literally(self):
+        assert resolve_jobs(5) == 5
+
+
+class TestSeedChunks:
+    def test_chunks_are_contiguous_and_cover_all_seeds(self):
+        seeds = list(range(103, 120))
+        chunks = seed_chunks(seeds, jobs=3)
+        assert [s for chunk in chunks for s in chunk] == seeds
+        for chunk in chunks:
+            assert chunk == list(range(chunk[0], chunk[0] + len(chunk)))
+
+    def test_at_most_four_chunks_per_job(self):
+        chunks = seed_chunks(list(range(1000)), jobs=2)
+        assert 1 <= len(chunks) <= 4 * 2 + 1
+
+    def test_empty_seed_list(self):
+        assert seed_chunks([], jobs=4) == []
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seed_chunks([1, 2], jobs=0)
+
+
+class TestRunEnsemble:
+    def test_serial_matches_list_comprehension(self):
+        seeds = [7, 3, 11, 3]
+        assert run_ensemble(_square, seeds, jobs=1) == [_square(s) for s in seeds]
+
+    def test_parallel_byte_identical_to_serial(self):
+        seeds = list(range(200, 213))
+        serial = run_ensemble(_square, seeds, jobs=1)
+        parallel = run_ensemble(_square, seeds, jobs=2)
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_parallel_partial_worker_preserves_seed_order(self):
+        worker = functools.partial(_seeded_tuple, 10)
+        seeds = list(range(50, 61))
+        serial = run_ensemble(worker, seeds, jobs=1)
+        parallel = run_ensemble(worker, seeds, jobs=3)
+        assert parallel == serial
+        assert [row[0] for row in parallel] == seeds
+
+    def test_unpicklable_callable_falls_back_to_serial(self):
+        offset = 5
+        seeds = list(range(6))
+        # A closure cannot cross a process boundary; the runner must
+        # degrade to the serial path and still return correct results.
+        result = run_ensemble(lambda s: s + offset, seeds, jobs=2)
+        assert result == [s + offset for s in seeds]
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no fork for you")
+
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", ExplodingPool)
+        seeds = list(range(8))
+        assert run_ensemble(_square, seeds, jobs=4) == [s * s for s in seeds]
+
+    def test_worker_errors_propagate_from_serial_path(self):
+        def boom(seed):
+            raise ValueError(f"seed {seed}")
+
+        with pytest.raises(ValueError):
+            run_ensemble(boom, [1, 2], jobs=1)
+
+    def test_single_seed_never_pools(self, monkeypatch):
+        def no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool must not be created for one seed")
+
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", no_pool)
+        assert run_ensemble(_square, [9], jobs=8) == [81]
+
+
+class TestDriverDeterminism:
+    def test_e1_parallel_matches_serial(self):
+        config = e1_sequential.E1Config.quick()
+        config.num_runs = 4
+        serial = e1_sequential.run(config)
+        config.jobs = 2
+        parallel = e1_sequential.run(config)
+        assert pickle.dumps(parallel.series) == pickle.dumps(serial.series)
+        assert pickle.dumps(parallel.table.rows) == pickle.dumps(serial.table.rows)
+        assert parallel.passed == serial.passed

@@ -5,14 +5,11 @@ scheduler -> records -> contention/convergence analysis) the way the
 examples and benchmarks do.
 """
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.core.epoch_sgd import run_lock_free_sgd
 from repro.core.full_sgd import FullSGD
-from repro.core.sequential import run_sequential_sgd
 from repro.objectives.datasets import make_regression
 from repro.objectives.least_squares import LeastSquares
 from repro.objectives.logistic import LogisticRegression
@@ -23,7 +20,6 @@ from repro.objectives.sparse import SeparableQuadratic
 from repro.sched.crash import CrashPlan, CrashScheduler
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
-from repro.shm.history import check_log_replay
 from repro.theory.bounds import corollary_6_7_failure_bound
 from repro.theory.contention import tau_avg, tau_max
 

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.epoch_sgd import run_lock_free_sgd
-from repro.core.full_sgd import FullSGD, FullSGDThreadProgram
+from repro.core.full_sgd import FullSGDThreadProgram
 from repro.core.schedules import EpochHalvingRate
 from repro.core.snapshot_sgd import SnapshotSGDProgram
 from repro.objectives.noise import GaussianNoise, ZeroNoise

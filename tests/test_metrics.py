@@ -168,7 +168,6 @@ class TestTable:
 
 class TestUpdateMatrix:
     def _record(self, start, updates, gradient, thread=0):
-        d = len(gradient)
         return IterationRecord(
             time=start,
             thread_id=thread,

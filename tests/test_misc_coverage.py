@@ -15,13 +15,12 @@ from repro.errors import (
 from repro.metrics.ascii_plot import ascii_plot
 from repro.objectives.quadratic import IsotropicQuadratic
 from repro.runtime.clock import Clock
-from repro.runtime.program import FunctionProgram, ThreadContext
+from repro.runtime.program import FunctionProgram
 from repro.runtime.rng import RngStream
 from repro.runtime.simulator import Simulator
-from repro.runtime.thread import SimThread, ThreadState
+from repro.runtime.thread import ThreadState
 from repro.sched.round_robin import RoundRobinScheduler
 from repro.shm.array import AtomicArray
-from repro.shm.memory import SharedMemory
 from repro.shm.register import AtomicRegister
 
 

@@ -3,7 +3,6 @@ trajectory, the serializer round-trip, and record geometry helpers."""
 
 import hypothesis.strategies as st
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.core.results import accumulator_trajectory

@@ -7,7 +7,6 @@ program, the counter accounting balances, and replays are faithful.
 """
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.runtime.program import FunctionProgram

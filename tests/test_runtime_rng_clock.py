@@ -1,7 +1,6 @@
 """Unit tests for RngStream and Clock."""
 
 import numpy as np
-import pytest
 
 from repro.runtime.clock import Clock
 from repro.runtime.rng import RngStream, spawn_streams

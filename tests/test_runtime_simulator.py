@@ -8,6 +8,7 @@ from repro.errors import (
     SchedulerError,
     SimulationError,
     ThreadCrashedError,
+    ThreadFinishedError,
 )
 from repro.runtime.events import SpawnEvent
 from repro.runtime.program import FunctionProgram
@@ -137,6 +138,18 @@ class TestCrash:
         with pytest.raises(ThreadCrashedError):
             sim.crash(0)
 
+    def test_crash_finished_thread_raises_thread_finished(self):
+        memory, sim = make_sim(SequentialScheduler())
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1))
+        sim.spawn(incrementer(counter, 5))
+        sim.step()  # thread 0 (single increment) finishes here
+        assert sim.threads[0].state is ThreadState.FINISHED
+        with pytest.raises(ThreadFinishedError):
+            sim.crash(0)
+        # The distinction matters: FINISHED is not CRASHED.
+        assert sim.threads[0].state is ThreadState.FINISHED
+
 
 class TestSchedulerContract:
     def test_bad_scheduler_choice_detected(self):
@@ -164,6 +177,86 @@ class TestSchedulerContract:
         sim.step()  # thread 0 finishes (single op program)
         with pytest.raises(SchedulerError):
             sim.step()
+
+
+class TestRunFast:
+    def _build(self, record_log=False, record_steps=False):
+        memory = SharedMemory(record_log=record_log)
+        sim = Simulator(
+            memory, RoundRobinScheduler(), seed=3, record_steps=record_steps
+        )
+        counter = AtomicCounter.allocate(memory)
+        for _ in range(3):
+            sim.spawn(incrementer(counter, 5))
+        return memory, counter, sim
+
+    def test_run_fast_equivalent_to_run(self):
+        _, slow_counter, slow = self._build()
+        slow.run()
+        _, fast_counter, fast = self._build()
+        executed = fast.run_fast()
+        assert executed == 15
+        assert fast.now == slow.now
+        assert fast_counter.count == slow_counter.count
+        assert fast.results() == slow.results()
+        assert [t.steps_taken for t in fast.threads] == [
+            t.steps_taken for t in slow.threads
+        ]
+
+    def test_run_fast_with_memory_log_matches_run(self):
+        slow_mem, _, slow = self._build(record_log=True)
+        slow.run()
+        fast_mem, _, fast = self._build(record_log=True)
+        fast.run_fast()
+        assert len(fast_mem.log) == len(slow_mem.log)
+        assert [(r.seq, r.time, r.thread_id) for r in fast_mem.log] == [
+            (r.seq, r.time, r.thread_id) for r in slow_mem.log
+        ]
+
+    def test_run_fast_falls_back_when_step_records_needed(self):
+        _, _, sim = self._build(record_steps=True)
+        sim.run_fast()
+        assert len(sim.steps) == 15
+
+    def test_run_fast_max_steps(self):
+        _, _, sim = self._build()
+        assert sim.run_fast(max_steps=4) == 4
+        assert sim.now == 4
+        assert not sim.is_done
+        # Finishing the run afterwards still works and lands at the same
+        # total as an uninterrupted run.
+        sim.run_fast()
+        assert sim.now == 15
+
+    def test_run_fast_restores_memory_sequence_counter(self):
+        memory, _, sim = self._build()
+        sim.run_fast()
+        assert memory._seq == 15
+
+    def test_run_fast_detects_bad_scheduler_choice(self):
+        class BadScheduler:
+            def select(self, sim):
+                return 99
+
+        memory = SharedMemory(record_log=False)
+        sim = Simulator(memory, BadScheduler())
+        counter = AtomicCounter.allocate(memory)
+        sim.spawn(incrementer(counter, 1))
+        with pytest.raises(SchedulerError):
+            sim.run_fast()
+
+    def test_run_fast_detects_non_operation_yield(self):
+        memory = SharedMemory(record_log=False)
+        sim = Simulator(memory, RoundRobinScheduler())
+        counter = AtomicCounter.allocate(memory)
+
+        def ok_then_garbage(ctx):
+            yield counter.increment_op()
+            yield "garbage"
+
+        sim.spawn(FunctionProgram(ok_then_garbage))
+        with pytest.raises(ProgramError):
+            sim.run_fast()
 
 
 class TestAnnotations:

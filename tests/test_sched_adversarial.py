@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.core.epoch_sgd import run_lock_free_sgd
-from repro.core.sequential import run_sequential_sgd
 from repro.metrics.trace import iterations_to_stay_below
 from repro.objectives.noise import ZeroNoise
 from repro.objectives.quadratic import IsotropicQuadratic

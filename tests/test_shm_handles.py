@@ -6,7 +6,6 @@ import pytest
 from repro.errors import InvalidOperationError
 from repro.shm.array import AtomicArray
 from repro.shm.counter import AtomicCounter
-from repro.shm.memory import SharedMemory
 from repro.shm.ops import FetchAdd, GuardedFetchAdd, Read, Write
 from repro.shm.register import AtomicRegister
 

@@ -52,6 +52,39 @@ class TestAllocation:
             mem.segment("nope")
 
 
+class TestInspectionBounds:
+    def test_peek_out_of_range(self):
+        mem = SharedMemory()
+        mem.allocate(2)
+        with pytest.raises(UnknownAddressError):
+            mem.peek(2)
+        with pytest.raises(UnknownAddressError):
+            mem.peek(-1)
+
+    def test_peek_range_out_of_range(self):
+        mem = SharedMemory()
+        base = mem.allocate(3)
+        with pytest.raises(UnknownAddressError):
+            mem.peek_range(base, 4)
+        with pytest.raises(UnknownAddressError):
+            mem.peek_range(base + 5, 1)
+        with pytest.raises(UnknownAddressError):
+            mem.peek_range(-1, 2)
+
+    def test_poke_out_of_range(self):
+        mem = SharedMemory()
+        mem.allocate(1)
+        with pytest.raises(UnknownAddressError):
+            mem.poke(1, 3.0)
+        with pytest.raises(UnknownAddressError):
+            mem.poke(-2, 3.0)
+
+    def test_poke_on_empty_memory(self):
+        mem = SharedMemory()
+        with pytest.raises(UnknownAddressError):
+            mem.poke(0, 1.0)
+
+
 class TestPrimitives:
     def test_read_initial_zero(self, memory):
         base = memory.allocate(1)

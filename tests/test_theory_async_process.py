@@ -13,7 +13,7 @@ from repro.sched.contention_max import ContentionMaximizer
 from repro.sched.random_sched import RandomScheduler
 from repro.theory.async_martingale import evaluate_async_process
 from repro.theory.bounds import corollary_6_7_step_size
-from repro.theory.contention import tau_avg, tau_max
+from repro.theory.contention import tau_avg
 from repro.theory.martingale import ConvexRateSupermartingale
 
 
@@ -78,7 +78,6 @@ class TestAsyncProcess:
         assert trace.failure_lower_bound_holds()
 
     def test_trajectory_shape_validated(self):
-        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.3))
         result, trace = _run_and_evaluate(RandomScheduler(seed=6))
         process = ConvexRateSupermartingale(
             epsilon=0.05, alpha=1e-3, strong_convexity=1.0,

@@ -1,7 +1,6 @@
 """Unit + property tests for the contention analytics (Lemmas 6.1/6.2/6.4,
 tau_max, tau_avg)."""
 
-import math
 
 import hypothesis.strategies as st
 import numpy as np
