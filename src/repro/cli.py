@@ -7,6 +7,7 @@ code::
     python -m repro run E2                 # quick preset
     python -m repro run E5 --scale full    # EXPERIMENTS.md-scale
     python -m repro run all --out results/ # every experiment, files per id
+    python -m repro chaos --seeds 4        # seeded fault campaign
 """
 
 from __future__ import annotations
@@ -140,6 +141,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault campaign and print/persist the robustness report.
+
+    Exit code 1 when any invariant monitor fired or any cell failed to
+    converge (what the CI chaos job pins); 0 otherwise.
+    """
+    from repro.faults.campaign import (
+        CampaignConfig,
+        ChaosWorkload,
+        preset_specs,
+        run_campaign,
+    )
+
+    presets = preset_specs()
+    names = [name.strip() for name in args.specs.split(",") if name.strip()]
+    unknown = [name for name in names if name not in presets]
+    if unknown or not names:
+        print(
+            f"unknown fault spec(s): {', '.join(unknown) or '(none given)'} "
+            f"(choose from {', '.join(presets)})",
+            file=sys.stderr,
+        )
+        return 2
+    workload = ChaosWorkload(
+        num_threads=args.threads, iterations=args.iterations
+    )
+    config = CampaignConfig(
+        specs=tuple(presets[name] for name in names),
+        seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+        workload=workload,
+        recover=not args.no_recovery,
+        monitors=not args.no_monitors,
+        check_interval=args.check_interval,
+        jobs=args.jobs if args.jobs is not None else 1,
+    )
+    report = run_campaign(config)
+    text = report.render()
+    print(text)
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "chaos_report.txt").write_text(text + "\n")
+        (out_dir / "chaos_report.json").write_text(report.to_json())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -182,6 +229,57 @@ def build_parser() -> argparse.ArgumentParser:
         "identical for any value",
     )
     run_parser.set_defaults(func=cmd_run)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault campaign (fault specs x seeds) and "
+        "report robustness",
+    )
+    chaos_parser.add_argument(
+        "--specs",
+        default="prob-crash,adaptive-crash,stall,torn-update",
+        help="comma-separated fault spec presets (see repro.faults."
+        "campaign.preset_specs): none, prob-crash, adaptive-crash, "
+        "stall, torn-update, mixed",
+    )
+    chaos_parser.add_argument(
+        "--seeds", type=int, default=4, metavar="N",
+        help="seeds per spec (default 4)",
+    )
+    chaos_parser.add_argument(
+        "--base-seed", type=int, default=1, metavar="S",
+        help="first seed of the ensemble (default 1)",
+    )
+    chaos_parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="SGD threads per run (default 4)",
+    )
+    chaos_parser.add_argument(
+        "--iterations", type=int, default=300, metavar="T",
+        help="global iteration budget per run (default 300)",
+    )
+    chaos_parser.add_argument(
+        "--check-interval", type=int, default=64, metavar="K",
+        help="steps between invariant checks / crash-recovery polls",
+    )
+    chaos_parser.add_argument(
+        "--no-recovery", action="store_true",
+        help="do not respawn crashed threads",
+    )
+    chaos_parser.add_argument(
+        "--no-monitors", action="store_true",
+        help="disable invariant monitors (pure survival/convergence run)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the campaign grid (1 = serial, "
+        "0 = one per CPU); results are identical for any value",
+    )
+    chaos_parser.add_argument(
+        "--out", default=None,
+        help="directory to write chaos_report.{txt,json} to",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = subparsers.add_parser(
         "report", help="summarize verdicts from a directory of artifacts"

@@ -83,6 +83,15 @@ class ConfigurationError(ReproError):
     """Invalid parameters were supplied to an algorithm or experiment."""
 
 
+class InvariantViolationError(ReproError):
+    """A runtime invariant monitor detected a violated invariant.
+
+    Raised by :class:`repro.faults.monitors.MonitorSuite` in fail-fast
+    mode; in collecting mode violations are accumulated instead so a
+    fault campaign can report every breakage of a run at once.
+    """
+
+
 class AssumptionViolationError(ReproError):
     """An analytic assumption (strong convexity, Lipschitzness, bounded
     second moment) failed numerical verification for an objective."""

@@ -13,9 +13,12 @@ one place that owns that fan-out:
   **seed order**, so parallel output is byte-identical to serial output;
 * ``jobs=1`` (the default) never touches a pool — experiments remain as
   debuggable as before;
-* any pool failure (fork unavailable in the sandbox, unpicklable
-  closure, broken worker) degrades gracefully to the serial path rather
-  than failing the experiment.
+* pool failures degrade gracefully — and *partially*: each chunk is a
+  separate future, transient failures (broken pool, dead worker, stalls
+  past ``chunk_timeout``) are retried in the pool with exponential
+  backoff, and only the chunks that never produced a result are rerun
+  serially.  A campaign where 15 of 16 chunks succeeded redoes one
+  chunk, not the whole seed list.
 
 Workers must be importable module-level callables (or
 ``functools.partial`` of one) — the experiment drivers define theirs as
@@ -27,7 +30,8 @@ from __future__ import annotations
 import math
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -48,6 +52,12 @@ POOL_FAILURES = (
     ImportError,
     BrokenProcessPool,
 )
+
+#: Pool failures not worth retrying in the pool: if the callable cannot
+#: cross the process boundary once, it never will.  (Resubmitting makes
+#: sense for transient faults — a worker OOM-killed, a broken pool that
+#: respawned — not for serialization errors.)
+_NON_RETRYABLE = (pickle.PicklingError, AttributeError, TypeError)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -84,10 +94,90 @@ def _run_chunk(payload: Tuple[Callable[[int], T], List[int]]) -> List[T]:
     return [run_one(seed) for seed in chunk]
 
 
+def _run_chunks_pooled(
+    run_one: Callable[[int], T],
+    chunks: List[List[int]],
+    jobs: int,
+    chunk_retries: int,
+    chunk_timeout: Optional[float],
+    backoff_base: float,
+) -> List[Optional[List[T]]]:
+    """Run chunks as independent pool futures; never raises pool errors.
+
+    Returns one slot per chunk — ``None`` where the pool never produced
+    that chunk's result (the caller reruns exactly those serially).
+    Transient per-chunk failures are resubmitted up to ``chunk_retries``
+    times with exponential backoff; a wait that produces nothing for
+    ``chunk_timeout`` seconds abandons the pool entirely.  Real errors
+    raised inside ``run_one`` (anything outside ``POOL_FAILURES``) leave
+    the chunk unfilled too, so the serial rerun re-raises them with a
+    clean traceback.
+    """
+    results: List[Optional[List[T]]] = [None] * len(chunks)
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            future_to_chunk = {}
+            attempts = [0] * len(chunks)
+
+            def submit(index: int) -> bool:
+                try:
+                    future = pool.submit(_run_chunk, (run_one, chunks[index]))
+                except POOL_FAILURES:
+                    return False  # pool shut down / broken: serial rerun
+                future_to_chunk[future] = index
+                return True
+
+            for index in range(len(chunks)):
+                if not submit(index):
+                    break
+            pool_alive = True
+            while future_to_chunk:
+                done, _pending = wait(
+                    tuple(future_to_chunk),
+                    timeout=chunk_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing completed within the stall budget: the pool
+                    # is wedged.  Abandon it; unfinished chunks go serial.
+                    for future in future_to_chunk:
+                        future.cancel()
+                    break
+                for future in done:
+                    index = future_to_chunk.pop(future)
+                    try:
+                        results[index] = future.result()
+                    except _NON_RETRYABLE:
+                        continue  # hopeless in a pool; serial rerun
+                    except POOL_FAILURES:
+                        attempts[index] += 1
+                        if not pool_alive or attempts[index] > chunk_retries:
+                            continue
+                        if backoff_base > 0:
+                            time.sleep(
+                                backoff_base * 2 ** (attempts[index] - 1)
+                            )
+                        if not submit(index):
+                            pool_alive = False
+                    except Exception:
+                        # A real error from run_one: leave the chunk
+                        # unfilled so the serial rerun re-raises it with
+                        # a clean in-process traceback.
+                        continue
+    except POOL_FAILURES:
+        # Pool construction/teardown failed (sandboxed fork, etc.):
+        # every unfilled chunk falls back to the serial path.
+        pass
+    return results
+
+
 def run_ensemble(
     run_one: Callable[[int], T],
     seeds: Sequence[int],
     jobs: Optional[int] = 1,
+    chunk_retries: int = 1,
+    chunk_timeout: Optional[float] = None,
+    backoff_base: float = 0.05,
 ) -> List[T]:
     """Map ``run_one`` over ``seeds``, optionally across processes.
 
@@ -98,24 +188,31 @@ def run_ensemble(
         seeds: The ensemble's seeds, in the order results are wanted.
         jobs: Worker processes (see :func:`resolve_jobs`).  ``1`` runs
             serially in-process.
+        chunk_retries: In-pool resubmissions per chunk after a transient
+            pool failure, before that chunk falls back to serial.
+        chunk_timeout: Seconds the runner waits for *some* chunk to
+            complete before declaring the pool wedged and rerunning the
+            unfinished chunks serially; ``None`` waits forever.
+        backoff_base: First retry's backoff sleep in seconds; doubles per
+            subsequent retry of the same chunk (exponential backoff).
 
     Returns:
         Results in seed order — identical, element for element, to
-        ``[run_one(s) for s in seeds]`` regardless of ``jobs``.
+        ``[run_one(s) for s in seeds]`` regardless of ``jobs``, retries
+        or fallbacks.
     """
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(seeds) <= 1:
         return [run_one(seed) for seed in seeds]
     chunks = seed_chunks(seeds, jobs)
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            parts = list(
-                pool.map(_run_chunk, [(run_one, chunk) for chunk in chunks])
-            )
-    except POOL_FAILURES:
-        # Pool unavailable (sandboxed fork, unpicklable callable, dead
-        # worker): fall back to the serial path, which either succeeds or
-        # raises the real error with a clean traceback.
-        return [run_one(seed) for seed in seeds]
+    parts = _run_chunks_pooled(
+        run_one, chunks, jobs, chunk_retries, chunk_timeout, backoff_base
+    )
+    # Partial-result rerun: only chunks the pool never delivered are
+    # recomputed in-process.  Errors from run_one itself surface here,
+    # deterministically and with a clean traceback.
+    for index, part in enumerate(parts):
+        if part is None:
+            parts[index] = [run_one(seed) for seed in chunks[index]]
     return [result for part in parts for result in part]

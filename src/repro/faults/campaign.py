@@ -1,0 +1,343 @@
+"""Fault campaigns: grid fault specs over seeds, report robustness.
+
+A campaign is the chaos engine's Monte-Carlo layer: for every
+:class:`~repro.faults.spec.FaultSpec` in the grid it runs a seed
+ensemble of the standard Algorithm-1 workload under that spec — with
+invariant monitors watching and (optionally) crash recovery respawning
+victims — and aggregates a robustness report: survival rate, convergence
+degradation versus fault intensity, recovered-thread counts, and every
+invariant violation observed.
+
+Workers go through :func:`repro.experiments.ensemble.run_ensemble`, so
+campaigns parallelize across processes exactly like the paper
+experiments and stay byte-identical to serial execution.  All output is
+deterministic given the config (no timestamps in the JSON), so a rerun
+with the same seeds produces the same bytes — the property CI pins.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.epoch_sgd import EpochSGDProgram
+from repro.errors import ConfigurationError
+from repro.experiments.ensemble import run_ensemble
+from repro.faults.monitors import MonitorSuite, default_monitors
+from repro.faults.recovery import run_with_recovery
+from repro.faults.spec import (
+    AdaptiveCrashSpec,
+    FaultSpec,
+    ProbabilisticCrashSpec,
+    StallSpec,
+    TornUpdateSpec,
+)
+from repro.metrics.report import Table
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.events import IterationRecord
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.random_sched import RandomScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+def preset_specs() -> Dict[str, FaultSpec]:
+    """Named fault specs the CLI exposes (``--specs name,name,...``).
+
+    Rates and budgets are tuned so every preset leaves survivors that
+    converge on the standard workload — the point of the campaign is to
+    *verify* that, seed by seed.
+    """
+    return {
+        "none": FaultSpec("none", ()),
+        "prob-crash": FaultSpec(
+            "prob-crash",
+            (ProbabilisticCrashSpec(rate=0.002, max_crashes=3, after_time=20),),
+        ),
+        "adaptive-crash": FaultSpec(
+            "adaptive-crash",
+            (AdaptiveCrashSpec(phase="update", max_crashes=2, after_time=50),),
+        ),
+        "stall": FaultSpec(
+            "stall",
+            (StallSpec(victims=(0,), start=40, duration=120, period=400),),
+        ),
+        "torn-update": FaultSpec(
+            "torn-update",
+            (TornUpdateSpec(rate=0.01, max_crashes=2, after_time=20),),
+        ),
+        "mixed": FaultSpec(
+            "mixed",
+            (
+                ProbabilisticCrashSpec(rate=0.001, max_crashes=1, after_time=20),
+                StallSpec(victims=(1,), start=100, duration=80, period=500),
+                TornUpdateSpec(rate=0.005, max_crashes=1, after_time=20),
+            ),
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """The SGD workload every campaign cell runs.
+
+    A small noisy quadratic under Algorithm 1 — cheap enough to grid,
+    rich enough that crashes hit mid-iteration state (reads, updates,
+    claimed counter slots).
+    """
+
+    dim: int = 2
+    num_threads: int = 4
+    step_size: float = 0.05
+    iterations: int = 300
+    noise_sigma: float = 0.2
+    x0_scale: float = 2.0
+    #: ``||x - x*||`` at or below which a run counts as converged.
+    convergence_radius: float = 0.5
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign: a fault-spec grid times a seed list."""
+
+    specs: Tuple[FaultSpec, ...]
+    seeds: Tuple[int, ...]
+    workload: ChaosWorkload = field(default_factory=ChaosWorkload)
+    recover: bool = True
+    max_respawns: Optional[int] = None
+    monitors: bool = True
+    check_interval: int = 64
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ConfigurationError("campaign needs at least one fault spec")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+
+
+@dataclass(frozen=True)
+class FaultRunOutcome:
+    """One (spec, seed) cell — plain values only, so it crosses the
+    process pool and serializes to JSON untouched."""
+
+    spec: str
+    seed: int
+    threads: int  # total spawned, respawns included
+    finished: int
+    crashed: int
+    respawned: int
+    torn_updates: int
+    skipped_crashes: int
+    stall_reroutes: int
+    iterations: int  # completed (recorded) iterations
+    steps: int
+    distance: float
+    converged: bool
+    violations: Tuple[str, ...]
+
+
+def _chaos_worker(
+    config: CampaignConfig, spec_index: int, seed: int
+) -> FaultRunOutcome:
+    """Run one campaign cell (module-level: picklable for the pool)."""
+    spec = config.specs[spec_index]
+    workload = config.workload
+    objective = IsotropicQuadratic(
+        dim=workload.dim, noise=GaussianNoise(workload.noise_sigma)
+    )
+    memory = SharedMemory(record_log=False)
+    model = AtomicArray.allocate(memory, workload.dim, name="model")
+    model.load(np.full(workload.dim, workload.x0_scale))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    engine = spec.build(RandomScheduler(seed=seed), seed=seed)
+    sim = Simulator(memory, engine, seed=seed)
+
+    def make_program() -> EpochSGDProgram:
+        return EpochSGDProgram(
+            model=model,
+            counter=counter,
+            objective=objective,
+            step_size=workload.step_size,
+            max_iterations=workload.iterations,
+        )
+
+    for index in range(workload.num_threads):
+        sim.spawn(make_program(), name=f"worker-{index}")
+
+    suite = MonitorSuite(default_monitors()) if config.monitors else None
+    factory = (lambda crashed: make_program()) if config.recover else None
+    recovery = run_with_recovery(
+        sim,
+        program_factory=factory,
+        max_respawns=config.max_respawns,
+        check_interval=config.check_interval,
+        monitors=suite,
+    )
+
+    final = model.snapshot()
+    distance = float(objective.distance_to_opt(final))
+    iterations = sum(1 for e in sim.trace if isinstance(e, IterationRecord))
+    torn = sum(getattr(inj, "torn", 0) for inj in engine.injectors)
+    reroutes = engine.stall_reroutes
+    violations = tuple(str(v) for v in suite.violations) if suite else ()
+    finished = sum(1 for t in sim.threads if t.state is ThreadState.FINISHED)
+    return FaultRunOutcome(
+        spec=spec.name,
+        seed=seed,
+        threads=len(sim.threads),
+        finished=finished,
+        crashed=sim.crashed_count,
+        respawned=recovery.recovered_count,
+        torn_updates=torn,
+        skipped_crashes=engine.skipped_crashes,
+        stall_reroutes=reroutes,
+        iterations=iterations,
+        steps=sim.now,
+        distance=distance,
+        converged=distance <= workload.convergence_radius,
+        violations=violations,
+    )
+
+
+@dataclass(frozen=True)
+class SpecSummary:
+    """Aggregate robustness of one fault spec over its seed ensemble."""
+
+    spec: str
+    runs: int
+    survival_rate: float  # mean fraction of threads that finished
+    convergence_rate: float
+    mean_distance: float
+    mean_crashed: float
+    mean_respawned: float
+    torn_updates: int
+    skipped_crashes: int
+    violations: int
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign measured, renderable and serializable."""
+
+    outcomes: List[FaultRunOutcome]
+    summaries: List[SpecSummary]
+
+    @property
+    def clean(self) -> bool:
+        """No invariant monitor fired anywhere in the grid."""
+        return all(not outcome.violations for outcome in self.outcomes)
+
+    @property
+    def all_converged(self) -> bool:
+        """Survivors converged in every cell."""
+        return all(outcome.converged for outcome in self.outcomes)
+
+    @property
+    def passed(self) -> bool:
+        return self.clean and self.all_converged
+
+    def render(self) -> str:
+        """ASCII robustness report (the CLI artifact)."""
+        table = Table(
+            [
+                "spec",
+                "runs",
+                "survival",
+                "converged",
+                "mean ||x-x*||",
+                "crashed",
+                "respawned",
+                "torn",
+                "budget-skips",
+                "violations",
+            ],
+            title="Chaos campaign: fault specs x seeds",
+        )
+        for s in self.summaries:
+            table.add_row(
+                [
+                    s.spec,
+                    s.runs,
+                    f"{s.survival_rate:.2f}",
+                    f"{s.convergence_rate:.2f}",
+                    f"{s.mean_distance:.4f}",
+                    f"{s.mean_crashed:.2f}",
+                    f"{s.mean_respawned:.2f}",
+                    s.torn_updates,
+                    s.skipped_crashes,
+                    s.violations,
+                ]
+            )
+        parts = [table.render()]
+        for outcome in self.outcomes:
+            for violation in outcome.violations:
+                parts.append(
+                    f"VIOLATION spec={outcome.spec} seed={outcome.seed}: "
+                    f"{violation}"
+                )
+        parts.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, no timestamps): reruns with
+        the same config produce identical bytes."""
+        payload = {
+            "summaries": [asdict(s) for s in self.summaries],
+            "outcomes": [asdict(o) for o in self.outcomes],
+            "clean": self.clean,
+            "all_converged": self.all_converged,
+            "passed": self.passed,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def summarize(outcomes: List[FaultRunOutcome]) -> List[SpecSummary]:
+    """Collapse per-cell outcomes into per-spec rows (grid order)."""
+    by_spec: Dict[str, List[FaultRunOutcome]] = {}
+    for outcome in outcomes:
+        by_spec.setdefault(outcome.spec, []).append(outcome)
+    summaries = []
+    for spec, cell in by_spec.items():
+        survival = [o.finished / o.threads if o.threads else 0.0 for o in cell]
+        summaries.append(
+            SpecSummary(
+                spec=spec,
+                runs=len(cell),
+                survival_rate=float(np.mean(survival)),
+                convergence_rate=float(np.mean([o.converged for o in cell])),
+                mean_distance=float(np.mean([o.distance for o in cell])),
+                mean_crashed=float(np.mean([o.crashed for o in cell])),
+                mean_respawned=float(np.mean([o.respawned for o in cell])),
+                torn_updates=sum(o.torn_updates for o in cell),
+                skipped_crashes=sum(o.skipped_crashes for o in cell),
+                violations=sum(len(o.violations) for o in cell),
+            )
+        )
+    return summaries
+
+
+def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Execute the full spec x seed grid and aggregate the report.
+
+    Each spec's seed ensemble goes through :func:`run_ensemble`, so
+    ``config.jobs`` parallelizes cells across processes with results
+    byte-identical to a serial run.
+    """
+    outcomes: List[FaultRunOutcome] = []
+    for spec_index in range(len(config.specs)):
+        outcomes.extend(
+            run_ensemble(
+                functools.partial(_chaos_worker, config, spec_index),
+                config.seeds,
+                jobs=config.jobs,
+            )
+        )
+    return CampaignReport(outcomes=outcomes, summaries=summarize(outcomes))

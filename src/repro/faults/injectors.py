@@ -1,0 +1,283 @@
+"""Runtime fault injectors and the scheduler that hosts them.
+
+Injectors act *below* the scheduling decision: the
+:class:`FaultInjectionScheduler` consults every injector at each
+selection point — exactly where the model's adversary acts — then
+delegates the actual pick to the inner scheduler.  An injector may:
+
+* crash threads before the pick (:meth:`FaultInjector.before_select`),
+* veto threads for this pick via stall windows
+  (:meth:`FaultInjector.stalled`),
+* inspect the chosen thread's *pending* operation and arrange a crash
+  right after it executes (:meth:`FaultInjector.after_choice` — how torn
+  updates are injected at op granularity without any per-step hook).
+
+Because everything happens at ``select`` time, injection behaves
+identically under :meth:`~repro.runtime.simulator.Simulator.run` and the
+elided :meth:`~repro.runtime.simulator.Simulator.run_fast` batch loop —
+the engine never needs step records to inject faults.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from repro.faults.spec import (
+    AdaptiveCrashSpec,
+    InjectorSpec,
+    ProbabilisticCrashSpec,
+    StallSpec,
+    TornUpdateSpec,
+)
+from repro.errors import ConfigurationError, UnknownAddressError
+from repro.runtime.policy import live_hook
+from repro.runtime.rng import RngStream
+from repro.sched.base import Scheduler
+from repro.shm.ops import OP_FETCH_ADD, OP_GUARDED_FETCH_ADD, OP_WRITE
+
+#: Opcodes that mutate a model entry — the ops a torn-update fault tears.
+_UPDATE_OPCODES = frozenset({OP_FETCH_ADD, OP_GUARDED_FETCH_ADD, OP_WRITE})
+
+
+class FaultInjector:
+    """Base class: a fault policy consulted at every selection point."""
+
+    #: Crashes this injector has fired.
+    fired: int = 0
+
+    def before_select(self, sim, engine: "FaultInjectionScheduler") -> None:
+        """Fire any crash due *now* (before the scheduler picks)."""
+
+    def stalled(self, sim, engine: "FaultInjectionScheduler") -> Iterable[int]:
+        """Thread ids this injector forbids from being picked right now."""
+        return ()
+
+    def after_choice(self, sim, engine: "FaultInjectionScheduler", thread) -> None:
+        """Observe the chosen thread (and its pending op) before it runs."""
+
+
+class ProbabilisticCrashInjector(FaultInjector):
+    """Seeded memoryless crashes: each victim dies with probability
+    ``rate`` at every selection point (budget-aware)."""
+
+    def __init__(self, spec: ProbabilisticCrashSpec, rng: RngStream) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.fired = 0
+
+    def before_select(self, sim, engine) -> None:
+        spec = self.spec
+        if sim.now < spec.after_time:
+            return
+        if spec.max_crashes is not None and self.fired >= spec.max_crashes:
+            return
+        victims = (
+            spec.victims if spec.victims is not None else range(len(sim.threads))
+        )
+        for tid in victims:
+            if tid >= len(sim.threads) or not sim.threads[tid].is_runnable:
+                continue
+            # One draw per runnable victim per select keeps the stream
+            # aligned between run() and run_fast() (same select sequence).
+            if self.rng.uniform() < spec.rate and engine.try_crash(sim, tid):
+                self.fired += 1
+                if (
+                    spec.max_crashes is not None
+                    and self.fired >= spec.max_crashes
+                ):
+                    return
+
+
+class AdaptiveCrashInjector(FaultInjector):
+    """Crash a victim the moment its published ``phase`` annotation
+    matches — the adaptive adversary aiming for the worst instant."""
+
+    def __init__(self, spec: AdaptiveCrashSpec, rng: RngStream) -> None:
+        self.spec = spec
+        self.fired = 0
+
+    def before_select(self, sim, engine) -> None:
+        spec = self.spec
+        if sim.now < spec.after_time or self.fired >= spec.max_crashes:
+            return
+        victims = (
+            spec.victims if spec.victims is not None else range(len(sim.threads))
+        )
+        for tid in victims:
+            if tid >= len(sim.threads):
+                continue
+            thread = sim.threads[tid]
+            if not thread.is_runnable:
+                continue
+            if thread.context.annotations.get("phase") != spec.phase:
+                continue
+            if engine.try_crash(sim, tid):
+                self.fired += 1
+                return  # at most one adaptive kill per selection point
+
+
+class StallInjector(FaultInjector):
+    """Deterministic delay windows during which victims take no steps."""
+
+    def __init__(self, spec: StallSpec, rng: RngStream) -> None:
+        self.spec = spec
+        self.stall_steps = 0  # selection points at which a victim was vetoed
+
+    def stalled(self, sim, engine) -> Iterable[int]:
+        if not self.spec.open_at(sim.now):
+            return ()
+        self.stall_steps += 1
+        return self.spec.victims
+
+
+class TornUpdateInjector(FaultInjector):
+    """Crash a thread immediately *after* an update op on the watched
+    segment lands — a steerable torn-update fault.
+
+    The injector inspects the chosen thread's pending op at select time;
+    if the op is an update into the watched segment and the (seeded) coin
+    fires, the thread is doomed: it executes exactly that op and is
+    crashed at the next selection point, before it can take another step.
+    """
+
+    def __init__(self, spec: TornUpdateSpec, rng: RngStream) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.fired = 0
+        self.torn = 0
+        self._doomed: Set[int] = set()
+        self._segment: Optional[Tuple[int, int]] = None  # (base, end)
+
+    def _watch_range(self, sim) -> Optional[Tuple[int, int]]:
+        if self._segment is None:
+            try:
+                seg = sim.memory.segment(self.spec.segment)
+            except UnknownAddressError:
+                return None
+            self._segment = (seg.base, seg.base + seg.length)
+        return self._segment
+
+    def before_select(self, sim, engine) -> None:
+        if not self._doomed:
+            return
+        for tid in sorted(self._doomed):
+            if engine.try_crash(sim, tid):
+                self.fired += 1
+                self.torn += 1
+        self._doomed.clear()
+
+    def after_choice(self, sim, engine, thread) -> None:
+        spec = self.spec
+        if sim.now < spec.after_time:
+            return
+        if spec.max_crashes is not None and (
+            self.fired + len(self._doomed) >= spec.max_crashes
+        ):
+            return
+        if spec.victims is not None and thread.thread_id not in spec.victims:
+            return
+        op = thread.pending_op
+        if op is None or op.opcode not in _UPDATE_OPCODES:
+            return
+        watch = self._watch_range(sim)
+        if watch is None or not watch[0] <= op.address < watch[1]:
+            return
+        if self.rng.uniform() < spec.rate:
+            self._doomed.add(thread.thread_id)
+
+
+def build_injector(spec: InjectorSpec, rng: RngStream) -> FaultInjector:
+    """Instantiate the runtime injector for one spec."""
+    if isinstance(spec, ProbabilisticCrashSpec):
+        return ProbabilisticCrashInjector(spec, rng)
+    if isinstance(spec, AdaptiveCrashSpec):
+        return AdaptiveCrashInjector(spec, rng)
+    if isinstance(spec, StallSpec):
+        return StallInjector(spec, rng)
+    if isinstance(spec, TornUpdateSpec):
+        return TornUpdateInjector(spec, rng)
+    raise ConfigurationError(f"unknown injector spec: {type(spec).__name__}")
+
+
+class FaultInjectionScheduler(Scheduler):
+    """Compose fault injectors below any inner scheduler.
+
+    At each selection point the engine (1) lets every injector fire due
+    crashes, (2) collects the stall veto set, (3) asks the inner
+    scheduler for its pick and deterministically reroutes it to the
+    lowest-id non-stalled runnable thread when the pick is vetoed (a
+    stall is a delay, so *someone else* runs), and (4) shows the chosen
+    thread to every injector before its pending op executes.
+
+    Crash-budget accounting is centralized in :meth:`try_crash`: the
+    model's hard ``n - 1`` rule, the spec-level ``crash_budget``, and a
+    conservative "never kill the last runnable thread" guard.  Requests
+    the budget rejects are counted in :attr:`skipped_crashes`.
+
+    Like :class:`~repro.sched.crash.CrashScheduler`, the inner's hooks
+    are forwarded only when live, so benign inners keep ``run_fast``'s
+    elided path.
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        injectors: Sequence[FaultInjector] = (),
+        crash_budget: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.inner = inner
+        self.injectors = tuple(injectors)
+        self.crash_budget = crash_budget
+        self.name = name or "faults"
+        self.crashes_fired = 0
+        self.skipped_crashes = 0
+        self.stall_reroutes = 0
+        spawn_hook = live_hook(inner, "on_spawn")
+        if spawn_hook is not None:
+            self.on_spawn = spawn_hook
+        step_hook = live_hook(inner, "on_step")
+        if step_hook is not None:
+            self.on_step = step_hook
+
+    def try_crash(self, sim, thread_id: int) -> bool:
+        """Crash ``thread_id`` if every budget allows it.
+
+        Returns ``True`` when the crash fired.  Rejections (dead victim
+        excluded) are tallied in :attr:`skipped_crashes` so campaigns can
+        report how often the budget saved the run.
+        """
+        if thread_id >= len(sim.threads) or not sim.threads[thread_id].is_runnable:
+            return False
+        if self.crash_budget is not None and self.crashes_fired >= self.crash_budget:
+            self.skipped_crashes += 1
+            return False
+        # Keep one runnable thread alive: implies the model's n-1 rule
+        # (crashed <= n - runnable <= n - 1) and keeps time advancing.
+        if sim.runnable_count <= 1 or sim.crashed_count + 1 >= len(sim.threads):
+            self.skipped_crashes += 1
+            return False
+        sim.crash(thread_id)
+        self.crashes_fired += 1
+        return True
+
+    def select(self, sim) -> int:
+        injectors = self.injectors
+        for injector in injectors:
+            injector.before_select(sim, self)
+        stalled: Set[int] = set()
+        for injector in injectors:
+            stalled.update(injector.stalled(sim, self))
+        choice = self.inner.select(sim)
+        if stalled and choice in stalled:
+            for tid, thread in enumerate(sim.threads):
+                if thread.is_runnable and tid not in stalled:
+                    self.stall_reroutes += 1
+                    choice = tid
+                    break
+            # All runnable threads stalled: let the pick through —
+            # the adversary may not freeze time.
+        chosen = sim.threads[choice]
+        for injector in injectors:
+            injector.after_choice(sim, self, chosen)
+        return choice

@@ -1,0 +1,264 @@
+"""Invariant monitors — cheap runtime checks for chaos runs.
+
+A fault campaign is only evidence if someone watches the invariants
+while the faults fire.  Monitors come in two granularities:
+
+* **periodic** (:meth:`InvariantMonitor.on_check`) — O(d) peeks at
+  shared memory, driven every ``check_interval`` steps by
+  :func:`repro.faults.recovery.run_with_recovery`.  No scheduler hook is
+  involved, so when monitors are off the engine's elided ``run_fast``
+  loop is completely untouched (the ``TraceConfig`` cost model: pay only
+  for what you asked to observe);
+* **final** (:meth:`InvariantMonitor.on_finish`) — run once at
+  quiescence over the collected trace (e.g. Lemma 6.1's total order
+  needs every iteration record).
+
+A :class:`MonitorSuite` aggregates violations; in ``fail_fast`` mode the
+first violation raises :class:`~repro.errors.InvariantViolationError`,
+otherwise a campaign collects them all into its robustness report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import InvariantViolationError, UnknownAddressError
+from repro.runtime.events import CrashEvent, IterationRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation.
+
+    Attributes:
+        monitor: Name of the monitor that fired.
+        time: Logical time of the check that caught it.
+        message: What was violated.
+    """
+
+    monitor: str
+    time: int
+    message: str
+
+    def __str__(self) -> str:  # compact form for reports/CLI
+        return f"[{self.monitor} @ t={self.time}] {self.message}"
+
+
+class InvariantMonitor:
+    """Base class: override either hook; return ``None`` when clean."""
+
+    name = "invariant"
+
+    def on_check(self, sim) -> Optional[str]:
+        """Periodic check; return a violation message or ``None``."""
+        return None
+
+    def on_finish(self, sim) -> Iterable[str]:
+        """Final check at quiescence; return violation messages."""
+        return ()
+
+
+class CounterMonotonicityMonitor(InvariantMonitor):
+    """The shared iteration counter only moves forward, in integer
+    amounts, and never faster than one claim per executed step."""
+
+    name = "counter-monotonic"
+
+    def __init__(self, segment: str = "iteration_counter") -> None:
+        self.segment = segment
+        self._address: Optional[int] = None
+        self._missing = False
+        self._last_value: Optional[float] = None
+        self._last_time = 0
+
+    def _resolve(self, sim) -> Optional[int]:
+        if self._address is None and not self._missing:
+            try:
+                self._address = sim.memory.segment(self.segment).base
+            except UnknownAddressError:
+                self._missing = True  # workload has no counter; stay quiet
+        return self._address
+
+    def on_check(self, sim) -> Optional[str]:
+        address = self._resolve(sim)
+        if address is None:
+            return None
+        value = sim.memory.peek(address)
+        now = sim.now
+        try:
+            if not math.isfinite(value) or value != int(value):
+                return f"counter holds non-integral value {value!r}"
+            if self._last_value is not None:
+                if value < self._last_value:
+                    return (
+                        f"counter decreased: {self._last_value} -> {value}"
+                    )
+                if value - self._last_value > now - self._last_time:
+                    return (
+                        f"counter advanced by {value - self._last_value} in "
+                        f"{now - self._last_time} steps (more than one claim "
+                        f"per step)"
+                    )
+            return None
+        finally:
+            self._last_value = value
+            self._last_time = now
+
+
+class ModelFiniteMonitor(InvariantMonitor):
+    """Every model entry stays finite (no NaN/inf blow-up) — the cheap
+    proxy for "the survivors are still doing SGD, not diverging"."""
+
+    name = "model-finite"
+
+    def __init__(self, segment: str = "model") -> None:
+        self.segment = segment
+        self._range: Optional[tuple] = None
+        self._missing = False
+
+    def on_check(self, sim) -> Optional[str]:
+        if self._range is None:
+            if self._missing:
+                return None
+            try:
+                seg = sim.memory.segment(self.segment)
+            except UnknownAddressError:
+                self._missing = True
+                return None
+            self._range = (seg.base, seg.length)
+        base, length = self._range
+        for offset, value in enumerate(sim.memory.peek_range(base, length)):
+            if not math.isfinite(value):
+                return f"model[{offset}] is {value!r}"
+        return None
+
+
+class CrashBudgetMonitor(InvariantMonitor):
+    """The adversary never exceeds ``n - 1`` crashes, and the simulator's
+    O(1) crash counter agrees with the trace's CrashEvents."""
+
+    name = "crash-budget"
+
+    def on_check(self, sim) -> Optional[str]:
+        n = len(sim.threads)
+        if n and sim.crashed_count > n - 1:
+            return (
+                f"{sim.crashed_count} crashes exceed the n-1 budget "
+                f"(n={n})"
+            )
+        return None
+
+    def on_finish(self, sim) -> Iterable[str]:
+        events = sum(1 for e in sim.trace if isinstance(e, CrashEvent))
+        if events != sim.crashed_count:
+            yield (
+                f"crash accounting mismatch: {events} CrashEvents vs "
+                f"crashed_count={sim.crashed_count}"
+            )
+
+
+class IterationOrderMonitor(InvariantMonitor):
+    """Lemma 6.1's total order: iteration records are totally ordered by
+    their first model update, claimed indices are unique, and each
+    record's internal timestamps are consistent."""
+
+    name = "iteration-order"
+
+    def on_finish(self, sim) -> Iterable[str]:
+        records = [e for e in sim.trace if isinstance(e, IterationRecord)]
+        seen_orders = {}
+        seen_indices = {}
+        for record in records:
+            order = record.order_time
+            if order in seen_orders:
+                yield (
+                    f"iterations {seen_orders[order]} and {record.index} "
+                    f"share order time {order} (total order broken)"
+                )
+            seen_orders[order] = record.index
+            if record.index in seen_indices:
+                yield f"iteration index {record.index} claimed twice"
+            seen_indices[record.index] = True
+            if record.read_start_time < record.start_time:
+                yield (
+                    f"iteration {record.index} read before its claim "
+                    f"({record.read_start_time} < {record.start_time})"
+                )
+            if record.read_end_time < record.read_start_time:
+                yield (
+                    f"iteration {record.index} read window inverted "
+                    f"({record.read_end_time} < {record.read_start_time})"
+                )
+            if (
+                record.first_update_time is not None
+                and record.first_update_time <= record.read_end_time
+            ):
+                yield (
+                    f"iteration {record.index} updated at "
+                    f"{record.first_update_time} before finishing its reads "
+                    f"at {record.read_end_time}"
+                )
+
+
+def default_monitors(
+    model_segment: str = "model",
+    counter_segment: str = "iteration_counter",
+) -> List[InvariantMonitor]:
+    """The standard chaos-run monitor set."""
+    return [
+        CounterMonotonicityMonitor(counter_segment),
+        ModelFiniteMonitor(model_segment),
+        CrashBudgetMonitor(),
+        IterationOrderMonitor(),
+    ]
+
+
+class MonitorSuite:
+    """Drives a set of monitors and aggregates their violations.
+
+    Args:
+        monitors: The monitors to run (default: :func:`default_monitors`).
+        fail_fast: Raise :class:`InvariantViolationError` on the first
+            violation instead of collecting (campaigns collect; CI-style
+            assertions fail fast).
+    """
+
+    def __init__(
+        self,
+        monitors: Optional[Sequence[InvariantMonitor]] = None,
+        fail_fast: bool = False,
+    ) -> None:
+        self.monitors = list(default_monitors() if monitors is None else monitors)
+        self.fail_fast = fail_fast
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether no monitor has fired."""
+        return not self.violations
+
+    def _record(self, monitor: InvariantMonitor, time: int, message: str) -> None:
+        violation = Violation(monitor=monitor.name, time=time, message=message)
+        self.violations.append(violation)
+        if self.fail_fast:
+            raise InvariantViolationError(str(violation))
+
+    def check(self, sim) -> None:
+        """Run every monitor's periodic check once."""
+        self.checks_run += 1
+        now = sim.now
+        for monitor in self.monitors:
+            message = monitor.on_check(sim)
+            if message is not None:
+                self._record(monitor, now, message)
+
+    def finish(self, sim) -> None:
+        """Run a last periodic check plus every final check."""
+        self.check(sim)
+        now = sim.now
+        for monitor in self.monitors:
+            for message in monitor.on_finish(sim):
+                self._record(monitor, now, message)

@@ -1,0 +1,189 @@
+"""The fault-plan DSL: declarative, seeded, composable.
+
+A :class:`FaultSpec` is a *plan* — a frozen, picklable description of
+which faults an execution is subjected to.  Plans compose: one spec holds
+any number of injector specs, and :meth:`FaultSpec.build` wraps any inner
+scheduler in a :class:`~repro.faults.injectors.FaultInjectionScheduler`
+that fires all of them at selection points.  Because the spec (not the
+runtime injector) is what campaigns grid over and ship to worker
+processes, every field here is a plain value type.
+
+All the faults expressible here are *legal* adversary behaviour in the
+asynchronous shared-memory model:
+
+* crashing a thread (up to the ``n - 1`` budget) — probabilistic,
+  adaptive, or conditioned on the operation just executed (torn updates);
+* delaying a thread arbitrarily (stall windows).
+
+Nothing here can corrupt memory or forge operations — the adversary
+schedules and kills, it does not write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.runtime.rng import RngStream
+
+
+@dataclass(frozen=True)
+class ProbabilisticCrashSpec:
+    """Crash each victim with probability ``rate`` per selection point.
+
+    Attributes:
+        rate: Per-victim, per-select crash probability in [0, 1].
+        victims: Thread ids eligible to crash; ``None`` means every
+            thread (including ones respawned by recovery).
+        max_crashes: Cap on crashes this injector fires; ``None`` leaves
+            only the model's ``n - 1`` budget.
+        after_time: No crashes before this logical time (lets the run
+            warm up so crashes hit mid-flight state).
+    """
+
+    rate: float
+    victims: Optional[Tuple[int, ...]] = None
+    max_crashes: Optional[int] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class AdaptiveCrashSpec:
+    """Crash a victim exactly when its published phase matches.
+
+    The strong adaptive adversary reads thread annotations; this injector
+    uses that window to kill threads at the nastiest instants (e.g.
+    ``phase="update"`` crashes a thread between its component
+    fetch&adds, guaranteeing torn multi-component updates).
+
+    Attributes:
+        phase: Annotation value of ``"phase"`` that triggers the crash.
+        max_crashes: Cap on crashes this injector fires.
+        victims: Eligible thread ids; ``None`` means all.
+        after_time: No crashes before this logical time.
+    """
+
+    phase: str = "update"
+    max_crashes: int = 1
+    victims: Optional[Tuple[int, ...]] = None
+    after_time: int = 0
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Delay windows: victims take no steps while a window is open.
+
+    A stalled thread is merely delayed (legal for any duration in the
+    asynchronous model); if every runnable thread is stalled at once the
+    injector lets the inner scheduler's choice through rather than
+    deadlocking — the model's adversary must keep *some* thread moving
+    for time to advance.
+
+    Attributes:
+        victims: Thread ids stalled during open windows.
+        start: Logical time the first window opens.
+        duration: Window length in steps.
+        period: Distance between window starts; ``None`` means a single
+            window ``[start, start + duration)``.
+    """
+
+    victims: Tuple[int, ...]
+    start: int = 0
+    duration: int = 1
+    period: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ConfigurationError(
+                f"duration must be >= 1, got {self.duration}"
+            )
+        if self.period is not None and self.period < self.duration:
+            raise ConfigurationError(
+                f"period ({self.period}) must be >= duration ({self.duration})"
+            )
+
+    def open_at(self, now: int) -> bool:
+        """Whether a stall window is open at logical time ``now``."""
+        if now < self.start:
+            return False
+        if self.period is None:
+            return now < self.start + self.duration
+        return (now - self.start) % self.period < self.duration
+
+
+@dataclass(frozen=True)
+class TornUpdateSpec:
+    """Tear multi-component updates at shared-memory op granularity.
+
+    When a victim is about to execute an update op (fetch&add, guarded
+    fetch&add or write) on the watched segment, with probability ``rate``
+    the injector lets exactly that op land and crashes the thread before
+    its next step — leaving a partially applied gradient in the model.
+    This is precisely the legal "crash between component fetch&adds"
+    fault, but steerable and seeded instead of hand-planned.
+
+    Attributes:
+        rate: Probability of tearing per eligible update op.
+        segment: Named shared-memory segment to watch (the model array).
+        max_crashes: Cap on crashes this injector fires.
+        victims: Eligible thread ids; ``None`` means all.
+        after_time: No tearing before this logical time.
+    """
+
+    rate: float
+    segment: str = "model"
+    max_crashes: Optional[int] = 1
+    victims: Optional[Tuple[int, ...]] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+
+
+#: Any single-fault description the DSL accepts.
+InjectorSpec = Union[
+    ProbabilisticCrashSpec, AdaptiveCrashSpec, StallSpec, TornUpdateSpec
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A composable fault plan: a named set of injector specs.
+
+    Attributes:
+        name: Label used in campaign reports and CLI flags.
+        injectors: The injector specs, fired in order at every selection
+            point.
+        crash_budget: Optional cap on *total* crashes across all
+            injectors (on top of each injector's own ``max_crashes`` and
+            the model's hard ``n - 1`` rule).
+    """
+
+    name: str
+    injectors: Tuple[InjectorSpec, ...] = field(default_factory=tuple)
+    crash_budget: Optional[int] = None
+
+    def build(self, inner, seed: int = 0):
+        """Wrap ``inner`` in a seeded fault-injection scheduler.
+
+        Each injector receives an independent child stream of ``seed``,
+        so adding or removing one injector never perturbs the draws of
+        the others (campaign sweeps stay comparable across specs).
+        """
+        from repro.faults.injectors import FaultInjectionScheduler, build_injector
+
+        root = RngStream.root(seed)
+        streams = root.spawn(len(self.injectors)) if self.injectors else []
+        runtime = tuple(
+            build_injector(spec, stream)
+            for spec, stream in zip(self.injectors, streams)
+        )
+        return FaultInjectionScheduler(
+            inner, runtime, crash_budget=self.crash_budget, name=self.name
+        )

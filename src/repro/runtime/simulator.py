@@ -159,6 +159,15 @@ class Simulator:
         return self._runnable_count
 
     @property
+    def crashed_count(self) -> int:
+        """Number of threads the adversary has crashed so far (O(1)).
+
+        Fault injectors consult this for budget accounting, and recovery
+        drivers poll it between :meth:`run_fast` chunks to detect fresh
+        crashes without scanning the trace."""
+        return self._crashed_count
+
+    @property
     def is_done(self) -> bool:
         """True when no thread can take another step."""
         return self._runnable_count == 0

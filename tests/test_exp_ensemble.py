@@ -4,6 +4,7 @@ serial fallback, and byte-identity of parallel vs serial results."""
 
 import functools
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -108,6 +109,135 @@ class TestRunEnsemble:
 
         monkeypatch.setattr(ensemble, "ProcessPoolExecutor", no_pool)
         assert run_ensemble(_square, [9], jobs=8) == [81]
+
+
+class _FakeFuture:
+    """A completed future: ``result()`` runs the work or raises."""
+
+    def __init__(self, fn=None, exc=None):
+        self._fn, self._exc = fn, exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._fn()
+
+    def cancel(self):
+        return True
+
+
+class _ScriptedPool:
+    """In-process ProcessPoolExecutor stand-in whose per-submit behaviour
+    follows a script: an exception instance makes that future raise it,
+    ``None`` runs the chunk for real.  Exhausted scripts run for real —
+    so "fail once, then succeed" is one script entry."""
+
+    def __init__(self, script=()):
+        self.script = list(script)
+        self.submits = 0
+
+    def __call__(self, max_workers=None):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, payload):
+        self.submits += 1
+        behavior = self.script.pop(0) if self.script else None
+        if behavior is None:
+            return _FakeFuture(fn=lambda: fn(payload))
+        return _FakeFuture(exc=behavior)
+
+
+def _fake_wait(futures, timeout=None, return_when=None):
+    return set(futures), set()
+
+
+class TestPartialChunkRerun:
+    """Satellite: pool failures cost only the chunks that failed, not the
+    whole seed list, and transient failures retry inside the pool."""
+
+    def _patch(self, monkeypatch, pool):
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", pool)
+        monkeypatch.setattr(ensemble, "wait", _fake_wait)
+
+    def test_transient_failure_retried_in_pool(self, monkeypatch):
+        seeds = list(range(8))
+        pool = _ScriptedPool([BrokenProcessPool("worker died")])
+        self._patch(monkeypatch, pool)
+        result = run_ensemble(
+            _square, seeds, jobs=2, chunk_retries=1, backoff_base=0.0
+        )
+        assert result == [s * s for s in seeds]
+        # The broken chunk was resubmitted once: chunks + 1 submits.
+        assert pool.submits == len(seed_chunks(seeds, 2)) + 1
+
+    def test_retry_budget_exhausted_falls_back_to_serial(self, monkeypatch):
+        seeds = list(range(8))
+        chunks = len(seed_chunks(seeds, 2))
+        # Every submit of chunk 0 fails: initial + chunk_retries attempts.
+        pool = _ScriptedPool(
+            [BrokenProcessPool("still dead")] * (chunks + 2)
+        )
+        self._patch(monkeypatch, pool)
+        result = run_ensemble(
+            _square, seeds, jobs=2, chunk_retries=2, backoff_base=0.0
+        )
+        assert result == [s * s for s in seeds]
+
+    def test_non_retryable_failure_is_not_resubmitted(self, monkeypatch):
+        seeds = list(range(8))
+        pool = _ScriptedPool([pickle.PicklingError("cannot cross")])
+        self._patch(monkeypatch, pool)
+        result = run_ensemble(_square, seeds, jobs=2, backoff_base=0.0)
+        assert result == [s * s for s in seeds]
+        # No retry was attempted for a serialization failure.
+        assert pool.submits == len(seed_chunks(seeds, 2))
+
+    def test_failed_chunks_recomputed_exactly_once(self, monkeypatch):
+        seeds = list(range(8))
+        calls = []
+
+        def worker(seed):
+            calls.append(seed)
+            return seed * 3
+
+        # Chunks 2 and 5 never produce a pool result; the rest succeed.
+        chunks = len(seed_chunks(seeds, 2))
+        script = [None] * chunks
+        script[2] = pickle.PicklingError("chunk 2")
+        script[5] = TypeError("chunk 5")
+        self._patch(monkeypatch, _ScriptedPool(script))
+        result = run_ensemble(worker, seeds, jobs=2, backoff_base=0.0)
+        assert result == [s * 3 for s in seeds]
+        # Every seed ran exactly once: successful chunks were not redone.
+        assert sorted(calls) == seeds
+
+    def test_wedged_pool_reruns_unfinished_chunks_serially(self, monkeypatch):
+        def no_progress(futures, timeout=None, return_when=None):
+            return set(), set(futures)
+
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", _ScriptedPool())
+        monkeypatch.setattr(ensemble, "wait", no_progress)
+        seeds = list(range(6))
+        result = run_ensemble(_square, seeds, jobs=3, chunk_timeout=0.01)
+        assert result == [s * s for s in seeds]
+
+    def test_worker_error_under_pooling_still_propagates(self, monkeypatch):
+        def boom_on_three(seed):
+            if seed == 3:
+                raise ValueError("seed 3")
+            return seed
+
+        self._patch(monkeypatch, _ScriptedPool())
+        # The pool leaves the poisoned chunk unfilled; the serial rerun
+        # re-raises the real error with a clean traceback.
+        with pytest.raises(ValueError, match="seed 3"):
+            run_ensemble(boom_on_three, list(range(6)), jobs=2)
 
 
 class TestDriverDeterminism:

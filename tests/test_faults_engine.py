@@ -1,0 +1,350 @@
+"""Tests for the chaos engine's fault-plan DSL and runtime injectors:
+spec validation and picklability, seeded determinism, budget accounting,
+stall rerouting, torn updates at op granularity, and the satellite
+guarantee that injection behaves step-for-step identically under
+``run()`` and the elided ``run_fast()`` loop."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import EpochSGDProgram
+from repro.errors import ConfigurationError
+from repro.faults import (
+    AdaptiveCrashSpec,
+    FaultInjectionScheduler,
+    FaultSpec,
+    ProbabilisticCrashSpec,
+    StallSpec,
+    TornUpdateSpec,
+)
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.events import IterationRecord
+from repro.runtime.policy import TraceConfig, live_hook
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.crash import CrashPlan, CrashScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+def _build_workload(engine, num_threads=3, iterations=60, seed=0,
+                    trace_config=None):
+    """The standard small chaos workload: Algorithm 1 on a noisy
+    quadratic, one shared model array + iteration counter."""
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+    memory = SharedMemory(record_log=False)
+    model = AtomicArray.allocate(memory, 2, name="model")
+    model.load(np.array([2.0, -2.0]))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    sim = Simulator(memory, engine, seed=seed, trace_config=trace_config)
+    for index in range(num_threads):
+        sim.spawn(
+            EpochSGDProgram(
+                model=model,
+                counter=counter,
+                objective=objective,
+                step_size=0.05,
+                max_iterations=iterations,
+            ),
+            name=f"worker-{index}",
+        )
+    return sim, model
+
+
+class TestSpecValidation:
+    def test_rates_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticCrashSpec(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            TornUpdateSpec(rate=-0.1)
+
+    def test_stall_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            StallSpec(victims=(0,), duration=0)
+        with pytest.raises(ConfigurationError):
+            StallSpec(victims=(0,), duration=10, period=5)
+
+    def test_stall_open_at_periodic_and_one_shot(self):
+        once = StallSpec(victims=(0,), start=10, duration=5)
+        assert not once.open_at(9)
+        assert once.open_at(10) and once.open_at(14)
+        assert not once.open_at(15)
+        periodic = StallSpec(victims=(0,), start=10, duration=5, period=20)
+        assert periodic.open_at(30) and periodic.open_at(34)
+        assert not periodic.open_at(35) and not periodic.open_at(29)
+
+    def test_specs_are_picklable_plans(self):
+        spec = FaultSpec(
+            "mixed",
+            (
+                ProbabilisticCrashSpec(rate=0.01),
+                AdaptiveCrashSpec(phase="update"),
+                StallSpec(victims=(1,), start=5, duration=3),
+                TornUpdateSpec(rate=0.5),
+            ),
+            crash_budget=2,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestProbabilisticCrashes:
+    def test_crashes_fire_and_respect_max_crashes(self):
+        spec = FaultSpec(
+            "p", (ProbabilisticCrashSpec(rate=0.05, max_crashes=2),)
+        )
+        engine = spec.build(RandomScheduler(seed=3), seed=3)
+        sim, model = _build_workload(engine, num_threads=4, seed=3)
+        sim.run_fast()
+        assert sim.crashed_count == 2
+        assert engine.injectors[0].fired == 2
+        assert np.all(np.isfinite(model.snapshot()))
+
+    def test_after_time_delays_first_crash(self):
+        spec = FaultSpec(
+            "p",
+            (ProbabilisticCrashSpec(rate=1.0, max_crashes=1, after_time=50),),
+        )
+        engine = spec.build(RandomScheduler(seed=1), seed=1)
+        sim, _ = _build_workload(engine, num_threads=2, seed=1)
+        sim.run_fast()
+        crash_times = [
+            e.time for e in sim.trace if type(e).__name__ == "CrashEvent"
+        ]
+        assert crash_times and min(crash_times) >= 50
+
+    def test_same_seed_same_outcome(self):
+        def run(seed):
+            spec = FaultSpec(
+                "p", (ProbabilisticCrashSpec(rate=0.01, max_crashes=3),)
+            )
+            engine = spec.build(RandomScheduler(seed=seed), seed=seed)
+            sim, model = _build_workload(engine, num_threads=4, seed=seed)
+            sim.run_fast()
+            return sim.now, sim.crashed_count, model.snapshot().tobytes()
+
+        assert run(7) == run(7)
+
+
+class TestCrashBudgets:
+    def test_engine_never_kills_the_last_runnable_thread(self):
+        spec = FaultSpec("p", (ProbabilisticCrashSpec(rate=1.0),))
+        engine = spec.build(RandomScheduler(seed=2), seed=2)
+        sim, _ = _build_workload(engine, num_threads=3, seed=2)
+        sim.run_fast()
+        # rate=1.0 tries to kill everything every select; the budget
+        # keeps one worker alive to finish the run.
+        assert sim.crashed_count == 2
+        finished = [t for t in sim.threads if t.state is ThreadState.FINISHED]
+        assert len(finished) == 1
+        assert engine.skipped_crashes > 0
+
+    def test_spec_level_crash_budget_caps_all_injectors(self):
+        spec = FaultSpec(
+            "pair",
+            (
+                ProbabilisticCrashSpec(rate=1.0),
+                ProbabilisticCrashSpec(rate=1.0),
+            ),
+            crash_budget=1,
+        )
+        engine = spec.build(RandomScheduler(seed=4), seed=4)
+        sim, _ = _build_workload(engine, num_threads=4, seed=4)
+        sim.run_fast()
+        assert sim.crashed_count == 1
+        assert engine.crashes_fired == 1
+
+
+class TestAdaptiveCrashes:
+    def test_victim_dies_in_its_update_phase(self):
+        spec = FaultSpec(
+            "a", (AdaptiveCrashSpec(phase="update", max_crashes=1),)
+        )
+        engine = spec.build(RandomScheduler(seed=5), seed=5)
+        sim, _ = _build_workload(engine, num_threads=3, seed=5)
+        sim.run_fast()
+        assert sim.crashed_count == 1
+        victim = next(
+            t for t in sim.threads if t.state is ThreadState.CRASHED
+        )
+        # The adaptive adversary struck while the victim's published
+        # phase was "update" — mid-multi-component-write.
+        assert victim.context.annotations.get("phase") == "update"
+
+
+class TestStalls:
+    def test_stalled_victim_takes_no_steps_in_window(self):
+        spec = FaultSpec(
+            "s", (StallSpec(victims=(0,), start=0, duration=100),)
+        )
+        engine = spec.build(RandomScheduler(seed=6), seed=6)
+        sim, _ = _build_workload(
+            engine, num_threads=2, seed=6,
+            trace_config=TraceConfig(record_steps=True),
+        )
+        sim.run(max_steps=100)
+        assert all(r.thread_id != 0 for r in sim.steps)
+        assert engine.stall_reroutes > 0
+
+    def test_all_stalled_lets_inner_choice_through(self):
+        # Every thread stalled forever: the engine must keep time moving
+        # (a stall is a delay, not a freeze) so the run still quiesces.
+        spec = FaultSpec(
+            "s", (StallSpec(victims=(0, 1), start=0, duration=10**6),)
+        )
+        engine = spec.build(RandomScheduler(seed=7), seed=7)
+        sim, _ = _build_workload(engine, num_threads=2, iterations=10, seed=7)
+        sim.run_fast()
+        assert sim.runnable_count == 0
+        assert all(t.state is ThreadState.FINISHED for t in sim.threads)
+
+
+class TestTornUpdates:
+    def test_victim_executes_exactly_one_more_op_then_dies(self):
+        spec = FaultSpec("t", (TornUpdateSpec(rate=1.0, max_crashes=1),))
+        engine = spec.build(RandomScheduler(seed=8), seed=8)
+        sim, model = _build_workload(
+            engine, num_threads=3, seed=8,
+            trace_config=TraceConfig(record_steps=True),
+        )
+        sim.run()
+        injector = engine.injectors[0]
+        assert injector.torn == 1
+        victim_id = next(
+            t.thread_id for t in sim.threads
+            if t.state is ThreadState.CRASHED
+        )
+        crash_time = next(
+            e.time for e in sim.trace if type(e).__name__ == "CrashEvent"
+        )
+        # The victim's final step is an update into the model segment,
+        # and it never steps again after that op lands: a torn update.
+        victim_steps = [r for r in sim.steps if r.thread_id == victim_id]
+        last = victim_steps[-1]
+        segment = sim.memory.segment("model")
+        assert segment.base <= last.op.address < segment.base + segment.length
+        assert last.time <= crash_time
+        assert np.all(np.isfinite(model.snapshot()))
+
+    def test_unwatched_segment_never_tears(self):
+        spec = FaultSpec(
+            "t", (TornUpdateSpec(rate=1.0, segment="no-such-segment"),)
+        )
+        engine = spec.build(RandomScheduler(seed=9), seed=9)
+        sim, _ = _build_workload(engine, num_threads=2, iterations=10, seed=9)
+        sim.run_fast()
+        assert sim.crashed_count == 0
+        assert engine.injectors[0].torn == 0
+
+
+class TestRunFastEquivalence:
+    """Satellite: fault injection must not depend on the execution tier.
+
+    The same seeded fault plan over the same workload must produce the
+    identical execution under ``run()`` (per-step records) and the elided
+    ``run_fast()`` loop — same iterations, same crashes, same final model
+    bytes, same logical clock.
+    """
+
+    @staticmethod
+    def _outcome(sim, model):
+        iterations = [
+            (e.index, e.thread_id, e.order_time)
+            for e in sim.trace
+            if isinstance(e, IterationRecord)
+        ]
+        crashes = [
+            (e.time, e.thread_id)
+            for e in sim.trace
+            if type(e).__name__ == "CrashEvent"
+        ]
+        states = [t.state for t in sim.threads]
+        return (
+            sim.now, iterations, crashes, states, model.snapshot().tobytes()
+        )
+
+    def _compare(self, make_engine):
+        engine_slow = make_engine()
+        sim_slow, model_slow = _build_workload(
+            engine_slow, seed=11, trace_config=TraceConfig(record_steps=True)
+        )
+        sim_slow.run()
+
+        engine_fast = make_engine()
+        # Wrapper schedulers over benign inners must keep the elided
+        # path (a live on_step would silently fall back to run()).
+        assert live_hook(engine_fast, "on_step") is None
+        sim_fast, model_fast = _build_workload(engine_fast, seed=11)
+        sim_fast.run_fast()
+
+        assert self._outcome(sim_slow, model_slow) == self._outcome(
+            sim_fast, model_fast
+        )
+
+    def test_crash_scheduler_identical_across_tiers(self):
+        self._compare(
+            lambda: CrashScheduler(
+                RandomScheduler(seed=11),
+                [
+                    CrashPlan(thread_id=0, after_steps=4),
+                    CrashPlan(thread_id=1, at_time=40),
+                ],
+            )
+        )
+
+    def test_fault_injection_scheduler_identical_across_tiers(self):
+        spec = FaultSpec(
+            "mixed",
+            (
+                ProbabilisticCrashSpec(rate=0.005, max_crashes=1),
+                StallSpec(victims=(1,), start=20, duration=30, period=100),
+                TornUpdateSpec(rate=0.05, max_crashes=1),
+            ),
+        )
+        self._compare(
+            lambda: spec.build(RandomScheduler(seed=11), seed=11)
+        )
+
+    def test_chunked_run_fast_identical_to_one_shot(self):
+        spec = FaultSpec(
+            "p", (ProbabilisticCrashSpec(rate=0.01, max_crashes=2),)
+        )
+        sim_one, model_one = _build_workload(
+            spec.build(RandomScheduler(seed=12), seed=12), seed=12
+        )
+        sim_one.run_fast()
+        sim_chunk, model_chunk = _build_workload(
+            spec.build(RandomScheduler(seed=12), seed=12), seed=12
+        )
+        while sim_chunk.runnable_count:
+            sim_chunk.run_fast(max_steps=37)
+        assert self._outcome(sim_one, model_one) == self._outcome(
+            sim_chunk, model_chunk
+        )
+
+
+class TestEngineComposition:
+    def test_unknown_injector_spec_rejected(self):
+        from repro.faults.injectors import build_injector
+        from repro.runtime.rng import RngStream
+
+        with pytest.raises(ConfigurationError):
+            build_injector(object(), RngStream.root(0))
+
+    def test_empty_spec_is_a_transparent_wrapper(self):
+        spec = FaultSpec("none", ())
+        engine = spec.build(RandomScheduler(seed=13), seed=13)
+        assert isinstance(engine, FaultInjectionScheduler)
+        sim, model = _build_workload(engine, num_threads=2, seed=13)
+        sim.run_fast()
+        sim_plain, model_plain = _build_workload(
+            RandomScheduler(seed=13), num_threads=2, seed=13
+        )
+        sim_plain.run_fast()
+        assert model.snapshot().tobytes() == model_plain.snapshot().tobytes()
+        assert sim.now == sim_plain.now

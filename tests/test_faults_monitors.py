@@ -1,0 +1,253 @@
+"""Tests for invariant monitors and crash recovery: monitors stay quiet
+on clean runs, catch seeded corruption, and the recovery driver respawns
+crashed threads that rejoin and finish the shared workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import EpochSGDProgram
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.faults import (
+    CounterMonotonicityMonitor,
+    CrashBudgetMonitor,
+    FaultSpec,
+    IterationOrderMonitor,
+    ModelFiniteMonitor,
+    MonitorSuite,
+    ProbabilisticCrashSpec,
+    RecoveryReport,
+    default_monitors,
+    run_with_recovery,
+)
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.simulator import Simulator
+from repro.runtime.thread import ThreadState
+from repro.sched.crash import CrashPlan, CrashScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+def _build_workload(engine, num_threads=3, iterations=60, seed=0):
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+    memory = SharedMemory(record_log=False)
+    model = AtomicArray.allocate(memory, 2, name="model")
+    model.load(np.array([2.0, -2.0]))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+
+    def make_program():
+        return EpochSGDProgram(
+            model=model,
+            counter=counter,
+            objective=objective,
+            step_size=0.05,
+            max_iterations=iterations,
+        )
+
+    sim = Simulator(memory, engine, seed=seed)
+    for index in range(num_threads):
+        sim.spawn(make_program(), name=f"worker-{index}")
+    return sim, model, make_program
+
+
+class TestMonitorsOnCleanRuns:
+    def test_default_suite_stays_quiet_without_faults(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=1), seed=1)
+        suite = MonitorSuite()
+        run_with_recovery(sim, monitors=suite)
+        assert suite.clean
+        assert suite.checks_run > 1
+
+    def test_default_suite_stays_quiet_under_crashes(self):
+        spec = FaultSpec(
+            "p", (ProbabilisticCrashSpec(rate=0.01, max_crashes=2),)
+        )
+        engine = spec.build(RandomScheduler(seed=2), seed=2)
+        sim, _, make_program = _build_workload(engine, num_threads=4, seed=2)
+        suite = MonitorSuite()
+        run_with_recovery(
+            sim, program_factory=lambda t: make_program(), monitors=suite
+        )
+        assert suite.clean
+
+    def test_missing_segments_keep_monitors_quiet(self):
+        # A workload without a model/counter segment: monitors must not
+        # crash or fire, they just have nothing to watch.
+        memory = SharedMemory(record_log=False)
+        sim = Simulator(memory, RandomScheduler(seed=3), seed=3)
+        suite = MonitorSuite(
+            [CounterMonotonicityMonitor(), ModelFiniteMonitor()]
+        )
+        suite.check(sim)
+        assert suite.clean
+
+
+class TestMonitorsCatchCorruption:
+    def test_counter_decrease_detected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=4), seed=4)
+        monitor = CounterMonotonicityMonitor()
+        sim.run_fast(max_steps=50)
+        assert monitor.on_check(sim) is None
+        address = sim.memory.segment("iteration_counter").base
+        sim.memory.poke(address, sim.memory.peek(address) - 3)
+        message = monitor.on_check(sim)
+        assert message is not None and "decreased" in message
+
+    def test_counter_non_integral_detected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=5), seed=5)
+        monitor = CounterMonotonicityMonitor()
+        address = sim.memory.segment("iteration_counter").base
+        sim.memory.poke(address, 1.5)
+        message = monitor.on_check(sim)
+        assert message is not None and "non-integral" in message
+
+    def test_model_nan_detected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=6), seed=6)
+        monitor = ModelFiniteMonitor()
+        assert monitor.on_check(sim) is None
+        sim.memory.poke(sim.memory.segment("model").base + 1, float("nan"))
+        message = monitor.on_check(sim)
+        assert message is not None and "model[1]" in message
+
+    def test_crash_accounting_mismatch_detected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=7), seed=7)
+        sim.run_fast(max_steps=20)
+        sim.crash(0)
+        monitor = CrashBudgetMonitor()
+        assert monitor.on_check(sim) is None
+        assert list(monitor.on_finish(sim)) == []
+        sim.trace[:] = [
+            e for e in sim.trace if type(e).__name__ != "CrashEvent"
+        ]
+        assert any(
+            "mismatch" in m for m in monitor.on_finish(sim)
+        )
+
+    def test_iteration_order_duplicates_detected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=8), seed=8)
+        sim.run_fast()
+        monitor = IterationOrderMonitor()
+        assert list(monitor.on_finish(sim)) == []
+        records = [
+            e for e in sim.trace if type(e).__name__ == "IterationRecord"
+        ]
+        sim.trace.append(records[0])  # replayed iteration: index + order dup
+        messages = list(monitor.on_finish(sim))
+        assert any("claimed twice" in m for m in messages)
+        assert any("total order broken" in m for m in messages)
+
+    def test_fail_fast_raises_invariant_violation(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=9), seed=9)
+        sim.memory.poke(sim.memory.segment("model").base, float("inf"))
+        suite = MonitorSuite(fail_fast=True)
+        with pytest.raises(InvariantViolationError):
+            suite.check(sim)
+        assert len(suite.violations) == 1
+        violation = suite.violations[0]
+        assert violation.monitor == "model-finite"
+        assert str(violation).startswith("[model-finite @ t=")
+
+
+class TestRecovery:
+    def test_respawned_threads_finish_the_workload(self):
+        iterations = 80
+        engine = CrashScheduler(
+            RandomScheduler(seed=10),
+            [
+                CrashPlan(thread_id=0, at_time=30),
+                CrashPlan(thread_id=1, at_time=90),
+            ],
+        )
+        sim, model, make_program = _build_workload(
+            engine, num_threads=3, iterations=iterations, seed=10
+        )
+        report = run_with_recovery(
+            sim, program_factory=lambda t: make_program(), check_interval=16
+        )
+        assert report.recovered_count == 2
+        assert report.crashes_seen == 2
+        assert set(report.respawned) == {0, 1}
+        # Replacements are genuinely new threads that joined the run.
+        assert len(sim.threads) == 5
+        replacements = [
+            sim.threads[tid] for tid in report.respawned.values()
+        ]
+        assert all(t.name.startswith("respawn-") for t in replacements)
+        assert all(
+            t.state is ThreadState.FINISHED for t in replacements
+        )
+        # The full iteration budget was claimed despite the crashes: the
+        # respawned threads re-read shared state and did real work.
+        counter = sim.memory.segment("iteration_counter").base
+        assert sim.memory.peek(counter) >= iterations
+        assert np.all(np.isfinite(model.snapshot()))
+
+    def test_max_respawns_caps_replacements(self):
+        engine = CrashScheduler(
+            RandomScheduler(seed=11),
+            [
+                CrashPlan(thread_id=0, at_time=20),
+                CrashPlan(thread_id=1, at_time=60),
+            ],
+        )
+        sim, _, make_program = _build_workload(
+            engine, num_threads=3, seed=11
+        )
+        report = run_with_recovery(
+            sim,
+            program_factory=lambda t: make_program(),
+            max_respawns=1,
+            check_interval=16,
+        )
+        assert report.recovered_count == 1
+        assert report.crashes_seen == 2
+        assert len(sim.threads) == 4
+
+    def test_no_factory_no_monitors_is_plain_run_fast(self):
+        sim_plain, model_plain, _ = _build_workload(
+            RandomScheduler(seed=12), seed=12
+        )
+        steps_plain = sim_plain.run_fast()
+        sim_rec, model_rec, _ = _build_workload(
+            RandomScheduler(seed=12), seed=12
+        )
+        report = run_with_recovery(sim_rec)
+        assert isinstance(report, RecoveryReport)
+        assert report.steps == steps_plain
+        assert report.recovered_count == 0 and report.checks == 0
+        assert model_rec.snapshot().tobytes() == model_plain.snapshot().tobytes()
+
+    def test_recovery_identical_to_unchunked_when_nothing_crashes(self):
+        sim_plain, model_plain, _ = _build_workload(
+            RandomScheduler(seed=13), seed=13
+        )
+        sim_plain.run_fast()
+        sim_rec, model_rec, make_program = _build_workload(
+            RandomScheduler(seed=13), seed=13
+        )
+        run_with_recovery(
+            sim_rec,
+            program_factory=lambda t: make_program(),
+            monitors=MonitorSuite(),
+            check_interval=7,
+        )
+        assert sim_rec.now == sim_plain.now
+        assert model_rec.snapshot().tobytes() == model_plain.snapshot().tobytes()
+
+    def test_bad_check_interval_rejected(self):
+        sim, _, _ = _build_workload(RandomScheduler(seed=14), seed=14)
+        with pytest.raises(ConfigurationError):
+            run_with_recovery(sim, check_interval=0)
+
+
+class TestDefaultMonitors:
+    def test_default_set_covers_the_four_invariants(self):
+        names = {m.name for m in default_monitors()}
+        assert names == {
+            "counter-monotonic",
+            "model-finite",
+            "crash-budget",
+            "iteration-order",
+        }

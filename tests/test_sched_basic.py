@@ -8,7 +8,7 @@ from repro.runtime.program import FunctionProgram
 from repro.runtime.simulator import Simulator
 from repro.runtime.thread import ThreadState
 from repro.sched.bounded_delay import BoundedDelayScheduler
-from repro.sched.crash import CrashPlan, CrashScheduler
+from repro.sched.crash import CrashBudgetWarning, CrashPlan, CrashScheduler
 from repro.sched.random_sched import RandomScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 from repro.sched.sequential import SequentialScheduler
@@ -166,6 +166,59 @@ class TestCrashScheduler:
         # One of the two must survive and finish.
         states = [t.state for t in sim.threads]
         assert states.count(ThreadState.FINISHED) >= 1
+
+    def test_budget_skip_warns_and_reports_unfired_plan(self):
+        plans = [
+            CrashPlan(thread_id=0, at_time=0),
+            CrashPlan(thread_id=1, at_time=0),
+        ]
+        scheduler = CrashScheduler(RoundRobinScheduler(), plans)
+        with pytest.warns(CrashBudgetWarning):
+            sim, _ = run_trace(scheduler, num_threads=2, rounds=5)
+        assert sim.crashed_count == 1
+        assert scheduler.pending_plans == []
+        assert len(scheduler.unfired_plans) == 1
+        (plan, reason), = scheduler.unfired
+        assert plan in plans
+        assert reason == "crash-budget"
+
+    def test_dead_victim_plan_retired_not_repended(self):
+        # The second plan targets a thread the first plan already killed:
+        # it is retired with a reason, not re-examined forever.
+        scheduler = CrashScheduler(
+            RoundRobinScheduler(),
+            [
+                CrashPlan(thread_id=0, at_time=2),
+                CrashPlan(thread_id=0, at_time=6),
+            ],
+        )
+        sim, _ = run_trace(scheduler, num_threads=3, rounds=5)
+        assert sim.threads[0].state is ThreadState.CRASHED
+        assert sim.crashed_count == 1
+        assert scheduler.pending_plans == []
+        (plan, reason), = scheduler.unfired
+        assert plan.at_time == 6
+        assert reason == "victim-crashed"
+
+    def test_finished_victim_plan_retired(self):
+        # Thread 0 finishes its 5 steps long before time 1000.
+        scheduler = CrashScheduler(
+            RoundRobinScheduler(), [CrashPlan(thread_id=0, at_time=1000)]
+        )
+        sim, _ = run_trace(scheduler, num_threads=2, rounds=5)
+        assert sim.threads[0].state is ThreadState.FINISHED
+        assert scheduler.pending_plans == []
+        (plan, reason), = scheduler.unfired
+        assert plan.at_time == 1000
+        assert reason == "victim-finished"
+
+    def test_fired_plans_are_neither_pending_nor_unfired(self):
+        plan = CrashPlan(thread_id=1, at_time=3)
+        scheduler = CrashScheduler(RoundRobinScheduler(), [plan])
+        sim, _ = run_trace(scheduler, num_threads=3, rounds=5)
+        assert sim.threads[1].state is ThreadState.CRASHED
+        assert scheduler.pending_plans == []
+        assert scheduler.unfired_plans == []
 
     def test_survivors_make_progress(self):
         memory = SharedMemory()
