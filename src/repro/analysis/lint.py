@@ -1,0 +1,407 @@
+"""Static lint pass over program generators and the repro source tree.
+
+``python -m repro lint [paths]`` parses every ``.py`` file it is given
+and flags, without executing anything:
+
+* **atomicity hazards** in simulated programs — generator functions that
+  yield :class:`~repro.shm.ops.Operation` descriptors and both read and
+  plainly write the same shared handle (the lost-update pattern the
+  sanitizer catches dynamically, rule ``RPL101``), and yields of values
+  that are plainly not operations (``RPL102``);
+* **determinism hazards** anywhere in the tree — wall-clock reads
+  (``RPD201``), draws from the global ``random`` / ``numpy.random``
+  singletons instead of seeded :class:`~repro.runtime.rng.RngStream`
+  coins (``RPD202``), and iteration over set displays whose order is
+  hash-dependent (``RPD203``).
+
+Intentional exceptions carry an inline waiver — ``# repro: allow(RULE)``
+on the flagged line — the same way the ``use_write`` ablation in
+:mod:`repro.core.epoch_sgd` deliberately reproduces the paper's
+lost-update failure mode.
+
+Reports are deterministic: findings sort by (path, line, rule) and use
+the paths exactly as given, so CI output is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.report import Finding
+
+#: Rule id -> one-line description (the table DESIGN.md §11 documents).
+RULES: Dict[str, str] = {
+    "RPL101": (
+        "non-atomic read-modify-write: a program reads and plainly "
+        "writes the same shared handle (lost-update hazard; use "
+        "fetch_add_op/cas_op)"
+    ),
+    "RPL102": (
+        "program yields a value that is not an Operation descriptor"
+    ),
+    "RPD201": (
+        "wall-clock read (time.time/perf_counter/datetime.now ...): "
+        "feeds nondeterminism into simulated traces"
+    ),
+    "RPD202": (
+        "draw from the global random/numpy.random singleton: use a "
+        "seeded RngStream (thread-local coins) instead"
+    ),
+    "RPD203": (
+        "iteration over a set display/call: order is hash-dependent "
+        "and not stable across runs"
+    ),
+}
+
+_ALLOW_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9,\s]+)\)")
+
+#: Operation descriptor class names (yielding a call to one of these
+#: marks a generator as a simulated program).
+_OPERATION_CLASSES = {
+    "Read",
+    "Write",
+    "FetchAdd",
+    "CompareAndSwap",
+    "DoubleCompareSingleSwap",
+    "GuardedFetchAdd",
+    "Noop",
+}
+
+#: Dotted-name suffixes that read a wall clock.
+_WALL_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Global-singleton draws on the stdlib random module.
+_STDLIB_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+    "getrandbits",
+    "betavariate",
+    "expovariate",
+}
+
+#: Global-singleton draws on numpy.random (constructing seeded
+#: Generators — SeedSequence, PCG64, default_rng, Generator — is fine).
+_NUMPY_RANDOM_DRAWS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "normal",
+    "uniform",
+    "standard_normal",
+}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_constant_expression(node: ast.AST) -> bool:
+    """Whether a yielded value is statically a non-Operation value."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return True
+    if isinstance(node, ast.Dict):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_expression(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_constant_expression(node.left) and _is_constant_expression(
+            node.right
+        )
+    return False
+
+
+def _yield_values(
+    function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> List[ast.expr]:
+    """All ``yield``/``yield from`` value expressions in ``function``,
+    excluding nested function definitions (their yields are theirs)."""
+    values: List[ast.expr] = []
+
+    class _Collector(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not function:
+                return  # do not descend into nested defs
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            return
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            if node.value is not None:
+                values.append(node.value)
+            self.generic_visit(node)
+
+    _Collector().visit(function)
+    return values
+
+
+def _is_program_generator(
+    function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> bool:
+    """A generator counts as a simulated program when at least one of
+    its yields is an op-constructor call (``x.read_op(...)``,
+    ``FetchAdd(...)``, ...)."""
+    for value in _yield_values(function):
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr.endswith("_op"):
+            return True
+        if isinstance(func, ast.Name) and func.id in _OPERATION_CLASSES:
+            return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass AST visitor producing :class:`Finding` objects."""
+
+    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: List[Finding] = []
+
+    # -- plumbing -------------------------------------------------------
+    def _allowed(self, line: int) -> Set[str]:
+        if 1 <= line <= len(self.lines):
+            match = _ALLOW_PRAGMA.search(self.lines[line - 1])
+            if match:
+                return {r.strip() for r in match.group(1).split(",") if r.strip()}
+        return set()
+
+    def _flag(self, rule: str, line: int, message: str) -> None:
+        if rule in self._allowed(line):
+            return
+        self.findings.append(
+            Finding(
+                source="lint",
+                rule=rule,
+                message=message,
+                location=f"{self.path}:{line}",
+            )
+        )
+
+    # -- determinism rules (whole tree) ---------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted_name(node.func)
+        if name is not None:
+            self._check_wall_clock(node, name)
+            self._check_global_random(node, name)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, name: str) -> None:
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                self._flag(
+                    "RPD201",
+                    node.lineno,
+                    f"wall-clock call {name}() — simulated time is "
+                    f"Clock.now; wall clocks make traces irreproducible",
+                )
+                return
+
+    def _check_global_random(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] in _STDLIB_RANDOM_DRAWS:
+                self._flag(
+                    "RPD202",
+                    node.lineno,
+                    f"global-random draw {name}() — draw from a seeded "
+                    f"RngStream (ctx.rng) instead",
+                )
+            return
+        if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+            if parts[-1] in _NUMPY_RANDOM_DRAWS:
+                self._flag(
+                    "RPD202",
+                    node.lineno,
+                    f"global-random draw {name}() — use a seeded "
+                    f"numpy Generator (RngStream) instead",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        iterable = node.iter
+        is_set = isinstance(iterable, ast.Set) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            self._flag(
+                "RPD203",
+                node.lineno,
+                "iterating a set: wrap in sorted(...) so the order is "
+                "deterministic",
+            )
+        self.generic_visit(node)
+
+    # -- program rules (op-yielding generators only) --------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_program(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_program(node)
+        self.generic_visit(node)
+
+    def _check_program(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        if not _is_program_generator(node):
+            return
+        reads: Dict[str, int] = {}
+        writes: List[Tuple[str, int]] = []
+        for value in _yield_values(node):
+            if _is_constant_expression(value):
+                self._flag(
+                    "RPL102",
+                    value.lineno,
+                    "yield of a non-Operation value: programs must yield "
+                    "Operation descriptors",
+                )
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            receiver: Optional[str] = None
+            accessor: Optional[str] = None
+            if isinstance(func, ast.Attribute) and func.attr.endswith("_op"):
+                receiver = _dotted_name(func.value)
+                accessor = func.attr
+            elif isinstance(func, ast.Name) and func.id in _OPERATION_CLASSES:
+                # Direct descriptor: key on the address expression text.
+                address = self._address_argument(value)
+                if address is not None:
+                    receiver = address
+                    accessor = {"Read": "read_op", "Write": "write_op"}.get(
+                        func.id
+                    )
+            if receiver is None or accessor is None:
+                continue
+            if accessor in ("read_op", "read_count_op"):
+                reads.setdefault(receiver, value.lineno)
+            elif accessor == "write_op":
+                writes.append((receiver, value.lineno))
+        for receiver, line in writes:
+            if receiver in reads:
+                self._flag(
+                    "RPL101",
+                    line,
+                    f"non-atomic read-modify-write on {receiver!r}: the "
+                    f"program reads it (line {reads[receiver]}) and later "
+                    f"plainly writes it — concurrent updates in between "
+                    f"are lost; use fetch_add_op or cas_op",
+                )
+
+    @staticmethod
+    def _address_argument(call: ast.Call) -> Optional[str]:
+        for keyword in call.keywords:
+            if keyword.arg == "address":
+                return ast.dump(keyword.value)
+        if call.args:
+            return ast.dump(call.args[0])
+        return None
+
+
+def _lint_sort_key(finding: Finding) -> Tuple[str, int, str, str]:
+    """(path, numeric line, rule, message) — numeric so line 2 sorts
+    before line 10."""
+    path, _, line = finding.location.rpartition(":")
+    return (path, int(line) if line.isdigit() else 0, finding.rule, finding.message)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns findings in canonical
+    order.  Syntax errors are reported as a single ``RPL000`` error."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                source="lint",
+                rule="RPL000",
+                message=f"syntax error: {exc.msg}",
+                location=f"{path}:{exc.lineno or 0}",
+            )
+        ]
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    return sorted(linter.findings, key=_lint_sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: Set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            collected.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; canonical order."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), str(path))
+        )
+    return sorted(findings, key=_lint_sort_key)
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """The ``repro lint`` artifact: one line per finding plus a tally."""
+    lines = [
+        f"{f.location}: {f.rule} {f.message}" for f in findings
+    ]
+    lines.append(
+        f"{len(findings)} finding(s)"
+        if findings
+        else "0 findings — clean"
+    )
+    return "\n".join(lines)

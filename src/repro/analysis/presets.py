@@ -1,0 +1,218 @@
+"""Sanitize presets: named workloads the ``repro sanitize`` CLI runs
+under the race/staleness sanitizer.
+
+A preset is a small seeded workload grid — (scheduler kind × seed) —
+whose every cell runs with a :class:`~repro.analysis.sanitizer.
+RaceStalenessSanitizer` attached and its lemma certificates computed.
+Cells go through :func:`repro.experiments.ensemble.run_ensemble`, so
+``--jobs`` parallelizes them across processes with reports byte-identical
+to serial execution (the property the acceptance tests pin).
+
+Presets:
+
+* ``racy`` — the deliberately broken workload: Algorithm 1 with
+  ``use_write=True`` (read the entry, write back ``view + delta``).
+  The sanitizer must flag lost updates here; the CLI exits non-zero.
+* ``e1`` — the E1-shaped sequential baseline (one thread); trivially
+  clean, certifies the lemma checkers on uncontended traces.
+* ``e5`` — the E5-shaped adversarial workload: Algorithm 1 under the
+  random, stale-attack and contention-maximizing schedulers; clean, with
+  Lemma 6.2/6.4 certificates exercised under real adversaries.
+* ``e7`` — the E7-shaped Algorithm 2 (FullSGD) run with epoch guards;
+  clean, certifies the guarded-fetch&add path through the sanitizer.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.lemmas import certificate_findings, certify_run
+from repro.analysis.report import AnalysisReport, RunAnalysis
+from repro.analysis.sanitizer import RaceStalenessSanitizer
+from repro.core.epoch_sgd import EpochSGDProgram, collect_iteration_records
+from repro.core.full_sgd import FullSGD
+from repro.errors import ConfigurationError
+from repro.experiments.ensemble import run_ensemble
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.simulator import Simulator
+from repro.sched.base import Scheduler
+from repro.sched.contention_max import ContentionMaximizer
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+@dataclass(frozen=True)
+class SanitizePreset:
+    """One named sanitize workload (a scheduler × seed grid)."""
+
+    name: str
+    program: str  # "sgd" | "racy" | "full"
+    dim: int
+    num_threads: int
+    iterations: int
+    step_size: float
+    schedulers: Tuple[str, ...]
+    noise_sigma: float = 0.2
+    x0_scale: float = 2.0
+    window_multiplier: int = 2
+
+
+def sanitize_presets() -> Dict[str, SanitizePreset]:
+    """The presets ``repro sanitize --presets name,name`` accepts."""
+    return {
+        "racy": SanitizePreset(
+            name="racy",
+            program="racy",
+            dim=2,
+            num_threads=4,
+            iterations=60,
+            step_size=0.05,
+            schedulers=("random",),
+        ),
+        "e1": SanitizePreset(
+            name="e1",
+            program="sgd",
+            dim=1,
+            num_threads=1,
+            iterations=120,
+            step_size=0.1,
+            schedulers=("random",),
+            noise_sigma=1.0,
+            x0_scale=3.0,
+        ),
+        "e5": SanitizePreset(
+            name="e5",
+            program="sgd",
+            dim=2,
+            num_threads=4,
+            iterations=160,
+            step_size=0.05,
+            schedulers=("random", "stale-attack", "contention-max"),
+        ),
+        "e7": SanitizePreset(
+            name="e7",
+            program="full",
+            dim=2,
+            num_threads=4,
+            iterations=80,  # per epoch
+            step_size=0.05,
+            schedulers=("random",),
+        ),
+    }
+
+
+def build_scheduler(kind: str, seed: int) -> Scheduler:
+    """Instantiate one of the sanitize grid's scheduler kinds."""
+    if kind == "random":
+        return RandomScheduler(seed=seed)
+    if kind == "stale-attack":
+        return StaleGradientAttack(victim=1, runner=0, delay=8)
+    if kind == "contention-max":
+        return ContentionMaximizer()
+    raise ConfigurationError(f"unknown sanitize scheduler kind: {kind!r}")
+
+
+def _analyze(sim, sanitizer, records, preset, label, steps):
+    """Assemble one cell's :class:`RunAnalysis` from a finished run."""
+    certificates = certify_run(
+        records,
+        num_threads=preset.num_threads,
+        window_multiplier=preset.window_multiplier,
+    )
+    findings = list(sanitizer.findings)
+    findings.extend(certificate_findings(certificates))
+    return RunAnalysis(
+        label=label,
+        steps=steps,
+        iterations=len(records),
+        findings=findings,
+        certificates=certificates,
+    )
+
+
+def _sanitize_worker(
+    preset: SanitizePreset, scheduler_kind: str, seed: int
+) -> RunAnalysis:
+    """Run one (preset, scheduler, seed) cell (module-level: picklable)."""
+    label = f"{preset.name}/{scheduler_kind}/seed={seed}"
+    objective = IsotropicQuadratic(
+        dim=preset.dim, noise=GaussianNoise(preset.noise_sigma)
+    )
+    sanitizer = RaceStalenessSanitizer()
+    if preset.program == "full":
+        driver = FullSGD(
+            objective,
+            num_threads=preset.num_threads,
+            epsilon=0.25,
+            alpha0=preset.step_size,
+            iterations_per_epoch=preset.iterations,
+            num_epochs=2,
+            x0=np.full(preset.dim, preset.x0_scale),
+        )
+        result = driver.run(
+            build_scheduler(scheduler_kind, seed),
+            seed=seed,
+            analyzers=(sanitizer,),
+        )
+        return _analyze(
+            None, sanitizer, result.records, preset, label, result.sim_steps
+        )
+
+    memory = SharedMemory(record_log=True)
+    model = AtomicArray.allocate(memory, preset.dim, name="model")
+    model.load(np.full(preset.dim, preset.x0_scale))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    sim = Simulator(memory, build_scheduler(scheduler_kind, seed), seed=seed)
+    for index in range(preset.num_threads):
+        sim.spawn(
+            EpochSGDProgram(
+                model=model,
+                counter=counter,
+                objective=objective,
+                step_size=preset.step_size,
+                max_iterations=preset.iterations,
+                use_write=preset.program == "racy",
+            ),
+            name=f"worker-{index}",
+        )
+    sim.attach_analyzer(sanitizer)
+    sim.run_analyzed()
+    records = collect_iteration_records(sim)
+    return _analyze(sim, sanitizer, records, preset, label, sim.now)
+
+
+def run_sanitize(
+    presets: Tuple[SanitizePreset, ...],
+    seeds: Tuple[int, ...],
+    jobs: int = 1,
+    strict: bool = False,
+) -> AnalysisReport:
+    """Run the full preset grid and aggregate one deterministic report.
+
+    Grid order is (preset, scheduler, seed) with seeds innermost, so
+    each (preset, scheduler) row is an ensemble ``--jobs`` can farm out;
+    results are byte-identical for any ``jobs`` value.
+    """
+    if not presets:
+        raise ConfigurationError("sanitize needs at least one preset")
+    if not seeds:
+        raise ConfigurationError("sanitize needs at least one seed")
+    report = AnalysisReport(strict=strict)
+    for preset in presets:
+        for scheduler_kind in preset.schedulers:
+            report.runs.extend(
+                run_ensemble(
+                    functools.partial(_sanitize_worker, preset, scheduler_kind),
+                    seeds,
+                    jobs=jobs,
+                )
+            )
+    return report

@@ -8,6 +8,8 @@ code::
     python -m repro run E5 --scale full    # EXPERIMENTS.md-scale
     python -m repro run all --out results/ # every experiment, files per id
     python -m repro chaos --seeds 4        # seeded fault campaign
+    python -m repro sanitize               # race/staleness sanitizer presets
+    python -m repro lint src/repro         # program-DSL / determinism lint
 """
 
 from __future__ import annotations
@@ -187,6 +189,62 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run the race/staleness sanitizer over the named preset workloads.
+
+    Exit code 1 when the aggregated report fails (any error-severity
+    finding or violated lemma certificate; warnings too under
+    ``--strict``); 0 when clean.  Reports are deterministic — rerunning
+    the same presets/seeds/jobs produces byte-identical output.
+    """
+    from repro.analysis.presets import run_sanitize, sanitize_presets
+
+    presets = sanitize_presets()
+    names = [name.strip() for name in args.presets.split(",") if name.strip()]
+    unknown = [name for name in names if name not in presets]
+    if unknown or not names:
+        print(
+            f"unknown sanitize preset(s): {', '.join(unknown) or '(none given)'} "
+            f"(choose from {', '.join(presets)})",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_sanitize(
+        tuple(presets[name] for name in names),
+        seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+        jobs=args.jobs if args.jobs is not None else 1,
+        strict=args.strict,
+    )
+    text = report.render()
+    print(text)
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "analysis_report.txt").write_text(text + "\n")
+        (out_dir / "analysis_report.json").write_text(report.to_json())
+    return 0 if report.passed else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically lint program/experiment sources for DSL misuse and
+    determinism hazards.  Exit code 1 on any finding, 0 when clean."""
+    from repro.analysis.lint import lint_paths, render_findings
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    text = render_findings(findings)
+    print(text)
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "lint_report.txt").write_text(text + "\n")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -280,6 +338,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write chaos_report.{txt,json} to",
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    sanitize_parser = subparsers.add_parser(
+        "sanitize",
+        help="run the race/staleness sanitizer + lemma certifiers over "
+        "preset workloads (deterministic report; non-zero exit on findings)",
+    )
+    sanitize_parser.add_argument(
+        "--presets",
+        default="e1,e5,e7",
+        help="comma-separated sanitize presets (see repro.analysis."
+        "presets.sanitize_presets): racy, e1, e5, e7",
+    )
+    sanitize_parser.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per (preset, scheduler) cell (default 2)",
+    )
+    sanitize_parser.add_argument(
+        "--base-seed", type=int, default=1, metavar="S",
+        help="first seed of each cell's ensemble (default 1)",
+    )
+    sanitize_parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures",
+    )
+    sanitize_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the preset grid (1 = serial, "
+        "0 = one per CPU); reports are byte-identical for any value",
+    )
+    sanitize_parser.add_argument(
+        "--out", default=None,
+        help="directory to write analysis_report.{txt,json} to",
+    )
+    sanitize_parser.set_defaults(func=cmd_sanitize)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically lint sources for program-DSL misuse and "
+        "determinism hazards",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="+",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    lint_parser.add_argument(
+        "--out", default=None,
+        help="directory to write lint_report.txt to",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     report_parser = subparsers.add_parser(
         "report", help="summarize verdicts from a directory of artifacts"

@@ -21,7 +21,7 @@ the raw material of the contention and convergence analyses.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -103,7 +103,7 @@ def sgd_iteration_body(
             continue
         delta = -step_size * component
         if use_write:
-            yield model.write_op(j, view[j] + delta)
+            yield model.write_op(j, view[j] + delta)  # repro: allow(RPL101)
             landed = True
         elif guard is not None and use_dcas_loop:
             # Literal read-then-DCAS retry loop: re-read the entry, then
@@ -277,6 +277,7 @@ def run_lock_free_sgd(
     record_memory_log: bool = False,
     stop_epsilon: Optional[float] = None,
     trace_config: Optional[TraceConfig] = None,
+    analyzers: Sequence = (),
 ) -> LockFreeRunResult:
     """Run Algorithm 1 with ``num_threads`` threads until quiescence.
 
@@ -313,6 +314,11 @@ def run_lock_free_sgd(
             log and step records off); pass :meth:`TraceConfig.off` for
             pure-throughput runs.  ``record_memory_log=True`` overrides
             its ``record_log``.
+        analyzers: Optional :class:`repro.analysis.sanitizer.Analyzer`
+            instances to attach.  Forces the memory log on and drives the
+            run through :meth:`Simulator.run_analyzed` (same schedule;
+            analyzers drain the log between chunks).  Incompatible with
+            ``stop_epsilon``.
 
     Returns:
         A :class:`~repro.core.results.LockFreeRunResult`.
@@ -321,7 +327,14 @@ def run_lock_free_sgd(
         raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
     if trace_config is None:
         trace_config = TraceConfig.analysis()
-    memory = SharedMemory(record_log=record_memory_log or trace_config.record_log)
+    if analyzers and stop_epsilon is not None:
+        raise ConfigurationError(
+            "analyzers cannot be combined with stop_epsilon (the early-stop "
+            "path steps the simulator directly)"
+        )
+    memory = SharedMemory(
+        record_log=record_memory_log or trace_config.record_log or bool(analyzers)
+    )
     model = AtomicArray.allocate(memory, objective.dim, name="model")
     initial = (
         np.zeros(objective.dim) if x0 is None else np.asarray(x0, dtype=float).copy()
@@ -347,7 +360,9 @@ def run_lock_free_sgd(
         sim.spawn(program, name=f"worker-{thread_index}")
 
     if stop_epsilon is None:
-        sim.run_fast()
+        for analyzer in analyzers:
+            sim.attach_analyzer(analyzer)
+        sim.run_analyzed()
     else:
         x_star = objective.x_star
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -272,9 +272,15 @@ class FullSGD:
         self.use_guard = use_guard
         self.use_dcas_loop = use_dcas_loop
 
-    def run(self, scheduler, seed: int = 0) -> FullSGDResult:
-        """Execute all epochs under ``scheduler`` and return the result."""
-        memory = SharedMemory(record_log=False)
+    def run(self, scheduler, seed: int = 0, analyzers: Sequence = ()) -> FullSGDResult:
+        """Execute all epochs under ``scheduler`` and return the result.
+
+        ``analyzers`` optionally attaches
+        :class:`repro.analysis.sanitizer.Analyzer` instances: the memory
+        log is switched on and the run is driven through
+        :meth:`Simulator.run_analyzed` (same schedule, same result).
+        """
+        memory = SharedMemory(record_log=bool(analyzers))
         model = AtomicArray.allocate(memory, self.objective.dim, name="model")
         model.load(self.x0)
         counter = AtomicCounter.allocate(memory, name="iteration_counter")
@@ -297,7 +303,9 @@ class FullSGD:
                 ),
                 name=f"worker-{thread_index}",
             )
-        sim.run_fast()
+        for analyzer in analyzers:
+            sim.attach_analyzer(analyzer)
+        sim.run_analyzed()
 
         records = collect_iteration_records(sim)
         trajectory = accumulator_trajectory(self.x0, records)

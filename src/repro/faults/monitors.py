@@ -24,26 +24,25 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from repro.analysis.lemmas import iteration_order_findings
+from repro.analysis.report import Finding
 from repro.errors import InvariantViolationError, UnknownAddressError
 from repro.runtime.events import CrashEvent, IterationRecord
 
 
 @dataclass(frozen=True)
-class Violation:
-    """One detected invariant violation.
+class Violation(Finding):
+    """One detected invariant violation — a :class:`Finding` whose
+    ``source`` is the monitor name.
 
-    Attributes:
-        monitor: Name of the monitor that fired.
-        time: Logical time of the check that caught it.
-        message: What was violated.
+    The chaos engine and the sanitizer share the report model (one
+    dataclass, one serializer); ``monitor`` is kept as an alias of
+    ``source`` for the campaign/report code that predates the merge.
     """
 
-    monitor: str
-    time: int
-    message: str
-
-    def __str__(self) -> str:  # compact form for reports/CLI
-        return f"[{self.monitor} @ t={self.time}] {self.message}"
+    @property
+    def monitor(self) -> str:
+        return self.source
 
 
 class InvariantMonitor:
@@ -167,39 +166,12 @@ class IterationOrderMonitor(InvariantMonitor):
     name = "iteration-order"
 
     def on_finish(self, sim) -> Iterable[str]:
+        # Shared with the analysis layer: the sanitizer's final pass runs
+        # the same checker, so both flag identical conditions with
+        # identical messages (see repro.analysis.lemmas).
         records = [e for e in sim.trace if isinstance(e, IterationRecord)]
-        seen_orders = {}
-        seen_indices = {}
-        for record in records:
-            order = record.order_time
-            if order in seen_orders:
-                yield (
-                    f"iterations {seen_orders[order]} and {record.index} "
-                    f"share order time {order} (total order broken)"
-                )
-            seen_orders[order] = record.index
-            if record.index in seen_indices:
-                yield f"iteration index {record.index} claimed twice"
-            seen_indices[record.index] = True
-            if record.read_start_time < record.start_time:
-                yield (
-                    f"iteration {record.index} read before its claim "
-                    f"({record.read_start_time} < {record.start_time})"
-                )
-            if record.read_end_time < record.read_start_time:
-                yield (
-                    f"iteration {record.index} read window inverted "
-                    f"({record.read_end_time} < {record.read_start_time})"
-                )
-            if (
-                record.first_update_time is not None
-                and record.first_update_time <= record.read_end_time
-            ):
-                yield (
-                    f"iteration {record.index} updated at "
-                    f"{record.first_update_time} before finishing its reads "
-                    f"at {record.read_end_time}"
-                )
+        for finding in iteration_order_findings(records, source=self.name):
+            yield finding.message
 
 
 def default_monitors(
@@ -241,7 +213,12 @@ class MonitorSuite:
         return not self.violations
 
     def _record(self, monitor: InvariantMonitor, time: int, message: str) -> None:
-        violation = Violation(monitor=monitor.name, time=time, message=message)
+        violation = Violation(
+            source=monitor.name,
+            rule=f"monitor:{monitor.name}",
+            message=message,
+            time=time,
+        )
         self.violations.append(violation)
         if self.fail_fast:
             raise InvariantViolationError(str(violation))

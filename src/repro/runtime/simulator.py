@@ -73,7 +73,7 @@ class Simulator:
     def __init__(
         self,
         memory: SharedMemory,
-        scheduler,
+        scheduler: Any,
         seed: int = 0,
         record_steps: bool = False,
         trace_config: Optional[TraceConfig] = None,
@@ -93,6 +93,7 @@ class Simulator:
         self._rng_root = RngStream.root(seed)
         self._crashed_count = 0
         self._runnable_count = 0
+        self._analyzers: List[Any] = []
         # Hooks are resolved once: schedulers that inherit the base class
         # no-ops (or define no hook at all) pay nothing per spawn/step.
         self._on_spawn = live_hook(scheduler, "on_spawn")
@@ -326,6 +327,53 @@ class Simulator:
             # correctly.
             if applied_fast:
                 memory._seq += applied_fast
+        return executed
+
+    # ------------------------------------------------------------------
+    # Analysis (repro.analysis — dynamic checkers over the op stream)
+    # ------------------------------------------------------------------
+    def attach_analyzer(self, analyzer: Any) -> None:
+        """Register a :class:`repro.analysis.sanitizer.Analyzer`.
+
+        Analyzers consume the shared-memory operation log *between*
+        execution chunks (see :meth:`run_analyzed`), never per step — the
+        hot loops of :meth:`run` and :meth:`run_fast` are untouched and a
+        simulator with no analyzers pays nothing.  The analyzer's
+        ``on_attach`` validates its requirements (e.g. ``record_log``).
+        """
+        analyzer.on_attach(self)
+        self._analyzers.append(analyzer)
+
+    def run_analyzed(
+        self, max_steps: Optional[int] = None, chunk: int = 1024
+    ) -> int:
+        """Run to quiescence, draining attached analyzers between chunks.
+
+        Executes the exact same schedule as :meth:`run_fast` (chunking is
+        invisible to schedulers and programs: the loop merely pauses to
+        let analyzers read the already-materialized operation log), then
+        gives every analyzer a ``finish(sim)`` pass at quiescence.
+        Degenerates to one :meth:`run_fast` call when no analyzers are
+        attached.
+
+        Returns the number of steps executed by this call.
+        """
+        if not self._analyzers:
+            return self.run_fast(max_steps=max_steps)
+        if chunk < 1:
+            raise SimulationError(f"chunk must be >= 1, got {chunk}")
+        executed = 0
+        while self._runnable_count:
+            budget = chunk
+            if max_steps is not None:
+                budget = min(budget, max_steps - executed)
+                if budget <= 0:
+                    break
+            executed += self.run_fast(max_steps=budget)
+            for analyzer in self._analyzers:
+                analyzer.drain(self)
+        for analyzer in self._analyzers:
+            analyzer.finish(self)
         return executed
 
     def __repr__(self) -> str:

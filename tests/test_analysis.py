@@ -1,0 +1,402 @@
+"""Tests for the analysis layer: the race/staleness sanitizer flags the
+lost-update ablation and stays quiet on the stock algorithms, lemma
+certificates hold under benign and adversarial schedulers, recorded
+schedules round-trip through the sanitizer byte-identically, and the
+static linter flags DSL misuse and determinism hazards."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    RaceStalenessSanitizer,
+    certify_run,
+    lint_source,
+)
+from repro.analysis.lint import lint_paths, render_findings
+from repro.analysis.presets import run_sanitize, sanitize_presets
+from repro.analysis.sanitizer import RULE_LOST_UPDATE, RULE_TORN_UPDATE
+from repro.core.epoch_sgd import (
+    EpochSGDProgram,
+    collect_iteration_records,
+    run_lock_free_sgd,
+)
+from repro.core.full_sgd import FullSGD
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.simulator import Simulator
+from repro.sched.contention_max import ContentionMaximizer
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.replay import RecordingScheduler, ReplayScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+
+def _build_sim(scheduler, *, num_threads=4, iterations=60, seed=3,
+               use_write=False, record_log=True):
+    objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+    memory = SharedMemory(record_log=record_log)
+    model = AtomicArray.allocate(memory, 2, name="model")
+    model.load(np.array([2.0, -2.0]))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    sim = Simulator(memory, scheduler, seed=seed)
+    for index in range(num_threads):
+        sim.spawn(
+            EpochSGDProgram(
+                model=model,
+                counter=counter,
+                objective=objective,
+                step_size=0.05,
+                max_iterations=iterations,
+                use_write=use_write,
+            ),
+            name=f"worker-{index}",
+        )
+    return sim
+
+
+class TestSanitizer:
+    def test_racy_write_program_is_flagged(self):
+        sim = _build_sim(RandomScheduler(seed=3), use_write=True)
+        sanitizer = RaceStalenessSanitizer()
+        sim.attach_analyzer(sanitizer)
+        sim.run_analyzed()
+        lost = [
+            f
+            for f in sanitizer.findings
+            if f.rule == RULE_LOST_UPDATE and f.severity == "error"
+        ]
+        assert lost, "use_write ablation must produce lost-update findings"
+        assert all(f.location.startswith("model[") for f in lost)
+        assert sanitizer.counts[RULE_LOST_UPDATE] >= len(lost)
+
+    def test_stock_epoch_sgd_is_clean(self):
+        sim = _build_sim(RandomScheduler(seed=5))
+        sanitizer = RaceStalenessSanitizer()
+        sim.attach_analyzer(sanitizer)
+        sim.run_analyzed()
+        assert sanitizer.clean, [str(f) for f in sanitizer.findings]
+
+    def test_full_sgd_is_clean(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+        driver = FullSGD(
+            objective,
+            num_threads=4,
+            epsilon=0.25,
+            alpha0=0.05,
+            iterations_per_epoch=40,
+            num_epochs=2,
+            x0=np.full(2, 2.0),
+        )
+        sanitizer = RaceStalenessSanitizer()
+        result = driver.run(
+            RandomScheduler(seed=7), seed=7, analyzers=(sanitizer,)
+        )
+        assert sanitizer.clean, [str(f) for f in sanitizer.findings]
+        assert result.total_iterations == 80
+
+    def test_requires_memory_log(self):
+        sim = _build_sim(RandomScheduler(seed=1), record_log=False)
+        with pytest.raises(ConfigurationError):
+            sim.attach_analyzer(RaceStalenessSanitizer())
+
+    def test_torn_update_on_mid_update_crash(self):
+        # Adversarially crash thread 0 the moment it enters its update
+        # phase: the partially applied multi-component gradient is a torn
+        # update (annotations phase == "update", pending_gradient set).
+        sim = _build_sim(RandomScheduler(seed=11), seed=11)
+        sanitizer = RaceStalenessSanitizer()
+        sim.attach_analyzer(sanitizer)
+        while not sim.is_done:
+            annotations = sim.annotations(0)
+            if (
+                annotations.get("phase") == "update"
+                and annotations.get("pending_gradient") is not None
+            ):
+                sim.crash(0)
+                break
+            sim.step()
+        sim.run_analyzed()
+        torn = [f for f in sanitizer.findings if f.rule == RULE_TORN_UPDATE]
+        assert torn and torn[0].severity == "warning"
+        assert torn[0].thread_id == 0
+
+    def test_run_analyzed_matches_run_fast_schedule(self):
+        plain = _build_sim(RandomScheduler(seed=9), record_log=False)
+        plain.run_fast()
+        analyzed = _build_sim(RandomScheduler(seed=9))
+        analyzed.attach_analyzer(RaceStalenessSanitizer())
+        analyzed.run_analyzed(chunk=7)  # awkward chunk size on purpose
+        assert analyzed.now == plain.now
+        model = analyzed.memory.segment("model")
+        np.testing.assert_array_equal(
+            analyzed.memory.peek_range(model.base, model.length),
+            plain.memory.peek_range(model.base, model.length),
+        )
+        records_a = collect_iteration_records(analyzed)
+        records_b = collect_iteration_records(plain)
+        assert [r.order_time for r in records_a] == [
+            r.order_time for r in records_b
+        ]
+
+    def test_run_lock_free_sgd_accepts_analyzers(self):
+        objective = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+        sanitizer = RaceStalenessSanitizer()
+        baseline = run_lock_free_sgd(
+            objective,
+            RandomScheduler(seed=21),
+            num_threads=3,
+            step_size=0.05,
+            iterations=45,
+            seed=21,
+        )
+        analyzed = run_lock_free_sgd(
+            objective,
+            RandomScheduler(seed=21),
+            num_threads=3,
+            step_size=0.05,
+            iterations=45,
+            seed=21,
+            analyzers=(sanitizer,),
+        )
+        assert sanitizer.clean
+        assert analyzed.sim_steps == baseline.sim_steps
+        np.testing.assert_array_equal(analyzed.x_final, baseline.x_final)
+
+
+class TestLemmaCertificates:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            lambda: RandomScheduler(seed=17),
+            lambda: StaleGradientAttack(victim=1, runner=0, delay=8),
+            lambda: ContentionMaximizer(),
+        ],
+        ids=["random", "stale-attack", "contention-max"],
+    )
+    def test_certificates_hold_under_adversaries(self, scheduler_factory):
+        sim = _build_sim(scheduler_factory(), iterations=80, seed=17)
+        sim.run_fast()
+        records = collect_iteration_records(sim)
+        certificates = certify_run(records, num_threads=4)
+        assert [c.lemma for c in certificates] == ["6.1", "6.2", "6.4"]
+        for certificate in certificates:
+            assert certificate.holds, str(certificate)
+
+    def test_certificate_violation_detected(self):
+        sim = _build_sim(RandomScheduler(seed=2), iterations=40, seed=2)
+        sim.run_fast()
+        records = collect_iteration_records(sim)
+        # Forge a duplicate claimed index: Lemma 6.1 must fail.
+        forged = records + [records[-1]]
+        certificates = certify_run(forged, num_threads=4)
+        assert not certificates[0].holds
+
+
+class TestReplayRoundTrip:
+    def test_replayed_schedule_reproduces_the_report(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=13))
+        sim = _build_sim(recorder, use_write=True, seed=13)
+        first = RaceStalenessSanitizer()
+        sim.attach_analyzer(first)
+        sim.run_analyzed()
+
+        replay = _build_sim(
+            ReplayScheduler(recorder.schedule), use_write=True, seed=13
+        )
+        second = RaceStalenessSanitizer()
+        replay.attach_analyzer(second)
+        replay.run_analyzed(chunk=11)
+
+        def report(sanitizer, sim_):
+            run = sanitize_report_run(sanitizer, sim_)
+            rep = AnalysisReport(runs=[run])
+            return rep.to_json()
+
+        def sanitize_report_run(sanitizer, sim_):
+            from repro.analysis.report import RunAnalysis
+
+            records = collect_iteration_records(sim_)
+            return RunAnalysis(
+                label="round-trip",
+                steps=sim_.now,
+                iterations=len(records),
+                findings=list(sanitizer.findings),
+                certificates=certify_run(records, num_threads=4),
+            )
+
+        assert report(first, sim) == report(second, replay)
+
+
+class TestSanitizePresets:
+    def test_racy_preset_fails(self):
+        presets = sanitize_presets()
+        report = run_sanitize((presets["racy"],), seeds=(1,))
+        assert not report.passed
+        assert any(f.rule == RULE_LOST_UPDATE for f in report.findings)
+
+    def test_clean_presets_pass_and_reports_are_deterministic(self):
+        presets = sanitize_presets()
+        grid = (presets["e1"],)
+        first = run_sanitize(grid, seeds=(1, 2))
+        second = run_sanitize(grid, seeds=(1, 2))
+        assert first.passed
+        assert first.to_json() == second.to_json()
+        assert first.render() == second.render()
+
+    def test_jobs_do_not_change_the_report(self):
+        presets = sanitize_presets()
+        grid = (presets["e1"],)
+        serial = run_sanitize(grid, seeds=(1, 2, 3, 4), jobs=1)
+        parallel = run_sanitize(grid, seeds=(1, 2, 3, 4), jobs=2)
+        assert serial.to_json() == parallel.to_json()
+
+
+WALL_CLOCK_FIXTURE = '''
+import time
+
+def stamp():
+    return time.time()
+'''
+
+RACY_PROGRAM_FIXTURE = '''
+def program(model):
+    value = yield model.read_op(0)
+    yield model.write_op(0, value + 1.0)
+'''
+
+PRAGMA_FIXTURE = '''
+def program(model):
+    value = yield model.read_op(0)
+    yield model.write_op(0, value + 1.0)  # repro: allow(RPL101)
+'''
+
+BAD_YIELD_FIXTURE = '''
+def program(model):
+    yield model.read_op(0)
+    yield 42
+'''
+
+GLOBAL_RANDOM_FIXTURE = '''
+import random
+import numpy as np
+
+def draw():
+    a = random.random()
+    b = np.random.randn(3)
+    return a, b
+'''
+
+SET_ITERATION_FIXTURE = '''
+def wobble(items):
+    for item in {1, 2, 3}:
+        pass
+    for item in set(items):
+        pass
+'''
+
+
+class TestLint:
+    def test_wall_clock_is_flagged(self):
+        findings = lint_source(WALL_CLOCK_FIXTURE, path="fixture.py")
+        assert [f.rule for f in findings] == ["RPD201"]
+        assert "time.time" in findings[0].message
+
+    def test_non_atomic_rmw_is_flagged(self):
+        findings = lint_source(RACY_PROGRAM_FIXTURE, path="fixture.py")
+        assert any(f.rule == "RPL101" for f in findings)
+
+    def test_pragma_suppresses_the_rule(self):
+        findings = lint_source(PRAGMA_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL101"]
+
+    def test_non_operation_yield_is_flagged(self):
+        findings = lint_source(BAD_YIELD_FIXTURE, path="fixture.py")
+        assert any(f.rule == "RPL102" for f in findings)
+
+    def test_global_random_is_flagged(self):
+        findings = lint_source(GLOBAL_RANDOM_FIXTURE, path="fixture.py")
+        assert sum(1 for f in findings if f.rule == "RPD202") == 2
+
+    def test_set_iteration_is_flagged(self):
+        findings = lint_source(SET_ITERATION_FIXTURE, path="fixture.py")
+        assert sum(1 for f in findings if f.rule == "RPD203") == 2
+
+    def test_repo_sources_are_clean(self):
+        findings = lint_paths(["src/repro"])
+        assert findings == [], render_findings(findings)
+
+    def test_findings_render_deterministically(self, tmp_path):
+        target = tmp_path / "fixture.py"
+        target.write_text(WALL_CLOCK_FIXTURE)
+        first = render_findings(lint_paths([str(tmp_path)]))
+        second = render_findings(lint_paths([str(tmp_path)]))
+        assert first == second
+        assert "RPD201" in first
+
+
+class TestCli:
+    def test_sanitize_cli_racy_fails(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "--presets", "racy", "--seeds", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "RS001" in out
+
+    def test_sanitize_cli_clean_passes_and_writes_artifacts(
+        self, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sanitize",
+                "--presets",
+                "e1",
+                "--seeds",
+                "1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+        assert (tmp_path / "analysis_report.txt").exists()
+        assert (tmp_path / "analysis_report.json").exists()
+
+    def test_sanitize_cli_rejects_unknown_preset(self, capsys):
+        from repro.cli import main
+
+        assert main(["sanitize", "--presets", "nope"]) == 2
+
+    def test_lint_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(WALL_CLOCK_FIXTURE)
+        assert main(["lint", str(dirty)]) == 1
+        assert main(["lint", str(tmp_path / "missing.py")]) == 2
+
+
+class TestFindingModel:
+    def test_monitor_violations_are_findings(self):
+        from repro.faults.monitors import Violation
+
+        violation = Violation(
+            source="model-finite",
+            rule="monitor:model-finite",
+            message="model[0] is inf",
+            time=12,
+        )
+        assert isinstance(violation, Finding)
+        assert violation.monitor == "model-finite"
+        assert str(violation) == "[model-finite @ t=12] model[0] is inf"
+        assert violation.as_dict()["severity"] == "error"
