@@ -31,10 +31,21 @@ paper-versus-measured record of every reproduced claim.
 
 from repro.errors import (
     AssumptionViolationError,
+    CheckpointRestoreError,
     ConfigurationError,
     ConvergenceError,
+    InterruptedRunError,
     ReproError,
+    ResumeMismatchError,
     SimulationError,
+)
+from repro.durable import (
+    Checkpoint,
+    EnsembleWatchdog,
+    GracefulShutdown,
+    RunJournal,
+    WatchdogPolicy,
+    atomic_write,
 )
 from repro.shm import (
     AtomicArray,
@@ -137,6 +148,16 @@ __all__ = [
     "SimulationError",
     "AssumptionViolationError",
     "ConvergenceError",
+    "InterruptedRunError",
+    "ResumeMismatchError",
+    "CheckpointRestoreError",
+    # durability
+    "Checkpoint",
+    "RunJournal",
+    "GracefulShutdown",
+    "EnsembleWatchdog",
+    "WatchdogPolicy",
+    "atomic_write",
     # shared memory
     "SharedMemory",
     "AtomicRegister",

@@ -27,8 +27,11 @@ from repro.analysis.report import (
     Finding,
     LemmaCertificate,
     RunAnalysis,
+    certificate_from_dict,
+    finding_from_dict,
     finding_sort_key,
     merge_reports,
+    run_analysis_from_dict,
 )
 from repro.analysis.sanitizer import Analyzer, RaceStalenessSanitizer
 
@@ -42,9 +45,12 @@ __all__ = [
     "certificate_findings",
     "certify_iteration_order",
     "certify_lemma_6_2",
+    "certificate_from_dict",
     "certify_lemma_6_4",
     "certify_run",
+    "finding_from_dict",
     "finding_sort_key",
+    "run_analysis_from_dict",
     "iteration_order_findings",
     "lint_paths",
     "lint_source",

@@ -25,13 +25,17 @@ Presets:
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.lemmas import certificate_findings, certify_run
-from repro.analysis.report import AnalysisReport, RunAnalysis
+from repro.analysis.report import (
+    AnalysisReport,
+    RunAnalysis,
+    run_analysis_from_dict,
+)
 from repro.analysis.sanitizer import RaceStalenessSanitizer
 from repro.core.epoch_sgd import EpochSGDProgram, collect_iteration_records
 from repro.core.full_sgd import FullSGD
@@ -189,17 +193,62 @@ def _sanitize_worker(
     return _analyze(sim, sanitizer, records, preset, label, sim.now)
 
 
+def sanitize_fingerprint(
+    presets: Tuple[SanitizePreset, ...],
+    seeds: Tuple[int, ...],
+    strict: bool = False,
+) -> str:
+    """Stable fingerprint of everything that determines sanitize results
+    (``jobs`` excluded: parallelism never changes results, so a journal
+    resumes cleanly under a different ``--jobs``)."""
+    from repro.durable.journal import config_fingerprint
+
+    return config_fingerprint(
+        {
+            "presets": [asdict(p) for p in presets],
+            "seeds": list(seeds),
+            "strict": bool(strict),
+        }
+    )
+
+
+def partial_sanitize_report(
+    presets: Tuple[SanitizePreset, ...],
+    seeds: Tuple[int, ...],
+    journal: Any,
+    strict: bool = False,
+) -> AnalysisReport:
+    """Report over only the cells the journal has — what the CLI flushes
+    when a sanitize run is interrupted.  Grid-ordered."""
+    report = AnalysisReport(strict=strict)
+    for preset in presets:
+        for scheduler_kind in preset.schedulers:
+            done = journal.completed(f"{preset.name}/{scheduler_kind}")
+            for seed in seeds:
+                if seed in done:
+                    report.runs.append(run_analysis_from_dict(done[seed]))
+    return report
+
+
 def run_sanitize(
     presets: Tuple[SanitizePreset, ...],
     seeds: Tuple[int, ...],
     jobs: int = 1,
     strict: bool = False,
+    journal: Optional[Any] = None,
+    shutdown: Optional[Any] = None,
 ) -> AnalysisReport:
     """Run the full preset grid and aggregate one deterministic report.
 
     Grid order is (preset, scheduler, seed) with seeds innermost, so
     each (preset, scheduler) row is an ensemble ``--jobs`` can farm out;
     results are byte-identical for any ``jobs`` value.
+
+    With a ``journal`` (opened against :func:`sanitize_fingerprint`) the
+    grid is durable and resumable: finished cells are recorded as they
+    land and skipped on resume, with the final report byte-identical to
+    an uninterrupted run.  ``shutdown`` stops at the next cell boundary
+    via :class:`~repro.errors.InterruptedRunError`.
     """
     if not presets:
         raise ConfigurationError("sanitize needs at least one preset")
@@ -213,6 +262,11 @@ def run_sanitize(
                     functools.partial(_sanitize_worker, preset, scheduler_kind),
                     seeds,
                     jobs=jobs,
+                    journal=journal,
+                    namespace=f"{preset.name}/{scheduler_kind}",
+                    encode=lambda run: run.as_dict(),
+                    decode=run_analysis_from_dict,
+                    shutdown=shutdown,
                 )
             )
     return report

@@ -64,6 +64,20 @@ class Finding:
         return asdict(self)
 
 
+def finding_from_dict(payload: Dict[str, object]) -> Finding:
+    """Inverse of :meth:`Finding.as_dict` (unknown keys ignored) — the
+    journal codec for resumable analysis runs."""
+    return Finding(
+        source=str(payload["source"]),
+        rule=str(payload["rule"]),
+        message=str(payload["message"]),
+        severity=str(payload.get("severity", "error")),
+        time=int(payload.get("time", -1)),
+        thread_id=int(payload.get("thread_id", -1)),
+        location=str(payload.get("location", "")),
+    )
+
+
 def finding_sort_key(finding: Finding) -> Tuple:
     """The canonical report order: by location, time, rule, thread,
     message — total, so equal finding sets render identically."""
@@ -109,6 +123,17 @@ class LemmaCertificate:
         return asdict(self)
 
 
+def certificate_from_dict(payload: Dict[str, object]) -> LemmaCertificate:
+    """Inverse of :meth:`LemmaCertificate.as_dict`."""
+    return LemmaCertificate(
+        lemma=str(payload["lemma"]),
+        holds=bool(payload["holds"]),
+        measured=float(payload["measured"]),
+        bound=float(payload["bound"]),
+        detail=str(payload.get("detail", "")),
+    )
+
+
 @dataclass
 class RunAnalysis:
     """Everything the analysis layer measured about one seeded run."""
@@ -132,6 +157,22 @@ class RunAnalysis:
             "certificates": [c.as_dict() for c in self.certificates],
             "clean": self.clean,
         }
+
+
+def run_analysis_from_dict(payload: Dict[str, object]) -> RunAnalysis:
+    """Inverse of :meth:`RunAnalysis.as_dict` — reconstructs a run from
+    its journaled payload.  Findings come back in canonical sorted order
+    (the order ``as_dict`` emits), which renders and serializes
+    identically to the original."""
+    return RunAnalysis(
+        label=str(payload["label"]),
+        steps=int(payload["steps"]),
+        iterations=int(payload["iterations"]),
+        findings=[finding_from_dict(f) for f in payload.get("findings", [])],
+        certificates=[
+            certificate_from_dict(c) for c in payload.get("certificates", [])
+        ],
+    )
 
 
 @dataclass
@@ -208,6 +249,15 @@ class AnalysisReport:
             "passed": self.passed,
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str, fmt: str = "json") -> None:
+        """Atomically persist the report (``fmt`` = ``"json"``/``"txt"``)
+        via :func:`repro.durable.atomic_io.atomic_write` — a crash
+        mid-write never leaves a torn report on disk."""
+        from repro.durable.atomic_io import atomic_write
+
+        text = self.to_json() if fmt == "json" else self.render() + "\n"
+        atomic_write(path, text.encode("utf-8"))
 
 
 def merge_reports(

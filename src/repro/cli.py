@@ -71,6 +71,14 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_text_atomic(path: pathlib.Path, text: str) -> None:
+    """Persist a CLI artifact via the durable temp+fsync+rename path, so
+    an interrupt mid-write never leaves a torn file."""
+    from repro.durable.atomic_io import atomic_write
+
+    atomic_write(path, text.encode("utf-8"))
+
+
 def _run_one(
     key: str,
     scale: str,
@@ -87,7 +95,7 @@ def _run_one(
     print(text)
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"{key}.txt").write_text(text + "\n")
+        _write_text_atomic(out_dir / f"{key}.txt", text + "\n")
     return result.passed
 
 
@@ -143,15 +151,114 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _open_journal(args: argparse.Namespace, fingerprint: str):
+    """Open the ``--journal`` (honouring ``--resume``) or return an error
+    exit code.  Returns ``(journal_or_None, exit_code_or_None)``."""
+    from repro.errors import ReproError
+
+    if args.journal is None:
+        if args.resume:
+            print("--resume requires --journal PATH", file=sys.stderr)
+            return None, 2
+        return None, None
+    from repro.durable.journal import RunJournal
+
+    try:
+        journal = RunJournal.open(args.journal, fingerprint, resume=args.resume)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return None, 2
+    for finding in journal.findings:
+        print(str(finding), file=sys.stderr)
+    if args.resume and journal.total_completed:
+        print(
+            f"resuming: {journal.total_completed} cell(s) already journaled "
+            f"in {args.journal}",
+            file=sys.stderr,
+        )
+    return journal, None
+
+
+def _resume_invocation(command: str, args: argparse.Namespace) -> str:
+    """The exact command line that resumes this interrupted run."""
+    parts = ["python", "-m", "repro", command]
+    if command == "chaos":
+        parts += [
+            "--specs", args.specs,
+            "--seeds", str(args.seeds),
+            "--base-seed", str(args.base_seed),
+            "--threads", str(args.threads),
+            "--iterations", str(args.iterations),
+            "--check-interval", str(args.check_interval),
+        ]
+        if args.no_recovery:
+            parts.append("--no-recovery")
+        if args.no_monitors:
+            parts.append("--no-monitors")
+    else:
+        parts += [
+            "--presets", args.presets,
+            "--seeds", str(args.seeds),
+            "--base-seed", str(args.base_seed),
+        ]
+        if args.strict:
+            parts.append("--strict")
+    if args.jobs is not None:
+        parts += ["--jobs", str(args.jobs)]
+    if args.out is not None:
+        parts += ["--out", args.out]
+    parts += ["--journal", args.journal, "--resume"]
+    return " ".join(parts)
+
+
+def _interrupted(
+    command: str,
+    args: argparse.Namespace,
+    error: Exception,
+    journal,
+    partial_report,
+    basename: str,
+) -> int:
+    """Shared interrupt epilogue: flush a valid partial report + the
+    journal, print the exact resume invocation, exit 130."""
+    print(f"\ninterrupted: {error}", file=sys.stderr)
+    if journal is not None:
+        partial = partial_report()
+        if args.out is not None:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            partial.write(str(out_dir / f"{basename}.partial.txt"), "txt")
+            partial.write(str(out_dir / f"{basename}.partial.json"), "json")
+            print(
+                f"partial report written to {out_dir}/{basename}.partial.*",
+                file=sys.stderr,
+            )
+        print(
+            f"{journal.total_completed} completed cell(s) are journaled in "
+            f"{journal.path}; resume with:\n  "
+            + _resume_invocation(command, args),
+            file=sys.stderr,
+        )
+    return 130
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a seeded fault campaign and print/persist the robustness report.
 
     Exit code 1 when any invariant monitor fired or any cell failed to
-    converge (what the CI chaos job pins); 0 otherwise.
+    converge (what the CI chaos job pins); 0 otherwise.  With
+    ``--journal`` the campaign is durable: finished cells are journaled
+    as they land, SIGINT/SIGTERM stops at the next cell boundary (exit
+    130, valid partial report flushed), and ``--resume`` skips journaled
+    cells while producing a byte-identical final report.
     """
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import InterruptedRunError
     from repro.faults.campaign import (
         CampaignConfig,
         ChaosWorkload,
+        campaign_fingerprint,
+        partial_report,
         preset_specs,
         run_campaign,
     )
@@ -178,14 +285,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         check_interval=args.check_interval,
         jobs=args.jobs if args.jobs is not None else 1,
     )
-    report = run_campaign(config)
+    journal, exit_code = _open_journal(args, campaign_fingerprint(config))
+    if exit_code is not None:
+        return exit_code
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_campaign(config, journal=journal, shutdown=shutdown)
+    except InterruptedRunError as error:
+        return _interrupted(
+            "chaos",
+            args,
+            error,
+            journal,
+            lambda: partial_report(config, journal),
+            "chaos_report",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     text = report.render()
     print(text)
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "chaos_report.txt").write_text(text + "\n")
-        (out_dir / "chaos_report.json").write_text(report.to_json())
+        report.write(str(out_dir / "chaos_report.txt"), "txt")
+        report.write(str(out_dir / "chaos_report.json"), "json")
     return 0 if report.passed else 1
 
 
@@ -197,7 +321,14 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     ``--strict``); 0 when clean.  Reports are deterministic — rerunning
     the same presets/seeds/jobs produces byte-identical output.
     """
-    from repro.analysis.presets import run_sanitize, sanitize_presets
+    from repro.analysis.presets import (
+        partial_sanitize_report,
+        run_sanitize,
+        sanitize_fingerprint,
+        sanitize_presets,
+    )
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import InterruptedRunError
 
     presets = sanitize_presets()
     names = [name.strip() for name in args.presets.split(",") if name.strip()]
@@ -209,19 +340,44 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    report = run_sanitize(
-        tuple(presets[name] for name in names),
-        seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
-        jobs=args.jobs if args.jobs is not None else 1,
-        strict=args.strict,
+    chosen = tuple(presets[name] for name in names)
+    seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
+    journal, exit_code = _open_journal(
+        args, sanitize_fingerprint(chosen, seeds, strict=args.strict)
     )
+    if exit_code is not None:
+        return exit_code
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_sanitize(
+                chosen,
+                seeds=seeds,
+                jobs=args.jobs if args.jobs is not None else 1,
+                strict=args.strict,
+                journal=journal,
+                shutdown=shutdown,
+            )
+    except InterruptedRunError as error:
+        return _interrupted(
+            "sanitize",
+            args,
+            error,
+            journal,
+            lambda: partial_sanitize_report(
+                chosen, seeds, journal, strict=args.strict
+            ),
+            "analysis_report",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     text = report.render()
     print(text)
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "analysis_report.txt").write_text(text + "\n")
-        (out_dir / "analysis_report.json").write_text(report.to_json())
+        report.write(str(out_dir / "analysis_report.txt"), "txt")
+        report.write(str(out_dir / "analysis_report.json"), "json")
     return 0 if report.passed else 1
 
 
@@ -241,7 +397,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "lint_report.txt").write_text(text + "\n")
+        _write_text_atomic(out_dir / "lint_report.txt", text + "\n")
     return 1 if findings else 0
 
 
@@ -337,6 +493,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="directory to write chaos_report.{txt,json} to",
     )
+    chaos_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable run journal (JSONL): completed cells are recorded "
+        "as they finish, so a killed campaign can be resumed",
+    )
+    chaos_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal, skipping already-completed cells; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
     chaos_parser.set_defaults(func=cmd_chaos)
 
     sanitize_parser = subparsers.add_parser(
@@ -370,6 +536,16 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize_parser.add_argument(
         "--out", default=None,
         help="directory to write analysis_report.{txt,json} to",
+    )
+    sanitize_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable run journal (JSONL): completed cells are recorded "
+        "as they finish, so a killed run can be resumed",
+    )
+    sanitize_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal, skipping already-completed cells; "
+        "the final report is byte-identical to an uninterrupted run",
     )
     sanitize_parser.set_defaults(func=cmd_sanitize)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -272,21 +272,46 @@ class FullSGD:
         self.use_guard = use_guard
         self.use_dcas_loop = use_dcas_loop
 
-    def run(self, scheduler, seed: int = 0, analyzers: Sequence = ()) -> FullSGDResult:
+    def run(
+        self,
+        scheduler,
+        seed: int = 0,
+        analyzers: Sequence = (),
+        checkpoint_hook: Optional[Callable] = None,
+        checkpoint_chunk: int = 256,
+    ) -> FullSGDResult:
         """Execute all epochs under ``scheduler`` and return the result.
 
         ``analyzers`` optionally attaches
         :class:`repro.analysis.sanitizer.Analyzer` instances: the memory
         log is switched on and the run is driven through
         :meth:`Simulator.run_analyzed` (same schedule, same result).
+
+        ``checkpoint_hook(epoch, checkpoint)`` makes the run durable:
+        the scheduler is wrapped in a :class:`~repro.sched.replay.
+        RecordingScheduler` (so every cut carries its decision prefix),
+        execution proceeds in ``checkpoint_chunk``-step chunks, and
+        whenever a chunk boundary reveals the shared epoch register has
+        advanced, the hook receives a :class:`~repro.durable.checkpoint.
+        Checkpoint` of the cut — restorable via prefix replay, with the
+        replay itself certifying determinism.  Chunking and recording
+        are invisible to programs: the schedule, memory effects and
+        result are identical to an unhooked run.
         """
+        if checkpoint_chunk < 1:
+            raise ConfigurationError(
+                f"checkpoint_chunk must be >= 1, got {checkpoint_chunk}"
+            )
+        if checkpoint_hook is not None:
+            from repro.sched.replay import RecordingScheduler
+
+            scheduler = RecordingScheduler(scheduler)
         memory = SharedMemory(record_log=bool(analyzers))
         model = AtomicArray.allocate(memory, self.objective.dim, name="model")
         model.load(self.x0)
         counter = AtomicCounter.allocate(memory, name="iteration_counter")
-        epoch_register = AtomicRegister(
-            memory, memory.allocate(1, name="epoch", initial=0.0)
-        )
+        epoch_slot = memory.allocate(1, name="epoch", initial=0.0)
+        epoch_register = AtomicRegister(memory, epoch_slot)
         sim = Simulator(memory, scheduler, seed=seed)
         for thread_index in range(self.num_threads):
             sim.spawn(
@@ -305,7 +330,40 @@ class FullSGD:
             )
         for analyzer in analyzers:
             sim.attach_analyzer(analyzer)
-        sim.run_analyzed()
+        if checkpoint_hook is None:
+            sim.run_analyzed()
+        else:
+            self._run_checkpointed(
+                sim, epoch_slot, checkpoint_hook, checkpoint_chunk
+            )
+        return self._assemble_result(sim, model)
+
+    def _run_checkpointed(
+        self, sim, epoch_slot: int, hook: Callable, chunk: int
+    ) -> None:
+        """Chunked drive loop firing ``hook`` at epoch-advance cuts.
+
+        A chunk boundary is the only place the engine is paused, so cuts
+        are consistent by construction; the hook fires when the shared
+        epoch register advanced during the last chunk (once per epoch
+        observed, even if several epochs elapsed inside one chunk).
+        """
+        from repro.durable.checkpoint import Checkpoint
+
+        last_epoch = int(sim.memory.peek(epoch_slot))
+        while sim.runnable_count:
+            sim.run_fast(max_steps=chunk)
+            for analyzer in sim._analyzers:
+                analyzer.drain(sim)
+            epoch = int(sim.memory.peek(epoch_slot))
+            if epoch > last_epoch:
+                last_epoch = epoch
+                hook(epoch, Checkpoint.capture(sim, label=f"epoch-{epoch}"))
+        for analyzer in sim._analyzers:
+            analyzer.finish(sim)
+
+    def _assemble_result(self, sim, model) -> FullSGDResult:
+        """Collect the run's records, trajectory and accumulators."""
 
         records = collect_iteration_records(sim)
         trajectory = accumulator_trajectory(self.x0, records)

@@ -1,0 +1,54 @@
+"""repro.durable — durable, preemption-tolerant execution.
+
+The chaos engine (PR 2) injects crashes *inside* the simulated model;
+this package makes the harness that runs those campaigns survive crashes
+of its own.  Four pieces, combinable but independently useful:
+
+* :mod:`repro.durable.atomic_io` — :func:`atomic_write` (write-temp →
+  fsync → ``os.replace``), so no report, trace or checkpoint is ever
+  observable torn;
+* :mod:`repro.durable.journal` — :class:`RunJournal`, an append-only
+  JSONL record of completed seed-cells (payloads included) with a
+  config fingerprint, giving ``run_ensemble``/``run_campaign``/
+  ``run_sanitize`` a ``resume`` that skips finished work after a kill
+  and reproduces the final report byte-identically;
+* :mod:`repro.durable.checkpoint` — :class:`Checkpoint`, a consistent
+  simulator cut at ``run_fast`` chunk / ``FullSGD`` epoch boundaries,
+  restored exactly by scheduler-prefix replay (certified against the
+  captured state) or state-directly for stateless programs;
+* :mod:`repro.durable.watchdog` / :mod:`repro.durable.signals` —
+  wall-clock stall → reroute → abandon escalation for pooled chunks,
+  and SIGINT/SIGTERM handlers that stop at safe points instead of
+  tearing artifacts.
+
+See DESIGN.md §12 for the durability model.
+"""
+
+from repro.durable.atomic_io import append_line, atomic_write, fsync_dir
+from repro.durable.checkpoint import Checkpoint, ThreadCut, state_digest
+from repro.durable.journal import RunJournal, config_fingerprint
+from repro.durable.signals import GracefulShutdown
+from repro.durable.watchdog import (
+    ABANDON,
+    REROUTE,
+    WAIT,
+    EnsembleWatchdog,
+    WatchdogPolicy,
+)
+
+__all__ = [
+    "ABANDON",
+    "Checkpoint",
+    "EnsembleWatchdog",
+    "GracefulShutdown",
+    "REROUTE",
+    "RunJournal",
+    "ThreadCut",
+    "WAIT",
+    "WatchdogPolicy",
+    "append_line",
+    "atomic_write",
+    "config_fingerprint",
+    "fsync_dir",
+    "state_digest",
+]

@@ -1,0 +1,83 @@
+"""Crash-safe filesystem primitives.
+
+Every artifact the repo persists — experiment reports, campaign JSON,
+trace dumps, checkpoints, journals — must never be observable torn: a
+reader (or a resumed run) either sees the previous complete version or
+the new complete version, regardless of where a crash or SIGKILL lands.
+POSIX gives exactly one tool with that guarantee, ``rename(2)`` within a
+filesystem, so :func:`atomic_write` is the standard write-temp → fsync →
+``os.replace`` sequence, plus a best-effort directory fsync so the
+rename itself survives a power cut.
+
+Append-only files (the run journal) cannot use rename; they get
+:func:`append_line`, which writes a full line and fsyncs, accepting that
+the *last* line may be torn by a crash — readers are required to
+tolerate exactly that (see :mod:`repro.durable.journal`).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import IO, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Best-effort fsync of a directory (ignored on platforms/filesystems
+    that refuse to open directories)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: PathLike, data: Union[str, bytes]) -> pathlib.Path:
+    """Write ``data`` to ``path`` so no reader can observe a torn file.
+
+    The payload goes to a temporary file in the *same directory* (rename
+    is only atomic within a filesystem), is flushed and fsynced, and then
+    ``os.replace``-d over the destination; finally the directory entry is
+    fsynced.  A crash at any point leaves either the old complete file or
+    the new complete file.  Returns the destination path.
+    """
+    path = pathlib.Path(path)
+    payload = data.encode("utf-8") if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def append_line(handle: IO[str], line: str) -> None:
+    """Append one line to an open text handle durably.
+
+    The line is written with its newline, flushed, and fsynced before
+    returning, so once this call completes the record survives a SIGKILL.
+    A crash *during* the call may leave a truncated final line — the one
+    corruption mode journal readers must (and do) tolerate.
+    """
+    handle.write(line + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())

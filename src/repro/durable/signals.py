@@ -1,0 +1,84 @@
+"""Graceful shutdown: turn SIGINT/SIGTERM into a safe-point stop.
+
+A Ctrl-C or an orchestrator's SIGTERM should never cost a campaign its
+completed work.  :class:`GracefulShutdown` installs handlers that merely
+*request* a stop; the drivers (:func:`repro.experiments.ensemble.
+run_ensemble` and everything built on it) poll the request between
+seed-cells — the journal's natural durability points — and raise
+:class:`~repro.errors.InterruptedRunError` once every completed cell is
+safely journaled.  The CLI then flushes a valid partial report and
+prints the exact ``--resume`` invocation.
+
+A second SIGINT while the first is still being honoured restores the
+default handler and re-raises ``KeyboardInterrupt`` — the user asked
+twice; stop arguing.
+
+The handlers are process-global state, so the context manager restores
+whatever was installed before it on exit, and degrades to an inert
+no-op object off the main thread (where ``signal.signal`` is illegal).
+"""
+
+from __future__ import annotations
+
+import signal
+from types import FrameType
+from typing import Any, Optional
+
+from repro.errors import InterruptedRunError
+
+_HANDLED = (signal.SIGINT, signal.SIGTERM)
+
+
+class GracefulShutdown:
+    """Context manager collecting shutdown requests at safe points.
+
+    Usage::
+
+        with GracefulShutdown() as shutdown:
+            report = run_campaign(config, journal=journal, shutdown=shutdown)
+
+    Attributes:
+        requested: True once SIGINT/SIGTERM arrived (drivers poll this).
+        signal_name: Name of the first signal received ("SIGINT", ...).
+    """
+
+    def __init__(self, install: bool = True) -> None:
+        self.requested = False
+        self.signal_name: Optional[str] = None
+        self._install = install
+        self._previous: dict = {}
+
+    # ------------------------------------------------------------------
+    def _handler(self, signum: int, _frame: Optional[FrameType]) -> None:
+        if self.requested and signum == signal.SIGINT:
+            # Second Ctrl-C: the user wants out *now*.
+            signal.signal(signal.SIGINT, signal.default_int_handler)
+            raise KeyboardInterrupt
+        self.requested = True
+        self.signal_name = signal.Signals(signum).name
+
+    def check(self) -> None:
+        """Raise :class:`InterruptedRunError` if a stop was requested."""
+        if self.requested:
+            raise InterruptedRunError(
+                f"run interrupted by {self.signal_name or 'request'} at a "
+                "safe point (completed cells are journaled)",
+                reason=self.signal_name or "shutdown",
+            )
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "GracefulShutdown":
+        if self._install:
+            try:
+                for signum in _HANDLED:
+                    self._previous[signum] = signal.signal(signum, self._handler)
+            except ValueError:
+                # Not the main thread: signals cannot be routed here.
+                # Stay inert — `requested` just never flips.
+                self._previous.clear()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()

@@ -92,6 +92,42 @@ class InvariantViolationError(ReproError):
     """
 
 
+class InterruptedRunError(ReproError):
+    """A long-running driver stopped early at a safe point.
+
+    Raised when a :class:`repro.durable.signals.GracefulShutdown` (or a
+    watchdog abandon decision) asks a driver to stop between seed-cells.
+    Completed cells are already persisted in the run journal by the time
+    this propagates, so the caller can flush a valid partial report and
+    print the ``--resume`` invocation.
+    """
+
+    def __init__(self, message: str, reason: str = "shutdown") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ResumeMismatchError(ReproError):
+    """A run journal belongs to a different run configuration.
+
+    Resuming replays stored cell results verbatim, so resuming under a
+    changed config would silently mix two different runs; the journal's
+    fingerprint header exists to make that impossible.
+    """
+
+
+class CheckpointRestoreError(ReproError):
+    """A checkpoint restore did not reproduce the captured state.
+
+    Carries the determinism findings that describe the divergence (see
+    :meth:`repro.durable.checkpoint.Checkpoint.verify`).
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = list(findings)
+
+
 class AssumptionViolationError(ReproError):
     """An analytic assumption (strong convexity, Lipschitzness, bounded
     second moment) failed numerical verification for an objective."""

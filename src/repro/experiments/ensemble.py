@@ -14,11 +14,19 @@ one place that owns that fan-out:
 * ``jobs=1`` (the default) never touches a pool — experiments remain as
   debuggable as before;
 * pool failures degrade gracefully — and *partially*: each chunk is a
-  separate future, transient failures (broken pool, dead worker, stalls
-  past ``chunk_timeout``) are retried in the pool with exponential
-  backoff, and only the chunks that never produced a result are rerun
-  serially.  A campaign where 15 of 16 chunks succeeded redoes one
-  chunk, not the whole seed list.
+  separate future, transient failures (broken pool, dead worker, stalls)
+  are retried in the pool with exponential backoff, and only the chunks
+  that never produced a result are rerun serially.  A campaign where 15
+  of 16 chunks succeeded redoes one chunk, not the whole seed list;
+* the run is **durable** (see DESIGN.md §12): pass a
+  :class:`~repro.durable.journal.RunJournal` and every completed seed is
+  recorded durably the moment its result reaches the driver, so a
+  SIGKILL loses at most in-flight work and a resumed call skips finished
+  seeds while returning byte-identical results; an
+  :class:`~repro.durable.watchdog.EnsembleWatchdog` escalates pool
+  stalls (stall → reroute → abandon) instead of hanging; a
+  :class:`~repro.durable.signals.GracefulShutdown` stops the run at the
+  next seed boundary with every finished cell journaled.
 
 Workers must be importable module-level callables (or
 ``functools.partial`` of one) — the experiment drivers define theirs as
@@ -31,10 +39,25 @@ import math
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
+from repro.durable.watchdog import ABANDON, REROUTE, EnsembleWatchdog, WatchdogPolicy
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
@@ -101,22 +124,50 @@ def _run_chunks_pooled(
     chunk_retries: int,
     chunk_timeout: Optional[float],
     backoff_base: float,
+    watchdog: Optional[EnsembleWatchdog] = None,
+    shutdown: Optional[Any] = None,
+    on_chunk: Optional[Callable[[int, List[T]], None]] = None,
 ) -> List[Optional[List[T]]]:
     """Run chunks as independent pool futures; never raises pool errors.
 
     Returns one slot per chunk — ``None`` where the pool never produced
     that chunk's result (the caller reruns exactly those serially).
     Transient per-chunk failures are resubmitted up to ``chunk_retries``
-    times with exponential backoff; a wait that produces nothing for
-    ``chunk_timeout`` seconds abandons the pool entirely.  Real errors
-    raised inside ``run_one`` (anything outside ``POOL_FAILURES``) leave
-    the chunk unfilled too, so the serial rerun re-raises them with a
-    clean traceback.
+    times with exponential backoff.  Real errors raised inside
+    ``run_one`` (anything outside ``POOL_FAILURES``) leave the chunk
+    unfilled too, so the serial rerun re-raises them with a clean
+    traceback.
+
+    Stall handling goes through the ``watchdog``: a wait round that
+    completes nothing escalates stall → reroute (stalled chunks are
+    resubmitted to fresh workers; duplicates are harmless since chunk
+    results are pure functions of their seeds) → abandon (unfinished
+    chunks fall back to serial).  When no watchdog is given,
+    ``chunk_timeout`` builds the legacy single-strike one (first stall
+    abandons).  ``on_chunk`` fires in the parent exactly once per chunk,
+    as soon as its result lands — the journaling hook.  ``shutdown``
+    (anything with a ``requested`` attribute) is polled between wait
+    rounds; once set, pending futures are cancelled and the caller
+    decides what the partial result means.
     """
     results: List[Optional[List[T]]] = [None] * len(chunks)
+    filled: set = set()
+
+    def fill(index: int, part: List[T]) -> None:
+        if index in filled:
+            return  # duplicate completion after a reroute
+        results[index] = part
+        filled.add(index)
+        if on_chunk is not None:
+            on_chunk(index, part)
+
+    if watchdog is None and chunk_timeout is not None:
+        watchdog = EnsembleWatchdog(
+            WatchdogPolicy(heartbeat_timeout=chunk_timeout, max_reroutes=0)
+        )
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            future_to_chunk = {}
+            future_to_chunk: Dict[Any, int] = {}
             attempts = [0] * len(chunks)
 
             def submit(index: int) -> bool:
@@ -131,22 +182,58 @@ def _run_chunks_pooled(
                 if not submit(index):
                     break
             pool_alive = True
+            if watchdog is not None:
+                watchdog.start()
             while future_to_chunk:
-                done, _pending = wait(
-                    tuple(future_to_chunk),
-                    timeout=chunk_timeout,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # Nothing completed within the stall budget: the pool
-                    # is wedged.  Abandon it; unfinished chunks go serial.
+                if shutdown is not None and getattr(shutdown, "requested", False):
+                    # Safe-point stop: abandon in-flight work (it is
+                    # recomputable from seeds); everything completed so
+                    # far has already been delivered via on_chunk.
                     for future in future_to_chunk:
                         future.cancel()
                     break
+                timeout = watchdog.wait_timeout() if watchdog is not None else None
+                done, _pending = wait(
+                    tuple(future_to_chunk),
+                    timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    if watchdog is None:
+                        continue  # pragma: no cover - None timeout blocks
+                    pending_indexes = sorted(
+                        set(future_to_chunk.values()) - filled
+                    )
+                    action = watchdog.on_wait_elapsed(len(pending_indexes))
+                    if action == REROUTE and pool_alive:
+                        # Resubmit the stalled chunks to fresh workers.
+                        # cancel() only stops not-yet-started futures;
+                        # still-running duplicates are harmless (first
+                        # completion wins in fill()).
+                        for future in future_to_chunk:
+                            future.cancel()
+                        for index in pending_indexes:
+                            if not submit(index):
+                                pool_alive = False
+                                break
+                        if pool_alive:
+                            continue
+                        action = ABANDON
+                    if action == ABANDON or not pool_alive:
+                        for future in future_to_chunk:
+                            future.cancel()
+                        break
+                    continue  # WAIT: limits not actually hit yet
+                if watchdog is not None:
+                    watchdog.beat()
                 for future in done:
                     index = future_to_chunk.pop(future)
+                    if index in filled:
+                        continue  # reroute duplicate already delivered
                     try:
-                        results[index] = future.result()
+                        fill(index, future.result())
+                    except CancelledError:
+                        continue  # cancelled during reroute/shutdown
                     except _NON_RETRYABLE:
                         continue  # hopeless in a pool; serial rerun
                     except POOL_FAILURES:
@@ -178,6 +265,12 @@ def run_ensemble(
     chunk_retries: int = 1,
     chunk_timeout: Optional[float] = None,
     backoff_base: float = 0.05,
+    journal: Optional[Any] = None,
+    namespace: str = "",
+    encode: Optional[Callable[[T], Any]] = None,
+    decode: Optional[Callable[[Any], T]] = None,
+    watchdog: Optional[EnsembleWatchdog] = None,
+    shutdown: Optional[Any] = None,
 ) -> List[T]:
     """Map ``run_one`` over ``seeds``, optionally across processes.
 
@@ -190,29 +283,96 @@ def run_ensemble(
             serially in-process.
         chunk_retries: In-pool resubmissions per chunk after a transient
             pool failure, before that chunk falls back to serial.
-        chunk_timeout: Seconds the runner waits for *some* chunk to
-            complete before declaring the pool wedged and rerunning the
-            unfinished chunks serially; ``None`` waits forever.
+        chunk_timeout: Legacy stall budget: seconds the runner waits for
+            *some* chunk to complete before abandoning the pool (used to
+            build a single-strike watchdog when ``watchdog`` is not
+            given); ``None`` waits forever.
         backoff_base: First retry's backoff sleep in seconds; doubles per
             subsequent retry of the same chunk (exponential backoff).
+        journal: Optional :class:`~repro.durable.journal.RunJournal`.
+            Seeds already recorded under ``namespace`` are *not* rerun —
+            their stored payloads are decoded and returned — and every
+            newly finished seed is durably journaled the moment its
+            result reaches this process, making the call resumable after
+            a SIGKILL with byte-identical output.
+        namespace: Journal namespace isolating this ensemble from other
+            grids sharing the journal (e.g. ``"0:prob-crash"``).
+        encode: Result → JSON-safe payload for the journal (identity by
+            default — results must then be JSON-serializable).
+        decode: Inverse of ``encode`` (identity by default).  Must
+            reproduce the result exactly: decoded and fresh results mix
+            in one report, and the byte-identity guarantee spans both.
+        watchdog: Optional :class:`~repro.durable.watchdog.
+            EnsembleWatchdog` owning the stall → reroute → abandon
+            escalation for pooled chunks; its ``findings`` are
+            harness-level diagnostics (never part of deterministic
+            reports).
+        shutdown: Optional :class:`~repro.durable.signals.
+            GracefulShutdown` (or anything with ``requested`` and
+            ``check()``).  Polled at seed/chunk boundaries; once
+            requested, the run stops at the next safe point by raising
+            :class:`~repro.errors.InterruptedRunError` — with every
+            completed seed already journaled.
 
     Returns:
         Results in seed order — identical, element for element, to
-        ``[run_one(s) for s in seeds]`` regardless of ``jobs``, retries
-        or fallbacks.
+        ``[run_one(s) for s in seeds]`` regardless of ``jobs``, retries,
+        fallbacks or how many prior interrupted runs the journal
+        already covers.
     """
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(seeds) <= 1:
-        return [run_one(seed) for seed in seeds]
-    chunks = seed_chunks(seeds, jobs)
+    done: Dict[int, T] = {}
+    if journal is not None:
+        wanted = set(seeds)
+        for seed, payload in journal.completed(namespace).items():
+            if seed in wanted:
+                done[seed] = decode(payload) if decode is not None else payload
+
+    def note(seed: int, result: T) -> None:
+        if seed in done:
+            return
+        done[seed] = result
+        if journal is not None:
+            journal.record(
+                namespace, seed, encode(result) if encode is not None else result
+            )
+
+    # Duplicate seeds map to one deterministic result; compute each once.
+    pending = list(dict.fromkeys(s for s in seeds if s not in done))
+    if jobs == 1 or len(pending) <= 1:
+        for seed in pending:
+            if shutdown is not None:
+                shutdown.check()
+            note(seed, run_one(seed))
+        return [done[seed] for seed in seeds]
+
+    chunks = seed_chunks(pending, jobs)
+
+    def on_chunk(index: int, part: List[T]) -> None:
+        for seed, result in zip(chunks[index], part):
+            note(seed, result)
+
     parts = _run_chunks_pooled(
-        run_one, chunks, jobs, chunk_retries, chunk_timeout, backoff_base
+        run_one,
+        chunks,
+        jobs,
+        chunk_retries,
+        chunk_timeout,
+        backoff_base,
+        watchdog=watchdog,
+        shutdown=shutdown,
+        on_chunk=on_chunk,
     )
+    if shutdown is not None:
+        shutdown.check()
     # Partial-result rerun: only chunks the pool never delivered are
     # recomputed in-process.  Errors from run_one itself surface here,
     # deterministically and with a clean traceback.
     for index, part in enumerate(parts):
         if part is None:
-            parts[index] = [run_one(seed) for seed in chunks[index]]
-    return [result for part in parts for result in part]
+            for seed in chunks[index]:
+                if shutdown is not None:
+                    shutdown.check()
+                note(seed, run_one(seed))
+    return [done[seed] for seed in seeds]

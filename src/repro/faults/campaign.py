@@ -20,7 +20,7 @@ from __future__ import annotations
 import functools
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -298,6 +298,23 @@ class CampaignReport:
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
+    def write(self, path: str, fmt: str = "json") -> None:
+        """Atomically persist the report (``fmt`` = ``"json"``/``"txt"``).
+
+        Goes through :func:`repro.durable.atomic_io.atomic_write`, so a
+        crash mid-write leaves either the previous report or the new one
+        — never a torn file.
+        """
+        from repro.durable.atomic_io import atomic_write
+
+        if fmt == "json":
+            text = self.to_json()
+        elif fmt == "txt":
+            text = self.render() + "\n"
+        else:
+            raise ConfigurationError(f"unknown report format: {fmt!r}")
+        atomic_write(path, text.encode("utf-8"))
+
 
 def summarize(outcomes: List[FaultRunOutcome]) -> List[SpecSummary]:
     """Collapse per-cell outcomes into per-spec rows (grid order)."""
@@ -324,20 +341,99 @@ def summarize(outcomes: List[FaultRunOutcome]) -> List[SpecSummary]:
     return summaries
 
 
-def run_campaign(config: CampaignConfig) -> CampaignReport:
+def campaign_fingerprint(config: CampaignConfig) -> str:
+    """Stable fingerprint of everything that determines campaign results.
+
+    ``jobs`` is deliberately excluded: parallelism changes wall-clock
+    time, never results, so a journal written under ``--jobs 4`` must
+    resume cleanly under ``--jobs 1`` (and vice versa).
+    """
+    from repro.durable.journal import config_fingerprint
+
+    payload = asdict(config)
+    payload.pop("jobs", None)
+    return config_fingerprint(payload)
+
+
+def outcome_to_payload(outcome: FaultRunOutcome) -> Dict[str, Any]:
+    """JSON-safe journal payload for one campaign cell."""
+    payload = asdict(outcome)
+    payload["violations"] = list(outcome.violations)
+    return payload
+
+
+def outcome_from_payload(payload: Dict[str, Any]) -> FaultRunOutcome:
+    """Inverse of :func:`outcome_to_payload` — exact reconstruction, so
+    journaled and freshly computed outcomes mix byte-identically."""
+    data = dict(payload)
+    data["violations"] = tuple(data.get("violations", ()))
+    return FaultRunOutcome(**data)
+
+
+def _cell_namespace(spec_index: int, spec: FaultSpec) -> str:
+    return f"{spec_index}:{spec.name}"
+
+
+def report_from_outcomes(outcomes: List[FaultRunOutcome]) -> CampaignReport:
+    """Aggregate cell outcomes into a report (grid order preserved)."""
+    return CampaignReport(outcomes=outcomes, summaries=summarize(outcomes))
+
+
+def partial_report(config: CampaignConfig, journal: Any) -> CampaignReport:
+    """Report over only the cells the journal has — the artifact the CLI
+    flushes when a campaign is interrupted.  Grid-ordered, so the final
+    resumed report extends it deterministically."""
+    outcomes: List[FaultRunOutcome] = []
+    for spec_index, spec in enumerate(config.specs):
+        done = journal.completed(_cell_namespace(spec_index, spec))
+        for seed in config.seeds:
+            if seed in done:
+                outcomes.append(outcome_from_payload(done[seed]))
+    return report_from_outcomes(outcomes)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    journal: Optional[Any] = None,
+    shutdown: Optional[Any] = None,
+    watchdog_policy: Optional[Any] = None,
+) -> CampaignReport:
     """Execute the full spec x seed grid and aggregate the report.
 
     Each spec's seed ensemble goes through :func:`run_ensemble`, so
     ``config.jobs`` parallelizes cells across processes with results
     byte-identical to a serial run.
+
+    With a ``journal`` (a :class:`~repro.durable.journal.RunJournal`
+    opened against :func:`campaign_fingerprint`), every finished cell is
+    durably recorded as it lands and already-journaled cells are skipped
+    on resume — the report is byte-identical to an uninterrupted run no
+    matter how many kills happened in between, or what ``jobs`` each
+    attempt used.  ``shutdown`` stops the grid at the next cell boundary
+    by raising :class:`~repro.errors.InterruptedRunError`;
+    ``watchdog_policy`` (a :class:`~repro.durable.watchdog.
+    WatchdogPolicy`) guards each spec's pooled phase against stalls.
     """
+    from repro.durable.watchdog import EnsembleWatchdog
+
     outcomes: List[FaultRunOutcome] = []
-    for spec_index in range(len(config.specs)):
+    for spec_index, spec in enumerate(config.specs):
+        watchdog = (
+            EnsembleWatchdog(watchdog_policy)
+            if watchdog_policy is not None
+            else None
+        )
         outcomes.extend(
             run_ensemble(
                 functools.partial(_chaos_worker, config, spec_index),
                 config.seeds,
                 jobs=config.jobs,
+                journal=journal,
+                namespace=_cell_namespace(spec_index, spec),
+                encode=outcome_to_payload,
+                decode=outcome_from_payload,
+                watchdog=watchdog,
+                shutdown=shutdown,
             )
         )
-    return CampaignReport(outcomes=outcomes, summaries=summarize(outcomes))
+    return report_from_outcomes(outcomes)

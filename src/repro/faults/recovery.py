@@ -39,17 +39,47 @@ class RecoveryReport:
         crashes_seen: Total crashes observed (respawned or not).
         steps: Shared-memory steps executed by this driver.
         checks: Monitor check rounds performed.
+        respawn_denied: Crashes left unrecovered because the
+            ``max_respawns`` budget was already spent.
+        crash_tally: Crashes per *lineage*, keyed by the original thread
+            id: a respawn that itself crashes counts against the thread
+            it replaced, transitively — so a single pathologically
+            doomed worker is distinguishable from crashes spread across
+            the ensemble.
     """
 
     respawned: Dict[int, int] = field(default_factory=dict)
     crashes_seen: int = 0
     steps: int = 0
     checks: int = 0
+    respawn_denied: int = 0
+    crash_tally: Dict[int, int] = field(default_factory=dict)
 
     @property
     def recovered_count(self) -> int:
         """Number of crashed threads that were respawned."""
         return len(self.respawned)
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True when at least one crash went unrecovered purely because
+        the respawn budget was spent."""
+        return self.respawn_denied > 0
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-values structured summary (JSON-safe, log-friendly)."""
+        return {
+            "crashes_seen": self.crashes_seen,
+            "respawned": self.recovered_count,
+            "respawn_denied": self.respawn_denied,
+            "budget_exhausted": self.budget_exhausted,
+            "crash_tally": {
+                str(root): count
+                for root, count in sorted(self.crash_tally.items())
+            },
+            "steps": self.steps,
+            "checks": self.checks,
+        }
 
 
 def run_with_recovery(
@@ -96,6 +126,10 @@ def run_with_recovery(
         return report
 
     handled: set = set()
+    # Replacement thread id -> the lineage root it (transitively)
+    # replaced, so crash_tally attributes a respawn's own crash to the
+    # original worker's lineage.
+    lineage: Dict[int, int] = {}
     while True:
         if sim.runnable_count:
             report.steps += sim.run_fast(max_steps=check_interval)
@@ -111,17 +145,21 @@ def run_with_recovery(
                     continue
                 handled.add(thread.thread_id)
                 report.crashes_seen += 1
+                root = lineage.get(thread.thread_id, thread.thread_id)
+                report.crash_tally[root] = report.crash_tally.get(root, 0) + 1
                 if program_factory is None:
                     continue
                 if (
                     max_respawns is not None
                     and len(report.respawned) >= max_respawns
                 ):
+                    report.respawn_denied += 1
                     continue
                 replacement = sim.spawn(
                     program_factory(thread),
                     name=f"{name_prefix}-{thread.thread_id}",
                 )
+                lineage[replacement.thread_id] = root
                 report.respawned[thread.thread_id] = replacement.thread_id
                 respawned_this_round = True
         if sim.runnable_count == 0 and not respawned_this_round:

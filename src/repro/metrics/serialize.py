@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import List, Sequence, Union
+import warnings
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -77,28 +78,70 @@ def record_from_dict(payload: dict) -> IterationRecord:
 def dump_records(
     records: Sequence[IterationRecord], path: PathLike
 ) -> int:
-    """Write records as JSON lines; returns the number written."""
+    """Write records as JSON lines; returns the number written.
+
+    The write is atomic (temp file + fsync + rename via
+    :func:`repro.durable.atomic_io.atomic_write`): readers never observe
+    a half-written trace, and a crash mid-dump leaves any previous trace
+    intact.
+    """
+    from repro.durable.atomic_io import atomic_write
+
     path = pathlib.Path(path)
-    with path.open("w") as handle:
-        for record in records:
-            handle.write(json.dumps(record_to_dict(record)) + "\n")
+    lines = [json.dumps(record_to_dict(record)) + "\n" for record in records]
+    atomic_write(path, "".join(lines).encode("utf-8"))
     return len(records)
 
 
-def load_records(path: PathLike) -> List[IterationRecord]:
-    """Read a JSON-lines trace back into records (blank lines skipped)."""
+def load_records(
+    path: PathLike, findings: Optional[List[object]] = None
+) -> List[IterationRecord]:
+    """Read a JSON-lines trace back into records (blank lines skipped).
+
+    A truncated *final* line — the signature of a crash mid-append — is
+    tolerated: the complete prefix is returned and the damage is
+    reported as a warning :class:`~repro.analysis.report.Finding` (rule
+    ``DUR002``) appended to ``findings`` (also raised as a
+    :class:`UserWarning` when no ``findings`` list is given).  Truncation
+    is recognized by its fingerprint: the file's final line is invalid
+    JSON *and* missing its terminating newline (writers emit complete
+    ``record\\n`` lines, so a crash can only tear the very end).
+    Invalid JSON anywhere else — including a complete,
+    newline-terminated final line — is real corruption and still raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
     path = pathlib.Path(path)
     records: List[IterationRecord] = []
     with path.open() as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ConfigurationError(
-                    f"{path}:{line_number}: not valid JSON ({error})"
-                ) from None
-            records.append(record_from_dict(payload))
+        lines = handle.readlines()
+    torn_tail_possible = bool(lines) and not lines[-1].endswith("\n")
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            if torn_tail_possible and line_number == len(lines):
+                from repro.analysis.report import Finding
+
+                finding = Finding(
+                    source="trace",
+                    rule="DUR002",
+                    severity="warning",
+                    message=(
+                        f"{path}:{line_number}: truncated trailing record "
+                        f"(torn write; {len(records)} complete record(s) "
+                        "recovered)"
+                    ),
+                )
+                if findings is not None:
+                    findings.append(finding)
+                else:
+                    warnings.warn(str(finding), UserWarning, stacklevel=2)
+                break
+            raise ConfigurationError(
+                f"{path}:{line_number}: not valid JSON ({error})"
+            ) from None
+        records.append(record_from_dict(payload))
     return records

@@ -90,6 +90,9 @@ class Simulator:
             )
         self.trace_config = trace_config
         self.record_steps = trace_config.record_steps
+        #: Root seed, kept for checkpointing (a cut is only restorable
+        #: into a simulation rebuilt from the same seed).
+        self.seed = seed
         self._rng_root = RngStream.root(seed)
         self._crashed_count = 0
         self._runnable_count = 0
@@ -177,6 +180,15 @@ class Simulator:
     def now(self) -> int:
         """Logical time — shared-memory steps executed so far."""
         return self.clock.now
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the current between-steps cut (shared
+        memory image, clock, thread lifecycles).  Two simulators standing
+        at the same cut digest identically — the cheap equality the
+        durable checkpoint layer certifies restores with."""
+        from repro.durable.checkpoint import state_digest
+
+        return state_digest(self)
 
     def annotations(self, thread_id: int) -> Dict[str, Any]:
         """The published thread-local state of ``thread_id`` (the window

@@ -23,7 +23,11 @@ from repro.sched.crash import CrashScheduler
 from repro.sched.adaptive import AdaptiveAdversary, GreedyAscentAdversary
 from repro.sched.stale_attack import StaleGradientAttack
 from repro.sched.priority_delay import PriorityDelayScheduler
-from repro.sched.replay import RecordingScheduler, ReplayScheduler
+from repro.sched.replay import (
+    PrefixReplayScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+)
 from repro.sched.contention_max import ContentionMaximizer
 
 __all__ = [
@@ -39,5 +43,6 @@ __all__ = [
     "PriorityDelayScheduler",
     "RecordingScheduler",
     "ReplayScheduler",
+    "PrefixReplayScheduler",
     "ContentionMaximizer",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.errors import SchedulerError
+from repro.runtime.policy import live_hook
 from repro.sched.base import Scheduler
 
 
@@ -33,6 +34,75 @@ class RecordingScheduler(Scheduler):
     def select(self, sim) -> int:
         choice = self.inner.select(sim)
         self.schedule.append(int(choice))
+        return choice
+
+
+class PrefixReplayScheduler(Scheduler):
+    """Play a recorded decision prefix, then hand control to ``inner``.
+
+    The restore-by-replay path of :class:`repro.durable.checkpoint.
+    Checkpoint` drives a fresh simulation through the first ``len(prefix)``
+    decisions of a recorded run and then lets the run's real scheduler
+    continue.  In ``verify`` mode (the default) ``inner`` is consulted on
+    every prefix step and must agree with the recording: that both
+    *certifies* determinism (a disagreement means the replayed run is not
+    the recorded run, raised as :class:`SchedulerError`) and advances the
+    inner scheduler's internal state — RNG draws, adaptive histories,
+    fault-injection budgets — to exactly what it was at the cut, so the
+    post-prefix continuation is byte-identical to the uninterrupted run.
+    With ``verify=False`` the prefix is forced without consulting
+    ``inner`` (only sound for stateless schedulers).
+
+    Decisions made so far (prefix and beyond) accumulate in
+    :attr:`decisions`, so a restored run can itself be checkpointed again.
+    """
+
+    def __init__(
+        self, inner: Scheduler, prefix: Sequence[int], verify: bool = True
+    ) -> None:
+        self.inner = inner
+        self._prefix = [int(s) for s in prefix]
+        self._cursor = 0
+        self.verify = verify
+        self.decisions: List[int] = []
+        # Delegate hooks only when the inner scheduler actually has live
+        # ones, so wrapping a benign scheduler keeps the engine's elided
+        # fast path (defining the methods unconditionally would make the
+        # hooks look live and force per-step StepRecord construction).
+        spawn_hook = live_hook(inner, "on_spawn")
+        if spawn_hook is not None:
+            self.on_spawn = spawn_hook  # type: ignore[method-assign]
+        step_hook = live_hook(inner, "on_step")
+        if step_hook is not None:
+            self.on_step = step_hook  # type: ignore[method-assign]
+
+    @property
+    def in_prefix(self) -> bool:
+        """Whether the next decision still comes from the recording."""
+        return self._cursor < len(self._prefix)
+
+    @property
+    def remaining(self) -> int:
+        """Prefix decisions left to replay."""
+        return len(self._prefix) - self._cursor
+
+    def select(self, sim) -> int:
+        if self._cursor < len(self._prefix):
+            recorded = self._prefix[self._cursor]
+            self._cursor += 1
+            if self.verify:
+                choice = int(self.inner.select(sim))
+                if choice != recorded:
+                    raise SchedulerError(
+                        f"replay divergence at decision {self._cursor - 1}: "
+                        f"inner scheduler picked thread {choice}, recording "
+                        f"says {recorded} — the replayed run is not the "
+                        "recorded run"
+                    )
+            self.decisions.append(recorded)
+            return recorded
+        choice = int(self.inner.select(sim))
+        self.decisions.append(choice)
         return choice
 
 

@@ -1,0 +1,310 @@
+"""Tests for simulator checkpoints: capture at run_fast chunk / FullSGD
+epoch boundaries, restore by certified prefix replay, direct state
+restore, and deterministic serialization."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.epoch_sgd import EpochSGDProgram
+from repro.core.full_sgd import FullSGD
+from repro.durable.checkpoint import Checkpoint, state_digest
+from repro.errors import (
+    CheckpointRestoreError,
+    ConfigurationError,
+    SchedulerError,
+)
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.runtime.simulator import Simulator
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.replay import PrefixReplayScheduler, RecordingScheduler
+from repro.shm.array import AtomicArray
+from repro.shm.counter import AtomicCounter
+from repro.shm.memory import SharedMemory
+
+OBJECTIVE = IsotropicQuadratic(dim=2, noise=GaussianNoise(0.2))
+
+
+def build_sim(scheduler, seed=9, threads=3, iterations=60):
+    """A standard Algorithm-1 workload simulator (fresh, at t=0)."""
+    memory = SharedMemory(record_log=False)
+    model = AtomicArray.allocate(memory, 2, name="model")
+    model.load(np.full(2, 2.0))
+    counter = AtomicCounter.allocate(memory, name="iteration_counter")
+    sim = Simulator(memory, scheduler, seed=seed)
+    for index in range(threads):
+        sim.spawn(
+            EpochSGDProgram(
+                model=model,
+                counter=counter,
+                objective=OBJECTIVE,
+                step_size=0.05,
+                max_iterations=iterations,
+            ),
+            name=f"worker-{index}",
+        )
+    return sim
+
+
+class TestCaptureAndVerify:
+    def test_capture_records_prefix_under_recording_scheduler(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=200)
+        checkpoint = Checkpoint.capture(sim, label="chunk-1")
+        assert checkpoint.time == 200
+        assert len(checkpoint.schedule) == 200
+        assert checkpoint.label == "chunk-1"
+        assert checkpoint.verify(sim) == []
+        assert checkpoint.digest() == state_digest(sim)
+
+    def test_verify_flags_each_divergence_kind(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=100)
+        checkpoint = Checkpoint.capture(sim)
+        sim.run_fast(max_steps=50)  # walk past the cut
+        rules = {f.rule for f in checkpoint.verify(sim)}
+        assert "CKPT001" in rules  # clock moved
+        assert "CKPT002" in rules or "CKPT003" in rules  # state moved
+
+    def test_state_only_ignores_thread_and_seq(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=100)
+        checkpoint = Checkpoint.capture(sim)
+        findings = checkpoint.verify(sim, state_only=True)
+        assert findings == []
+
+
+class TestRestoreByReplay:
+    def test_resumed_run_is_byte_identical(self):
+        recording = RecordingScheduler(RandomScheduler(seed=9))
+        sim = build_sim(recording)
+        sim.run_fast(max_steps=300)
+        checkpoint = Checkpoint.capture(sim)
+        sim.run_fast()
+        reference_digest = state_digest(sim)
+        reference_model = sim.memory.peek_range(
+            sim.memory.segment("model").base, 2
+        )
+
+        restored = checkpoint.restore_by_replay(
+            build_sim, RandomScheduler(seed=9)
+        )
+        assert state_digest(restored) == checkpoint.digest()
+        restored.run_fast()
+        assert state_digest(restored) == reference_digest
+        assert (
+            restored.memory.peek_range(
+                restored.memory.segment("model").base, 2
+            )
+            == reference_model
+        )
+
+    def test_verify_mode_certifies_determinism(self):
+        recording = RecordingScheduler(RandomScheduler(seed=9))
+        sim = build_sim(recording)
+        sim.run_fast(max_steps=120)
+        checkpoint = Checkpoint.capture(sim)
+        # A *different* inner scheduler makes different decisions: the
+        # verify-mode replay must refuse rather than silently diverge.
+        with pytest.raises((SchedulerError, CheckpointRestoreError)):
+            checkpoint.restore_by_replay(build_sim, RandomScheduler(seed=10))
+
+    def test_unverified_replay_forces_prefix(self):
+        recording = RecordingScheduler(RandomScheduler(seed=9))
+        sim = build_sim(recording)
+        sim.run_fast(max_steps=120)
+        checkpoint = Checkpoint.capture(sim)
+        restored = checkpoint.restore_by_replay(
+            build_sim, RandomScheduler(seed=9), verify=False
+        )
+        assert restored.clock.now == checkpoint.time
+
+    def test_restored_run_can_be_checkpointed_again(self):
+        recording = RecordingScheduler(RandomScheduler(seed=9))
+        sim = build_sim(recording)
+        sim.run_fast(max_steps=100)
+        first = Checkpoint.capture(sim)
+        restored = first.restore_by_replay(build_sim, RandomScheduler(seed=9))
+        restored.run_fast(max_steps=100)
+        second = Checkpoint.capture(restored)  # prefix from decisions
+        assert second.time == 200
+        assert len(second.schedule) == 200
+        again = second.restore_by_replay(build_sim, RandomScheduler(seed=9))
+        assert state_digest(again) == second.digest()
+
+    def test_missing_prefix_refused(self):
+        sim = build_sim(RandomScheduler(seed=9))  # not recorded
+        sim.run_fast(max_steps=50)
+        checkpoint = Checkpoint.capture(sim)
+        with pytest.raises(ConfigurationError, match="prefix"):
+            checkpoint.restore_by_replay(build_sim, RandomScheduler(seed=9))
+
+    def test_prestepped_build_refused(self):
+        recording = RecordingScheduler(RandomScheduler(seed=9))
+        sim = build_sim(recording)
+        sim.run_fast(max_steps=50)
+        checkpoint = Checkpoint.capture(sim)
+
+        def stale_build(scheduler):
+            stepped = build_sim(scheduler)
+            stepped.run_fast(max_steps=1)
+            return stepped
+
+        with pytest.raises(ConfigurationError, match="t=0"):
+            checkpoint.restore_by_replay(stale_build, RandomScheduler(seed=9))
+
+
+class TestDirectRestore:
+    def test_restores_shared_state(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=150)
+        checkpoint = Checkpoint.capture(sim)
+        target = build_sim(RandomScheduler(seed=9))
+        restored = checkpoint.restore_direct(target)
+        assert restored.clock.now == checkpoint.time
+        assert tuple(restored.memory._values) == checkpoint.memory_values
+
+    def test_non_runnable_thread_refused(self):
+        sim = build_sim(RandomScheduler(seed=9), iterations=5)
+        sim.run_fast()  # run to quiescence: threads finished
+        checkpoint = Checkpoint.capture(sim)
+        with pytest.raises(ConfigurationError, match="runnable"):
+            checkpoint.restore_direct(build_sim(RandomScheduler(seed=9)))
+
+    def test_layout_mismatch_refused(self):
+        sim = build_sim(RandomScheduler(seed=9))
+        sim.run_fast(max_steps=50)
+        checkpoint = Checkpoint.capture(sim)
+        small = Simulator(SharedMemory(), RandomScheduler(seed=9), seed=9)
+        with pytest.raises(ConfigurationError, match="layout"):
+            checkpoint.restore_direct(small)
+
+
+class TestFullSGDCheckpointHook:
+    def _driver(self):
+        return FullSGD(
+            OBJECTIVE,
+            num_threads=3,
+            epsilon=0.25,
+            alpha0=0.05,
+            iterations_per_epoch=40,
+            num_epochs=3,
+            x0=np.full(2, 2.0),
+        )
+
+    def test_hook_fires_at_epoch_boundaries_without_changing_results(self):
+        baseline = self._driver().run(RandomScheduler(seed=5), seed=5)
+        cuts = []
+        hooked = self._driver().run(
+            RandomScheduler(seed=5),
+            seed=5,
+            checkpoint_hook=lambda epoch, cp: cuts.append((epoch, cp)),
+            checkpoint_chunk=64,
+        )
+        assert pickle.dumps(hooked.r) == pickle.dumps(baseline.r)
+        assert hooked.total_iterations == baseline.total_iterations
+        assert [epoch for epoch, _ in cuts] == [1, 2]
+        for _epoch, checkpoint in cuts:
+            assert checkpoint.schedule  # replay recipe captured
+            assert checkpoint.label.startswith("epoch-")
+
+    def test_epoch_checkpoint_restores_and_finishes_identically(self):
+        cuts = []
+        reference = self._driver().run(
+            RandomScheduler(seed=5),
+            seed=5,
+            checkpoint_hook=lambda epoch, cp: cuts.append(cp),
+            checkpoint_chunk=64,
+        )
+        checkpoint = cuts[0]
+
+        def build(scheduler):
+            memory = SharedMemory(record_log=False)
+            model = AtomicArray.allocate(memory, 2, name="model")
+            model.load(np.full(2, 2.0))
+            counter = AtomicCounter.allocate(memory, name="iteration_counter")
+            from repro.core.full_sgd import FullSGDThreadProgram
+            from repro.core.schedules import EpochHalvingRate
+            from repro.shm.register import AtomicRegister
+
+            epoch_register = AtomicRegister(
+                memory, memory.allocate(1, name="epoch", initial=0.0)
+            )
+            sim = Simulator(memory, scheduler, seed=5)
+            for index in range(3):
+                sim.spawn(
+                    FullSGDThreadProgram(
+                        model=model,
+                        counter=counter,
+                        epoch_register=epoch_register,
+                        objective=OBJECTIVE,
+                        schedule=EpochHalvingRate(0.05),
+                        iterations_per_epoch=40,
+                        num_epochs=3,
+                    ),
+                    name=f"worker-{index}",
+                )
+            return sim
+
+        restored = checkpoint.restore_by_replay(build, RandomScheduler(seed=5))
+        restored.run_fast()
+        final = restored.memory.peek_range(
+            restored.memory.segment("model").base, 2
+        )
+        assert pickle.dumps(np.asarray(final)) == pickle.dumps(reference.r)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._driver().run(
+                RandomScheduler(seed=5), seed=5,
+                checkpoint_hook=lambda *_: None, checkpoint_chunk=0,
+            )
+
+
+class TestSerialization:
+    def _checkpoint(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=80)
+        return Checkpoint.capture(sim, label="t80")
+
+    def test_json_round_trip(self):
+        checkpoint = self._checkpoint()
+        clone = Checkpoint.from_json(checkpoint.to_json())
+        assert clone == checkpoint
+        assert clone.digest() == checkpoint.digest()
+
+    def test_save_load(self, tmp_path):
+        checkpoint = self._checkpoint()
+        path = tmp_path / "cut.json"
+        checkpoint.save(path)
+        assert Checkpoint.load(path) == checkpoint
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cut.json"]
+
+    def test_tampered_file_rejected(self, tmp_path):
+        checkpoint = self._checkpoint()
+        path = tmp_path / "cut.json"
+        checkpoint.save(path)
+        path.write_text(path.read_text().replace('"time": 80', '"time": 81'))
+        with pytest.raises(ConfigurationError, match="digest"):
+            Checkpoint.load(path)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Checkpoint.from_json('{"seed": 1}')
+
+
+class TestPrefixReplayScheduler:
+    def test_keeps_fast_path_for_hookless_inner(self):
+        from repro.runtime.policy import live_hook
+
+        scheduler = PrefixReplayScheduler(RandomScheduler(seed=1), (0, 0))
+        # RandomScheduler has no live hooks, so the wrapper must not
+        # introduce any (that would silently force the slow path).
+        assert live_hook(scheduler, "on_step") is None
+
+    def test_simulator_state_digest_helper(self):
+        sim = build_sim(RandomScheduler(seed=9))
+        sim.run_fast(max_steps=10)
+        assert sim.state_digest() == state_digest(sim)

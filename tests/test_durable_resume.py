@@ -1,0 +1,333 @@
+"""Kill/resume properties of the durable run layer: campaigns and
+sanitize grids interrupted after k of m cells resume to byte-identical
+final reports (across --jobs values), partial reports cover exactly the
+journaled cells, real signals drive GracefulShutdown, and the CLI wires
+it all together (--journal/--resume flags, exit codes, partial flush)."""
+
+import functools
+import json
+import os
+import signal
+
+import pytest
+
+from repro.analysis.presets import (
+    partial_sanitize_report,
+    run_sanitize,
+    sanitize_fingerprint,
+    sanitize_presets,
+)
+from repro.cli import main
+from repro.durable.journal import RunJournal
+from repro.durable.signals import GracefulShutdown
+from repro.errors import InterruptedRunError
+from repro.faults.campaign import (
+    CampaignConfig,
+    ChaosWorkload,
+    campaign_fingerprint,
+    partial_report,
+    preset_specs,
+    run_campaign,
+)
+
+
+class _TripAfter:
+    """Journal wrapper that requests shutdown once k cells are recorded —
+    a deterministic stand-in for SIGTERM arriving mid-grid."""
+
+    def __init__(self, journal, shutdown, k):
+        self._journal = journal
+        self._shutdown = shutdown
+        self._k = k
+
+    def completed(self, namespace):
+        return self._journal.completed(namespace)
+
+    def record(self, namespace, seed, payload):
+        self._journal.record(namespace, seed, payload)
+        if self._journal.total_completed >= self._k:
+            self._shutdown.requested = True
+            self._shutdown.signal_name = "SIGTERM"
+
+
+def _campaign_config(jobs=1):
+    specs = preset_specs()
+    return CampaignConfig(
+        specs=(specs["none"], specs["prob-crash"]),
+        seeds=(1, 2, 3),
+        workload=ChaosWorkload(iterations=60),
+        jobs=jobs,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _campaign_reference():
+    """The uninterrupted campaign report (bytes) every resume must match."""
+    report = run_campaign(_campaign_config())
+    return report.to_json(), tuple(report.outcomes)
+
+
+class TestCampaignKillResume:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_interrupt_after_k_cells_resumes_byte_identical(
+        self, tmp_path, k, jobs
+    ):
+        reference, _ = _campaign_reference()
+        path = tmp_path / "journal.jsonl"
+        config = _campaign_config(jobs)
+        fingerprint = campaign_fingerprint(config)
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_campaign(
+                config,
+                journal=_TripAfter(journal, shutdown, k),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        assert resumed.total_completed >= k
+        report = run_campaign(_campaign_config(), journal=resumed)
+        resumed.close()
+        assert report.to_json() == reference
+
+    def test_partial_report_covers_exactly_the_journaled_prefix(
+        self, tmp_path
+    ):
+        _, reference_outcomes = _campaign_reference()
+        path = tmp_path / "journal.jsonl"
+        config = _campaign_config()
+        fingerprint = campaign_fingerprint(config)
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_campaign(
+                config,
+                journal=_TripAfter(journal, shutdown, 3),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        partial = partial_report(config, resumed)
+        resumed.close()
+        # The serial grid stops at the cell boundary right after the
+        # trip: exactly 3 cells, and they are the reference's prefix.
+        assert tuple(partial.outcomes) == reference_outcomes[:3]
+
+    def test_journal_written_under_jobs_4_resumes_under_jobs_1(
+        self, tmp_path
+    ):
+        reference, _ = _campaign_reference()
+        path = tmp_path / "journal.jsonl"
+        parallel_config = _campaign_config(jobs=4)
+        fingerprint = campaign_fingerprint(parallel_config)
+        # The fingerprint must not depend on jobs, or cross-jobs resume
+        # would be refused.
+        assert fingerprint == campaign_fingerprint(_campaign_config())
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_campaign(
+                parallel_config,
+                journal=_TripAfter(journal, shutdown, 2),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        report = run_campaign(_campaign_config(jobs=1), journal=resumed)
+        resumed.close()
+        assert report.to_json() == reference
+
+
+def _sanitize_grid():
+    presets = sanitize_presets()
+    return (presets["racy"], presets["e1"]), (1, 2)
+
+
+@functools.lru_cache(maxsize=None)
+def _sanitize_reference():
+    chosen, seeds = _sanitize_grid()
+    return run_sanitize(chosen, seeds=seeds).to_json()
+
+
+class TestSanitizeKillResume:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_interrupt_after_k_cells_resumes_byte_identical(self, tmp_path, k):
+        chosen, seeds = _sanitize_grid()
+        path = tmp_path / "journal.jsonl"
+        fingerprint = sanitize_fingerprint(chosen, seeds)
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_sanitize(
+                chosen,
+                seeds=seeds,
+                journal=_TripAfter(journal, shutdown, k),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        assert resumed.total_completed >= k
+        report = run_sanitize(chosen, seeds=seeds, journal=resumed)
+        resumed.close()
+        assert report.to_json() == _sanitize_reference()
+
+    def test_parallel_interrupt_resumes_byte_identical(self, tmp_path):
+        chosen, seeds = _sanitize_grid()
+        path = tmp_path / "journal.jsonl"
+        fingerprint = sanitize_fingerprint(chosen, seeds)
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_sanitize(
+                chosen,
+                seeds=seeds,
+                jobs=4,
+                journal=_TripAfter(journal, shutdown, 1),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        report = run_sanitize(chosen, seeds=seeds, journal=resumed)
+        resumed.close()
+        assert report.to_json() == _sanitize_reference()
+
+    def test_partial_sanitize_report_counts_journaled_cells(self, tmp_path):
+        chosen, seeds = _sanitize_grid()
+        path = tmp_path / "journal.jsonl"
+        fingerprint = sanitize_fingerprint(chosen, seeds)
+        journal = RunJournal.open(path, fingerprint)
+        shutdown = GracefulShutdown(install=False)
+        with pytest.raises(InterruptedRunError):
+            run_sanitize(
+                chosen,
+                seeds=seeds,
+                journal=_TripAfter(journal, shutdown, 2),
+                shutdown=shutdown,
+            )
+        journal.close()
+        resumed = RunJournal.open(path, fingerprint, resume=True)
+        partial = partial_sanitize_report(chosen, seeds, resumed)
+        resumed.close()
+        assert len(partial.runs) == 2
+        assert [run.label for run in partial.runs] == [
+            "racy/random/seed=1",
+            "racy/random/seed=2",
+        ]
+
+
+def _let_signal_land():
+    """Give the interpreter a bytecode boundary to run the handler on."""
+    for _ in range(100):
+        pass
+
+
+class TestGracefulShutdownSignals:
+    def test_sigint_requests_stop_then_check_raises(self):
+        before = signal.getsignal(signal.SIGINT)
+        with GracefulShutdown() as shutdown:
+            assert not shutdown.requested
+            os.kill(os.getpid(), signal.SIGINT)
+            _let_signal_land()
+            assert shutdown.requested
+            assert shutdown.signal_name == "SIGINT"
+            with pytest.raises(InterruptedRunError):
+                shutdown.check()
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_second_sigint_raises_keyboard_interrupt(self):
+        with GracefulShutdown() as shutdown:
+            os.kill(os.getpid(), signal.SIGINT)
+            _let_signal_land()
+            assert shutdown.requested
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                _let_signal_land()
+
+    def test_sigterm_requests_stop(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown() as shutdown:
+            os.kill(os.getpid(), signal.SIGTERM)
+            _let_signal_land()
+            assert shutdown.requested
+            assert shutdown.signal_name == "SIGTERM"
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+_CLI_ARGS = [
+    "--specs", "none,prob-crash",
+    "--seeds", "2",
+    "--iterations", "60",
+]
+
+
+class TestCliJournalFlags:
+    def test_resume_without_journal_is_exit_2(self, capsys):
+        assert main(["chaos", "--resume", *_CLI_ARGS]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+        assert main(["sanitize", "--resume", "--presets", "e1"]) == 2
+
+    def test_fingerprint_mismatch_is_exit_2(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["chaos", *_CLI_ARGS, "--journal", journal]) in (0, 1)
+        # A different grid must be refused, not silently merged.
+        assert (
+            main(
+                [
+                    "chaos", "--specs", "none", "--seeds", "3",
+                    "--iterations", "60", "--journal", journal, "--resume",
+                ]
+            )
+            == 2
+        )
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_interrupted_cli_flushes_partial_and_resumes_identically(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.faults import campaign as campaign_module
+
+        journal_path = str(tmp_path / "journal.jsonl")
+        out_dir = tmp_path / "out"
+        ref_dir = tmp_path / "ref"
+        real_run = campaign_module.run_campaign
+
+        def tripping_run(config, journal=None, shutdown=None, **kwargs):
+            return real_run(
+                config,
+                journal=_TripAfter(journal, shutdown, 2),
+                shutdown=shutdown,
+                **kwargs,
+            )
+
+        monkeypatch.setattr(campaign_module, "run_campaign", tripping_run)
+        code = main(
+            [
+                "chaos", *_CLI_ARGS,
+                "--journal", journal_path, "--out", str(out_dir),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "resume with:" in err
+        assert "--resume" in err
+        partial = json.loads((out_dir / "chaos_report.partial.json").read_text())
+        assert len(partial["outcomes"]) == 2
+        assert (out_dir / "chaos_report.partial.txt").exists()
+
+        # Rerunning the printed invocation finishes the grid and must
+        # produce the same bytes as a never-interrupted CLI run.
+        monkeypatch.setattr(campaign_module, "run_campaign", real_run)
+        resume_code = main(
+            [
+                "chaos", *_CLI_ARGS,
+                "--journal", journal_path, "--out", str(out_dir), "--resume",
+            ]
+        )
+        reference_code = main(["chaos", *_CLI_ARGS, "--out", str(ref_dir)])
+        capsys.readouterr()
+        assert resume_code == reference_code
+        assert (out_dir / "chaos_report.json").read_bytes() == (
+            ref_dir / "chaos_report.json"
+        ).read_bytes()

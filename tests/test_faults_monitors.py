@@ -205,6 +205,75 @@ class TestRecovery:
         assert report.crashes_seen == 2
         assert len(sim.threads) == 4
 
+    def test_exhausted_budget_reported_in_structured_summary(self):
+        engine = CrashScheduler(
+            RandomScheduler(seed=11),
+            [
+                CrashPlan(thread_id=0, at_time=20),
+                CrashPlan(thread_id=1, at_time=60),
+            ],
+        )
+        sim, _, make_program = _build_workload(
+            engine, num_threads=3, seed=11
+        )
+        report = run_with_recovery(
+            sim,
+            program_factory=lambda t: make_program(),
+            max_respawns=1,
+            check_interval=16,
+        )
+        # The second crash was denied purely by the budget — the report
+        # must say so, not silently under-count.
+        assert report.respawn_denied == 1
+        assert report.budget_exhausted
+        assert report.crash_tally == {0: 1, 1: 1}
+        summary = report.summary()
+        assert summary["crashes_seen"] == 2
+        assert summary["respawned"] == 1
+        assert summary["respawn_denied"] == 1
+        assert summary["budget_exhausted"] is True
+        assert summary["crash_tally"] == {"0": 1, "1": 1}
+        assert summary["steps"] == report.steps
+        assert summary["checks"] == report.checks
+
+    def test_unexhausted_budget_is_not_flagged(self):
+        engine = CrashScheduler(
+            RandomScheduler(seed=10),
+            [CrashPlan(thread_id=0, at_time=30)],
+        )
+        sim, _, make_program = _build_workload(engine, seed=10)
+        report = run_with_recovery(
+            sim,
+            program_factory=lambda t: make_program(),
+            max_respawns=5,
+            check_interval=16,
+        )
+        assert report.respawn_denied == 0
+        assert not report.budget_exhausted
+        assert report.summary()["budget_exhausted"] is False
+
+    def test_crash_tally_attributes_respawn_crashes_to_lineage_root(self):
+        # Seed 17 produces a full doom chain: worker 0 crashes, its
+        # respawn (id 3) crashes, and *that* respawn (id 4) crashes too.
+        # All three crashes must land on lineage root 0.
+        spec = FaultSpec(
+            "p",
+            (ProbabilisticCrashSpec(rate=0.01, max_crashes=3, after_time=10),),
+        )
+        engine = spec.build(RandomScheduler(seed=17), seed=17)
+        sim, _, make_program = _build_workload(
+            engine, num_threads=3, iterations=80, seed=17
+        )
+        report = run_with_recovery(
+            sim, program_factory=lambda t: make_program(), check_interval=16
+        )
+        assert report.crashes_seen == 3
+        assert report.crash_tally == {0: 3}
+        assert report.respawned == {0: 3, 3: 4, 4: 5}
+        # Lineage roots are always original workers, never respawn ids.
+        assert set(report.crash_tally) <= {0, 1, 2}
+        assert sum(report.crash_tally.values()) == report.crashes_seen
+
     def test_no_factory_no_monitors_is_plain_run_fast(self):
         sim_plain, model_plain, _ = _build_workload(
             RandomScheduler(seed=12), seed=12
