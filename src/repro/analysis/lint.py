@@ -54,6 +54,11 @@ RULES: Dict[str, str] = {
         "iteration over a set display/call: order is hash-dependent "
         "and not stable across runs"
     ),
+    "RPD204": (
+        "wall-clock-named key in a report payload builder: span/timing "
+        "durations belong in the obs/trace stream, never in "
+        "byte-identity-checked reports"
+    ),
 }
 
 _ALLOW_PRAGMA = re.compile(r"#\s*repro:\s*allow\(([A-Z0-9,\s]+)\)")
@@ -103,6 +108,24 @@ _STDLIB_RANDOM_DRAWS = {
     "betavariate",
     "expovariate",
 }
+
+#: Functions whose return value is (by repo convention) a serialized
+#: report payload whose bytes CI pins — the places RPD204 watches.
+_REPORT_BUILDER_NAMES = {
+    "to_json",
+    "as_dict",
+    "to_payload",
+    "snapshot",
+    "deterministic_snapshot",
+}
+
+#: Key names that smell like wall-clock measurements.  A span duration
+#: in a pinned report breaks byte-identity between runs (and between
+#: ``--jobs`` values); such numbers go to the Chrome trace / metrics
+#: exposition instead, where nothing asserts byte equality.
+_WALL_CLOCK_KEY = re.compile(
+    r"wall|monotonic|elapsed|duration|_secs|seconds|perf", re.IGNORECASE
+)
 
 #: Global-singleton draws on numpy.random (constructing seeded
 #: Generators — SeedSequence, PCG64, default_rng, Generator — is fine).
@@ -202,6 +225,7 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.lines = source_lines
         self.findings: List[Finding] = []
+        self._function_stack: List[str] = []
 
     # -- plumbing -------------------------------------------------------
     def _allowed(self, line: int) -> Set[str]:
@@ -278,14 +302,49 @@ class _Linter(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- report-payload rule (RPD204) -----------------------------------
+    def visit_Dict(self, node: ast.Dict) -> None:
+        builder = next(
+            (
+                name
+                for name in reversed(self._function_stack)
+                if name in _REPORT_BUILDER_NAMES
+            ),
+            None,
+        )
+        if builder is not None:
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and _WALL_CLOCK_KEY.search(key.value)
+                ):
+                    self._flag(
+                        "RPD204",
+                        key.lineno,
+                        f"wall-clock-named key {key.value!r} in report "
+                        f"builder {builder}(): pinned reports must stay "
+                        f"byte-identical across runs — emit durations via "
+                        f"the obs metrics/trace stream instead",
+                    )
+        self.generic_visit(node)
+
     # -- program rules (op-yielding generators only) --------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_program(node)
-        self.generic_visit(node)
+        self._function_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_program(node)
-        self.generic_visit(node)
+        self._function_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
 
     def _check_program(
         self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]

@@ -237,6 +237,8 @@ def run_sanitize(
     strict: bool = False,
     journal: Optional[Any] = None,
     shutdown: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> AnalysisReport:
     """Run the full preset grid and aggregate one deterministic report.
 
@@ -249,24 +251,52 @@ def run_sanitize(
     land and skipped on resume, with the final report byte-identical to
     an uninterrupted run.  ``shutdown`` stops at the next cell boundary
     via :class:`~repro.errors.InterruptedRunError`.
+
+    ``metrics``/``progress`` feed the observability layer:
+    ``progress(seed, run_analysis)`` fires per freshly analyzed cell
+    (the ``repro top`` hook) and ``metrics`` receives the ensemble
+    counters plus per-cell finding tallies; neither changes the report.
     """
     if not presets:
         raise ConfigurationError("sanitize needs at least one preset")
     if not seeds:
         raise ConfigurationError("sanitize needs at least one seed")
+    from repro.obs.registry import live_registry
+    from repro.obs.spans import trace_span
+
+    registry = live_registry(metrics)
+
+    def note_cell(seed: int, run: RunAnalysis) -> None:
+        if registry is not None:
+            registry.counter(
+                "repro_sanitize_cells_total", "sanitize cells analyzed"
+            ).inc()
+            registry.counter(
+                "repro_sanitize_findings_total", "sanitizer findings raised"
+            ).inc(len(run.findings))
+        if progress is not None:
+            progress(seed, run)
+
     report = AnalysisReport(strict=strict)
     for preset in presets:
         for scheduler_kind in preset.schedulers:
-            report.runs.extend(
-                run_ensemble(
-                    functools.partial(_sanitize_worker, preset, scheduler_kind),
-                    seeds,
-                    jobs=jobs,
-                    journal=journal,
-                    namespace=f"{preset.name}/{scheduler_kind}",
-                    encode=lambda run: run.as_dict(),
-                    decode=run_analysis_from_dict,
-                    shutdown=shutdown,
+            with trace_span(
+                "sanitize.cell_row", preset=preset.name, scheduler=scheduler_kind
+            ):
+                report.runs.extend(
+                    run_ensemble(
+                        functools.partial(
+                            _sanitize_worker, preset, scheduler_kind
+                        ),
+                        seeds,
+                        jobs=jobs,
+                        journal=journal,
+                        namespace=f"{preset.name}/{scheduler_kind}",
+                        encode=lambda run: run.as_dict(),
+                        decode=run_analysis_from_dict,
+                        shutdown=shutdown,
+                        metrics=metrics,
+                        progress=note_cell,
+                    )
                 )
-            )
     return report

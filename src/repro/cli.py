@@ -85,7 +85,7 @@ def _run_one(
     out_dir: Optional[pathlib.Path],
     plot: bool,
     jobs: Optional[int] = None,
-) -> bool:
+):
     module, config_cls = REGISTRY[key]
     config = config_cls.full() if scale == "full" else config_cls.quick()
     if jobs is not None and hasattr(config, "jobs"):
@@ -96,7 +96,7 @@ def _run_one(
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         _write_text_atomic(out_dir / f"{key}.txt", text + "\n")
-    return result.passed
+    return result
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -114,10 +114,36 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     out_dir = pathlib.Path(args.out) if args.out else None
     all_passed = True
+    obs_lines = []
     for key in keys:
-        passed = _run_one(key, args.scale, out_dir, not args.no_plot, args.jobs)
-        all_passed = all_passed and passed
+        result = _run_one(key, args.scale, out_dir, not args.no_plot, args.jobs)
+        all_passed = all_passed and result.passed
+        obs = getattr(result, "obs", None)
+        if obs is not None:
+            obs_lines.append(
+                {
+                    "kind": "experiment",
+                    "id": key,
+                    "passed": result.passed,
+                    "metrics": obs.get("aggregate", obs),
+                }
+            )
         print()
+    if args.metrics is not None:
+        from repro.obs.snapshot import write_snapshot_jsonl
+
+        write_snapshot_jsonl(args.metrics, obs_lines)
+        print(
+            f"metric snapshot ({len(obs_lines)} line(s)) written to "
+            f"{args.metrics}",
+            file=sys.stderr,
+        )
+        if not obs_lines:
+            print(
+                "note: none of the selected experiments export "
+                "observability metrics (currently E4 and E5 do)",
+                file=sys.stderr,
+            )
     return 0 if all_passed else 1
 
 
@@ -195,6 +221,10 @@ def _resume_invocation(command: str, args: argparse.Namespace) -> str:
             parts.append("--no-recovery")
         if args.no_monitors:
             parts.append("--no-monitors")
+        # collect_obs is part of the journal fingerprint, so a --metrics
+        # campaign must resume with --metrics as well.
+        if args.metrics is not None:
+            parts += ["--metrics", args.metrics]
     else:
         parts += [
             "--presets", args.presets,
@@ -258,10 +288,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         CampaignConfig,
         ChaosWorkload,
         campaign_fingerprint,
+        campaign_metrics_lines,
         partial_report,
         preset_specs,
         run_campaign,
     )
+    from repro.obs.spans import SpanRecorder, set_span_recorder
 
     presets = preset_specs()
     names = [name.strip() for name in args.specs.split(",") if name.strip()]
@@ -284,13 +316,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         monitors=not args.no_monitors,
         check_interval=args.check_interval,
         jobs=args.jobs if args.jobs is not None else 1,
+        collect_obs=args.metrics is not None,
     )
+    registry = top = None
+    if args.metrics is not None or args.metrics_interval is not None:
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.top import TopView
+
+        registry = MetricsRegistry()
+        if args.metrics_interval is not None:
+            top = TopView(
+                registry, interval=args.metrics_interval, title="repro chaos"
+            )
+
+    def on_cell(_seed, _outcome) -> None:
+        if top is not None:
+            top.maybe_render()
+
+    recorder = None
+    if args.trace is not None:
+        recorder = SpanRecorder()
+        set_span_recorder(recorder)
     journal, exit_code = _open_journal(args, campaign_fingerprint(config))
     if exit_code is not None:
         return exit_code
     try:
         with GracefulShutdown() as shutdown:
-            report = run_campaign(config, journal=journal, shutdown=shutdown)
+            report = run_campaign(
+                config,
+                journal=journal,
+                shutdown=shutdown,
+                metrics=registry,
+                progress=on_cell,
+            )
     except InterruptedRunError as error:
         return _interrupted(
             "chaos",
@@ -303,8 +361,25 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+        if recorder is not None:
+            set_span_recorder(None)
+            recorder.write_chrome_trace(args.trace)
+            print(f"chrome trace written to {args.trace}", file=sys.stderr)
+    if top is not None:
+        top.maybe_render(force=True)
     text = report.render()
     print(text)
+    if args.metrics is not None:
+        from repro.obs.snapshot import write_snapshot_jsonl
+
+        lines = campaign_metrics_lines(config, report.outcomes)
+        write_snapshot_jsonl(args.metrics, lines)
+        print(
+            f"metric snapshot ({len(lines)} line(s)) written to "
+            f"{args.metrics}; inspect with: python -m repro obs "
+            f"{args.metrics}",
+            file=sys.stderr,
+        )
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -342,6 +417,21 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
         return 2
     chosen = tuple(presets[name] for name in names)
     seeds = tuple(range(args.base_seed, args.base_seed + args.seeds))
+    registry = top = None
+    if args.metrics is not None or args.metrics_interval is not None:
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.top import TopView
+
+        registry = MetricsRegistry()
+        if args.metrics_interval is not None:
+            top = TopView(
+                registry, interval=args.metrics_interval, title="repro sanitize"
+            )
+
+    def on_cell(_seed, _run) -> None:
+        if top is not None:
+            top.maybe_render()
+
     journal, exit_code = _open_journal(
         args, sanitize_fingerprint(chosen, seeds, strict=args.strict)
     )
@@ -356,6 +446,8 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
                 strict=args.strict,
                 journal=journal,
                 shutdown=shutdown,
+                metrics=registry,
+                progress=on_cell,
             )
     except InterruptedRunError as error:
         return _interrupted(
@@ -371,14 +463,79 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+    if top is not None:
+        top.maybe_render(force=True)
     text = report.render()
     print(text)
+    if args.metrics is not None:
+        from repro.obs.snapshot import write_snapshot_jsonl
+
+        lines = [
+            {
+                "kind": "run",
+                "label": run.label,
+                "steps": run.steps,
+                "iterations": run.iterations,
+                "findings": len(run.findings),
+                "certificates_ok": all(c.holds for c in run.certificates),
+            }
+            for run in report.runs
+        ]
+        write_snapshot_jsonl(args.metrics, lines)
+        print(
+            f"metric snapshot ({len(lines)} line(s)) written to "
+            f"{args.metrics}",
+            file=sys.stderr,
+        )
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
         report.write(str(out_dir / "analysis_report.txt"), "txt")
         report.write(str(out_dir / "analysis_report.json"), "json")
     return 0 if report.passed else 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Render a metric-snapshot file (``--metrics`` output) for humans.
+
+    ``--format text`` (default) prints per-cell summaries plus ASCII
+    histogram bars; ``--format prom`` re-renders every metrics block as
+    a Prometheus text exposition.  Pure rendering over a deterministic
+    file — the output is deterministic too.
+    """
+    from repro.errors import ReproError
+    from repro.obs.snapshot import load_snapshot_jsonl, prometheus_exposition
+    from repro.obs.top import render_snapshot_lines
+
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        print(f"no such snapshot file: {path}", file=sys.stderr)
+        return 2
+    try:
+        lines = load_snapshot_jsonl(path)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        # Per-cell blocks would collide on metric names; the exposition
+        # renders the roll-up lines only (aggregate / experiment).
+        blocks = []
+        for line in lines:
+            if line.get("kind") not in ("aggregate", "experiment"):
+                continue
+            metrics = line.get("metrics")
+            if not isinstance(metrics, dict) or not metrics:
+                continue
+            label = line.get("id")
+            header = f"# {line['kind']}" + (f" {label}" if label else "")
+            blocks.append(header + "\n" + prometheus_exposition(metrics))
+        if not blocks:
+            print("no aggregate metrics blocks in snapshot", file=sys.stderr)
+            return 1
+        print("\n".join(blocks), end="")
+    else:
+        print(render_snapshot_lines(lines))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -442,6 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
         "that support them (1 = serial, 0 = one per CPU); results are "
         "identical for any value",
     )
+    run_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a deterministic metric-snapshot JSONL of the "
+        "experiments' observability exports (inspect with 'repro obs')",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     chaos_parser = subparsers.add_parser(
@@ -503,6 +665,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --journal, skipping already-completed cells; "
         "the final report is byte-identical to an uninterrupted run",
     )
+    chaos_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect paper-aligned run-time metrics (tau histogram, "
+        "window contention, lemma indicators) and write a deterministic "
+        "snapshot JSONL here (inspect with 'repro obs')",
+    )
+    chaos_parser.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECS",
+        help="render a live 'repro top'-style text view to stderr at "
+        "most every SECS seconds (wall clock; telemetry only)",
+    )
+    chaos_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record harness spans (campaign cells, runs, replays) and "
+        "dump a Chrome-trace JSON here (load in chrome://tracing)",
+    )
     chaos_parser.set_defaults(func=cmd_chaos)
 
     sanitize_parser = subparsers.add_parser(
@@ -547,7 +725,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --journal, skipping already-completed cells; "
         "the final report is byte-identical to an uninterrupted run",
     )
+    sanitize_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a deterministic per-cell summary snapshot JSONL "
+        "(inspect with 'repro obs')",
+    )
+    sanitize_parser.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECS",
+        help="render a live 'repro top'-style text view to stderr at "
+        "most every SECS seconds (wall clock; telemetry only)",
+    )
     sanitize_parser.set_defaults(func=cmd_sanitize)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="render a --metrics snapshot file (text summaries + ASCII "
+        "histograms, or a Prometheus exposition)",
+    )
+    obs_parser.add_argument(
+        "path", help="snapshot JSONL written by run/chaos/sanitize --metrics"
+    )
+    obs_parser.add_argument(
+        "--format", choices=("text", "prom"), default="text",
+        help="text (default): human summaries + histogram bars; "
+        "prom: Prometheus text exposition of the roll-up blocks",
+    )
+    obs_parser.set_defaults(func=cmd_obs)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -278,6 +278,7 @@ def run_lock_free_sgd(
     stop_epsilon: Optional[float] = None,
     trace_config: Optional[TraceConfig] = None,
     analyzers: Sequence = (),
+    metrics=None,
 ) -> LockFreeRunResult:
     """Run Algorithm 1 with ``num_threads`` threads until quiescence.
 
@@ -319,6 +320,12 @@ def run_lock_free_sgd(
             run through :meth:`Simulator.run_analyzed` (same schedule;
             analyzers drain the log between chunks).  Incompatible with
             ``stop_epsilon``.
+        metrics: Optional :class:`repro.obs.registry.MetricsRegistry`.
+            Attached to the simulator (bulk ``repro_sim_*`` counters) and,
+            when iteration records are on, fed the run's paper-aligned
+            snapshot (τ histogram, window counts, lemma indicators) via
+            :func:`repro.obs.paper.publish_paper_metrics` at the end.
+            ``None``/null backend costs nothing.
 
     Returns:
         A :class:`~repro.core.results.LockFreeRunResult`.
@@ -342,6 +349,8 @@ def run_lock_free_sgd(
     model.load(initial)
     counter = AtomicCounter.allocate(memory, name="iteration_counter")
     sim = Simulator(memory, scheduler, seed=seed, trace_config=trace_config)
+    if metrics is not None:
+        sim.attach_metrics(metrics)
 
     for thread_index in range(num_threads):
         if program_factory is not None:
@@ -359,20 +368,33 @@ def run_lock_free_sgd(
             )
         sim.spawn(program, name=f"worker-{thread_index}")
 
-    if stop_epsilon is None:
-        for analyzer in analyzers:
-            sim.attach_analyzer(analyzer)
-        sim.run_analyzed()
-    else:
-        x_star = objective.x_star
+    from repro.obs.spans import trace_span
 
-        def reached(sim_: Simulator) -> bool:
-            gap = model.snapshot() - x_star
-            return float(gap @ gap) <= stop_epsilon
+    with trace_span(
+        "epoch_sgd.run", threads=num_threads, iterations=iterations, seed=seed
+    ):
+        if stop_epsilon is None:
+            for analyzer in analyzers:
+                sim.attach_analyzer(analyzer)
+            sim.run_analyzed()
+        else:
+            x_star = objective.x_star
 
-        sim.run(stop=reached)
+            def reached(sim_: Simulator) -> bool:
+                gap = model.snapshot() - x_star
+                return float(gap @ gap) <= stop_epsilon
+
+            sim.run(stop=reached)
 
     records = collect_iteration_records(sim)
+    # Only pay for the O(N log N) derived quantities when a live
+    # registry is attached (None/null = uninstrumented).
+    if records and sim.metrics is not None:
+        from repro.obs.paper import paper_metrics, publish_paper_metrics
+
+        publish_paper_metrics(
+            sim.metrics, paper_metrics(records, num_threads=num_threads)
+        )
     trajectory = accumulator_trajectory(initial, records)
     distances = np.linalg.norm(trajectory - objective.x_star, axis=1)
     hit_time: Optional[int] = None

@@ -279,6 +279,7 @@ class FullSGD:
         analyzers: Sequence = (),
         checkpoint_hook: Optional[Callable] = None,
         checkpoint_chunk: int = 256,
+        metrics=None,
     ) -> FullSGDResult:
         """Execute all epochs under ``scheduler`` and return the result.
 
@@ -297,6 +298,13 @@ class FullSGD:
         replay itself certifying determinism.  Chunking and recording
         are invisible to programs: the schedule, memory effects and
         result are identical to an unhooked run.
+
+        ``metrics`` optionally attaches a
+        :class:`repro.obs.registry.MetricsRegistry` (simulator bulk
+        counters, an epochs-completed gauge, and the run's paper-aligned
+        snapshot at the end); the whole run executes under a
+        ``full_sgd.run`` span when a
+        :class:`repro.obs.spans.SpanRecorder` is active.
         """
         if checkpoint_chunk < 1:
             raise ConfigurationError(
@@ -313,6 +321,8 @@ class FullSGD:
         epoch_slot = memory.allocate(1, name="epoch", initial=0.0)
         epoch_register = AtomicRegister(memory, epoch_slot)
         sim = Simulator(memory, scheduler, seed=seed)
+        if metrics is not None:
+            sim.attach_metrics(metrics)
         for thread_index in range(self.num_threads):
             sim.spawn(
                 FullSGDThreadProgram(
@@ -330,13 +340,30 @@ class FullSGD:
             )
         for analyzer in analyzers:
             sim.attach_analyzer(analyzer)
-        if checkpoint_hook is None:
-            sim.run_analyzed()
-        else:
-            self._run_checkpointed(
-                sim, epoch_slot, checkpoint_hook, checkpoint_chunk
-            )
-        return self._assemble_result(sim, model)
+        from repro.obs.spans import trace_span
+
+        with trace_span(
+            "full_sgd.run", threads=self.num_threads, epochs=self.num_epochs
+        ):
+            if checkpoint_hook is None:
+                sim.run_analyzed()
+            else:
+                self._run_checkpointed(
+                    sim, epoch_slot, checkpoint_hook, checkpoint_chunk
+                )
+        result = self._assemble_result(sim, model)
+        if sim.metrics is not None:
+            sim.metrics.gauge(
+                "repro_sgd_epochs_total", "epochs completed by the run"
+            ).set(result.num_epochs)
+            if result.records:
+                from repro.obs.paper import paper_metrics, publish_paper_metrics
+
+                publish_paper_metrics(
+                    sim.metrics,
+                    paper_metrics(result.records, num_threads=self.num_threads),
+                )
+        return result
 
     def _run_checkpointed(
         self, sim, epoch_slot: int, hook: Callable, chunk: int
@@ -349,6 +376,7 @@ class FullSGD:
         observed, even if several epochs elapsed inside one chunk).
         """
         from repro.durable.checkpoint import Checkpoint
+        from repro.obs.spans import trace_span
 
         last_epoch = int(sim.memory.peek(epoch_slot))
         while sim.runnable_count:
@@ -358,7 +386,8 @@ class FullSGD:
             epoch = int(sim.memory.peek(epoch_slot))
             if epoch > last_epoch:
                 last_epoch = epoch
-                hook(epoch, Checkpoint.capture(sim, label=f"epoch-{epoch}"))
+                with trace_span("full_sgd.checkpoint", epoch=epoch):
+                    hook(epoch, Checkpoint.capture(sim, label=f"epoch-{epoch}"))
         for analyzer in sim._analyzers:
             analyzer.finish(sim)
 

@@ -259,6 +259,7 @@ class Checkpoint:
                 "checkpoint has no recorded schedule prefix; replay "
                 "restore needs one (capture under a RecordingScheduler)"
             )
+        from repro.obs.spans import trace_span
         from repro.sched.replay import PrefixReplayScheduler
 
         scheduler = PrefixReplayScheduler(inner, self.schedule, verify=verify)
@@ -268,7 +269,10 @@ class Checkpoint:
                 "build() must return a fresh simulator at t=0, got "
                 f"t={sim.clock.now}"
             )
-        sim.run_fast(max_steps=len(self.schedule))
+        with trace_span(
+            "checkpoint.replay", label=self.label, steps=len(self.schedule)
+        ):
+            sim.run_fast(max_steps=len(self.schedule))
         findings = self.verify(sim)
         if findings:
             raise CheckpointRestoreError(

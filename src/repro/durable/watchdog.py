@@ -74,6 +74,7 @@ class EnsembleWatchdog:
         self,
         policy: WatchdogPolicy,
         clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         self.policy = policy
         self._clock = clock if clock is not None else time.monotonic  # repro: allow(RPD201)
@@ -81,6 +82,27 @@ class EnsembleWatchdog:
         self._last_beat: Optional[float] = None
         self.reroutes = 0
         self.findings: List[Any] = []
+        # Escalations are wall-clock weather, so the counters are
+        # non-deterministic telemetry (live view / exposition only).
+        from repro.obs.registry import live_registry
+
+        registry = live_registry(metrics)
+        self._m_escalations = (
+            None
+            if registry is None
+            else {
+                rule: registry.counter(
+                    f"repro_watchdog_{rule.lower()}_total",
+                    f"watchdog {rule} escalations",
+                    deterministic=False,
+                )
+                for rule in ("WD001", "WD002", "WD003")
+            }
+        )
+
+    def _count(self, rule: str) -> None:
+        if self._m_escalations is not None:
+            self._m_escalations[rule].inc()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -144,6 +166,7 @@ class EnsembleWatchdog:
                     ),
                 )
             )
+            self._count("WD003")
             return ABANDON
         stalled = (
             self.policy.heartbeat_timeout is not None
@@ -168,6 +191,7 @@ class EnsembleWatchdog:
                     ),
                 )
             )
+            self._count("WD001")
             return REROUTE
         self.findings.append(
             Finding(
@@ -181,4 +205,5 @@ class EnsembleWatchdog:
                 ),
             )
         )
+        self._count("WD002")
         return ABANDON

@@ -25,11 +25,10 @@ from __future__ import annotations
 import functools
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.lemmas import certify_run
 from repro.core.epoch_sgd import run_lock_free_sgd
 from repro.core.sequential import run_sequential_sgd
 from repro.experiments.ensemble import run_ensemble
@@ -38,6 +37,7 @@ from repro.metrics.report import Table
 from repro.metrics.stats import wilson_interval
 from repro.objectives.noise import GaussianNoise
 from repro.objectives.quadratic import IsotropicQuadratic
+from repro.obs.paper import merge_paper_metrics, paper_metrics
 from repro.sched.bounded_delay import BoundedDelayScheduler
 from repro.theory.bounds import (
     corollary_6_7_failure_bound,
@@ -109,9 +109,9 @@ def _lockfree_worker(
     iterations: int,
     stop_epsilon: Optional[float],
     seed: int,
-) -> Tuple[float, int, bool]:
+) -> Tuple[float, int, bool, Dict[str, object]]:
     """One seeded lock-free run → (hitting time or inf, realized τ_max,
-    lemma certificates held)."""
+    lemma certificates held, paper-metric obs snapshot)."""
     objective = _objective(config)
     x0 = np.full(config.dim, config.x0_scale)
     result = run_lock_free_sgd(
@@ -128,9 +128,15 @@ def _lockfree_worker(
     hit = math.inf if result.hit_time is None else float(result.hit_time)
     # Every trace feeding the bound ships with its structural-lemma
     # certificates (6.1/6.2/6.4) — the theory's assumptions, checked.
-    certificates = certify_run(result.records, num_threads=config.num_threads)
-    certs_ok = all(c.holds for c in certificates)
-    return hit, measure_tau_max(result.records), certs_ok
+    # paper_metrics reads them off the same certify_* calls, so the
+    # obs snapshot and the pass/fail verdict cannot disagree.
+    obs = paper_metrics(result.records, num_threads=config.num_threads)
+    certs_ok = (
+        int(obs["lemma_6_1_violations"]) == 0
+        and bool(obs["lemma_6_2_holds"])
+        and bool(obs["lemma_6_4_holds"])
+    )
+    return hit, measure_tau_max(result.records), certs_ok, obs
 
 
 def _sequential_worker(config: E5Config, alpha: float, seed: int) -> float:
@@ -208,13 +214,17 @@ def run(config: E5Config) -> ExperimentResult:
         range(config.base_seed, config.base_seed + config.num_runs),
         jobs=config.jobs,
     )
-    hits = np.array([hit for hit, _tau, _ok in bound_runs])
+    hits = np.array([hit for hit, _tau, _ok, _obs in bound_runs])
     realized_tau_max = max(
-        (tau for _hit, tau, _ok in bound_runs), default=assumed_tau_max
+        (tau for _hit, tau, _ok, _obs in bound_runs), default=assumed_tau_max
     )
     realized_tau_max = max(realized_tau_max, assumed_tau_max)
-    certified_runs = sum(1 for _hit, _tau, ok in bound_runs if ok)
+    certified_runs = sum(1 for _hit, _tau, ok, _obs in bound_runs if ok)
     certificates_ok = certified_runs == len(bound_runs)
+    obs_cells: List[Dict[str, object]] = [
+        {"part": "bound", "delay_bound": config.delay_bound, "metrics": obs}
+        for _hit, _tau, _ok, obs in bound_runs
+    ]
 
     bound_table = Table(
         ["T", "measured P(F_T)", "wilson low", "Cor 6.7 bound", "ok"],
@@ -310,13 +320,20 @@ def run(config: E5Config) -> ExperimentResult:
             jobs=config.jobs,
         )
         run_hits = [
-            hit for hit, _tau, _ok in slowdown_results if math.isfinite(hit)
+            hit
+            for hit, _tau, _ok, _obs in slowdown_results
+            if math.isfinite(hit)
         ]
         certificates_ok = certificates_ok and all(
-            ok for _hit, _tau, ok in slowdown_results
+            ok for _hit, _tau, ok, _obs in slowdown_results
         )
         tau_realized = max(
-            (tau for _hit, tau, _ok in slowdown_results), default=tau_pilot
+            (tau for _hit, tau, _ok, _obs in slowdown_results),
+            default=tau_pilot,
+        )
+        obs_cells.extend(
+            {"part": "slowdown", "delay_bound": delay_bound, "metrics": obs}
+            for _hit, _tau, _ok, obs in slowdown_results
         )
         tau_realized = max(tau_realized, tau_pilot)
         mean_hit = float(np.mean(run_hits)) if run_hits else float("nan")
@@ -395,4 +412,10 @@ def run(config: E5Config) -> ExperimentResult:
         ),
         passed=passed,
         notes=notes,
+        obs={
+            "traces": obs_cells,
+            "aggregate": merge_paper_metrics(
+                [cell["metrics"] for cell in obs_cells]
+            ),
+        },
     )

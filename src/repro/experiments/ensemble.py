@@ -271,6 +271,8 @@ def run_ensemble(
     decode: Optional[Callable[[Any], T]] = None,
     watchdog: Optional[EnsembleWatchdog] = None,
     shutdown: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+    progress: Optional[Callable[[int, T], None]] = None,
 ) -> List[T]:
     """Map ``run_one`` over ``seeds``, optionally across processes.
 
@@ -313,6 +315,16 @@ def run_ensemble(
             requested, the run stops at the next safe point by raising
             :class:`~repro.errors.InterruptedRunError` — with every
             completed seed already journaled.
+        metrics: Optional :class:`repro.obs.registry.MetricsRegistry`.
+            The pool is scheduling weather, so its counters
+            (``repro_ensemble_*``) are flagged non-deterministic — they
+            feed the live view and the Prometheus exposition, never
+            byte-identity-checked snapshots.
+        progress: Optional ``progress(seed, result)`` callback fired in
+            this process exactly once per freshly computed seed, the
+            moment its result lands (journal-skipped seeds do not fire).
+            This is the live-view hook (``repro top``); it must not
+            mutate results.
 
     Returns:
         Results in seed order — identical, element for element, to
@@ -320,14 +332,31 @@ def run_ensemble(
         fallbacks or how many prior interrupted runs the journal
         already covers.
     """
+    from repro.obs.registry import live_registry
+
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
+    registry = live_registry(metrics)
+    m_completed = m_skipped = None
+    if registry is not None:
+        m_completed = registry.counter(
+            "repro_ensemble_seeds_completed_total",
+            "seeds freshly computed by this process",
+            deterministic=False,
+        )
+        m_skipped = registry.counter(
+            "repro_ensemble_seeds_journal_skipped_total",
+            "seeds restored from the journal instead of rerun",
+            deterministic=False,
+        )
     done: Dict[int, T] = {}
     if journal is not None:
         wanted = set(seeds)
         for seed, payload in journal.completed(namespace).items():
             if seed in wanted:
                 done[seed] = decode(payload) if decode is not None else payload
+                if m_skipped is not None:
+                    m_skipped.inc()
 
     def note(seed: int, result: T) -> None:
         if seed in done:
@@ -337,6 +366,10 @@ def run_ensemble(
             journal.record(
                 namespace, seed, encode(result) if encode is not None else result
             )
+        if m_completed is not None:
+            m_completed.inc()
+        if progress is not None:
+            progress(seed, result)
 
     # Duplicate seeds map to one deterministic result; compute each once.
     pending = list(dict.fromkeys(s for s in seeds if s not in done))
@@ -371,6 +404,12 @@ def run_ensemble(
     # deterministically and with a clean traceback.
     for index, part in enumerate(parts):
         if part is None:
+            if registry is not None:
+                registry.counter(
+                    "repro_ensemble_chunks_serial_rerun_total",
+                    "chunks the pool never delivered, rerun in-process",
+                    deterministic=False,
+                ).inc()
             for seed in chunks[index]:
                 if shutdown is not None:
                     shutdown.check()

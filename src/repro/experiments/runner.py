@@ -9,7 +9,7 @@ it, tests assert on its ``series``, and EXPERIMENTS.md quotes its table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.metrics.ascii_plot import ascii_plot
@@ -30,6 +30,11 @@ class ExperimentResult:
         passed: Whether the claim's acceptance criterion held (the
             measured quantity respected the bound / matched the shape).
         notes: Free-form commentary (acceptance criterion, caveats).
+        obs: Optional observability export — the experiment's
+            paper-aligned metric snapshots (per-trace cells plus an
+            ``aggregate``), JSON-safe and deterministic.  ``repro run
+            --metrics`` writes these; :meth:`render` never includes
+            them, so printed artifacts are unchanged.
     """
 
     experiment_id: str
@@ -39,6 +44,7 @@ class ExperimentResult:
     series: Dict[str, List[float]] = field(default_factory=dict)
     passed: bool = True
     notes: str = ""
+    obs: Optional[Dict[str, object]] = None
 
     def render(self, plot: bool = True, logy: bool = False) -> str:
         """Table + optional ASCII figure + verdict, as printable text."""

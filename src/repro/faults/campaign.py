@@ -115,6 +115,12 @@ class CampaignConfig:
     monitors: bool = True
     check_interval: int = 64
     jobs: int = 1
+    #: Collect per-cell paper-aligned observability metrics (τ histogram,
+    #: window contention counts, lemma indicators — see
+    #: :func:`repro.obs.paper.paper_metrics`).  Part of the journal
+    #: fingerprint (it changes what workers compute), so a resumed
+    #: ``--metrics`` campaign must keep passing ``--metrics``.
+    collect_obs: bool = False
 
     def __post_init__(self) -> None:
         if not self.specs:
@@ -142,6 +148,11 @@ class FaultRunOutcome:
     distance: float
     converged: bool
     violations: Tuple[str, ...]
+    #: Paper-aligned metrics of the cell (``collect_obs`` campaigns
+    #: only).  Excluded from :meth:`CampaignReport.to_json`, so report
+    #: bytes are identical with or without observability — metrics flow
+    #: to the separate snapshot file instead.
+    obs: Optional[Dict[str, Any]] = None
 
 
 def _chaos_worker(
@@ -189,6 +200,15 @@ def _chaos_worker(
     reroutes = engine.stall_reroutes
     violations = tuple(str(v) for v in suite.violations) if suite else ()
     finished = sum(1 for t in sim.threads if t.state is ThreadState.FINISHED)
+    obs: Optional[Dict[str, Any]] = None
+    if config.collect_obs:
+        from repro.obs.paper import paper_metrics
+
+        records = sorted(
+            (e for e in sim.trace if isinstance(e, IterationRecord)),
+            key=lambda r: r.order_time,
+        )
+        obs = paper_metrics(records, num_threads=workload.num_threads)
     return FaultRunOutcome(
         spec=spec.name,
         seed=seed,
@@ -204,6 +224,7 @@ def _chaos_worker(
         distance=distance,
         converged=distance <= workload.convergence_radius,
         violations=violations,
+        obs=obs,
     )
 
 
@@ -289,9 +310,16 @@ class CampaignReport:
     def to_json(self) -> str:
         """Deterministic JSON (sorted keys, no timestamps): reruns with
         the same config produce identical bytes."""
+        outcomes = []
+        for o in self.outcomes:
+            row = asdict(o)
+            # Observability metrics live in the snapshot file, never the
+            # report: bytes stay identical with and without collect_obs.
+            row.pop("obs", None)
+            outcomes.append(row)
         payload = {
             "summaries": [asdict(s) for s in self.summaries],
-            "outcomes": [asdict(o) for o in self.outcomes],
+            "outcomes": outcomes,
             "clean": self.clean,
             "all_converged": self.all_converged,
             "passed": self.passed,
@@ -367,6 +395,7 @@ def outcome_from_payload(payload: Dict[str, Any]) -> FaultRunOutcome:
     journaled and freshly computed outcomes mix byte-identically."""
     data = dict(payload)
     data["violations"] = tuple(data.get("violations", ()))
+    data.setdefault("obs", None)
     return FaultRunOutcome(**data)
 
 
@@ -392,11 +421,48 @@ def partial_report(config: CampaignConfig, journal: Any) -> CampaignReport:
     return report_from_outcomes(outcomes)
 
 
+def campaign_metrics_lines(
+    config: CampaignConfig, outcomes: List[FaultRunOutcome]
+) -> List[Dict[str, Any]]:
+    """Snapshot-file lines for a ``collect_obs`` campaign.
+
+    One ``kind="cell"`` line per outcome that carries metrics (grid
+    order) plus one ``kind="aggregate"`` roll-up — the payload
+    ``repro chaos --metrics`` writes via
+    :func:`repro.obs.snapshot.write_snapshot_jsonl`.  Purely a function
+    of the outcomes, hence deterministic.
+    """
+    from repro.obs.paper import merge_paper_metrics
+
+    lines: List[Dict[str, Any]] = []
+    cells = []
+    for outcome in outcomes:
+        if outcome.obs is None:
+            continue
+        cells.append(outcome.obs)
+        lines.append(
+            {
+                "kind": "cell",
+                "spec": outcome.spec,
+                "seed": outcome.seed,
+                "converged": outcome.converged,
+                "crashed": outcome.crashed,
+                "respawned": outcome.respawned,
+                "steps": outcome.steps,
+                "metrics": outcome.obs,
+            }
+        )
+    lines.append({"kind": "aggregate", "metrics": merge_paper_metrics(cells)})
+    return lines
+
+
 def run_campaign(
     config: CampaignConfig,
     journal: Optional[Any] = None,
     shutdown: Optional[Any] = None,
     watchdog_policy: Optional[Any] = None,
+    metrics: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> CampaignReport:
     """Execute the full spec x seed grid and aggregate the report.
 
@@ -413,27 +479,52 @@ def run_campaign(
     by raising :class:`~repro.errors.InterruptedRunError`;
     ``watchdog_policy`` (a :class:`~repro.durable.watchdog.
     WatchdogPolicy`) guards each spec's pooled phase against stalls.
+
+    ``metrics`` (a :class:`repro.obs.registry.MetricsRegistry`) feeds
+    ensemble/watchdog telemetry and, for ``collect_obs`` configs, the
+    merged paper metrics of each freshly finished cell; ``progress``
+    (``progress(seed, outcome)``) fires per fresh cell — the live-view
+    hook.  Each spec's ensemble runs under a ``campaign.spec`` span when
+    a recorder is active.  None of this changes results or report bytes.
     """
     from repro.durable.watchdog import EnsembleWatchdog
+    from repro.obs.paper import publish_paper_metrics
+    from repro.obs.registry import live_registry
+    from repro.obs.spans import trace_span
+
+    registry = live_registry(metrics)
+
+    def note_cell(seed: int, outcome: FaultRunOutcome) -> None:
+        if registry is not None and outcome.obs is not None:
+            publish_paper_metrics(registry, outcome.obs)
+        if registry is not None:
+            registry.counter(
+                "repro_campaign_cells_total", "campaign cells finished"
+            ).inc()
+        if progress is not None:
+            progress(seed, outcome)
 
     outcomes: List[FaultRunOutcome] = []
     for spec_index, spec in enumerate(config.specs):
         watchdog = (
-            EnsembleWatchdog(watchdog_policy)
+            EnsembleWatchdog(watchdog_policy, metrics=metrics)
             if watchdog_policy is not None
             else None
         )
-        outcomes.extend(
-            run_ensemble(
-                functools.partial(_chaos_worker, config, spec_index),
-                config.seeds,
-                jobs=config.jobs,
-                journal=journal,
-                namespace=_cell_namespace(spec_index, spec),
-                encode=outcome_to_payload,
-                decode=outcome_from_payload,
-                watchdog=watchdog,
-                shutdown=shutdown,
+        with trace_span("campaign.spec", spec=spec.name, seeds=len(config.seeds)):
+            outcomes.extend(
+                run_ensemble(
+                    functools.partial(_chaos_worker, config, spec_index),
+                    config.seeds,
+                    jobs=config.jobs,
+                    journal=journal,
+                    namespace=_cell_namespace(spec_index, spec),
+                    encode=outcome_to_payload,
+                    decode=outcome_from_payload,
+                    watchdog=watchdog,
+                    shutdown=shutdown,
+                    metrics=metrics,
+                    progress=note_cell,
+                )
             )
-        )
     return report_from_outcomes(outcomes)

@@ -233,12 +233,37 @@ class FaultInjectionScheduler(Scheduler):
         self.crashes_fired = 0
         self.skipped_crashes = 0
         self.stall_reroutes = 0
+        self._m_crashes = None
+        self._m_skipped = None
+        self._m_reroutes = None
         spawn_hook = live_hook(inner, "on_spawn")
         if spawn_hook is not None:
             self.on_spawn = spawn_hook
         step_hook = live_hook(inner, "on_step")
         if step_hook is not None:
             self.on_step = step_hook
+
+    def attach_metrics(self, metrics) -> None:
+        """Wire ``repro_faults_*`` counters (fault events are rare, so
+        they are counted per event — the per-step select path stays
+        uninstrumented).  ``None``/null registry detaches."""
+        from repro.obs.registry import live_registry
+
+        registry = live_registry(metrics)
+        if registry is None:
+            self._m_crashes = self._m_skipped = self._m_reroutes = None
+            return
+        self._m_crashes = registry.counter(
+            "repro_faults_crashes_total", "injected crashes fired"
+        )
+        self._m_skipped = registry.counter(
+            "repro_faults_crashes_skipped_total",
+            "crash requests rejected by the budget guards",
+        )
+        self._m_reroutes = registry.counter(
+            "repro_faults_stall_reroutes_total",
+            "picks rerouted around stalled threads",
+        )
 
     def try_crash(self, sim, thread_id: int) -> bool:
         """Crash ``thread_id`` if every budget allows it.
@@ -251,14 +276,20 @@ class FaultInjectionScheduler(Scheduler):
             return False
         if self.crash_budget is not None and self.crashes_fired >= self.crash_budget:
             self.skipped_crashes += 1
+            if self._m_skipped is not None:
+                self._m_skipped.inc()
             return False
         # Keep one runnable thread alive: implies the model's n-1 rule
         # (crashed <= n - runnable <= n - 1) and keeps time advancing.
         if sim.runnable_count <= 1 or sim.crashed_count + 1 >= len(sim.threads):
             self.skipped_crashes += 1
+            if self._m_skipped is not None:
+                self._m_skipped.inc()
             return False
         sim.crash(thread_id)
         self.crashes_fired += 1
+        if self._m_crashes is not None:
+            self._m_crashes.inc()
         return True
 
     def select(self, sim) -> int:
@@ -273,6 +304,8 @@ class FaultInjectionScheduler(Scheduler):
             for tid, thread in enumerate(sim.threads):
                 if thread.is_runnable and tid not in stalled:
                     self.stall_reroutes += 1
+                    if self._m_reroutes is not None:
+                        self._m_reroutes.inc()
                     choice = tid
                     break
             # All runnable threads stalled: let the pick through —

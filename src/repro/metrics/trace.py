@@ -14,19 +14,35 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def _trajectory(distances: Sequence[float], name: str) -> np.ndarray:
+    """Validate a distance trajectory: empty input is a caller bug (there
+    is no iteration 0 to compare against), surfaced as a clear
+    ``ValueError`` rather than a silent ``None`` or a bare
+    ``IndexError`` deep inside numpy.  Parameter errors (bad targets)
+    stay :class:`ConfigurationError`; the two are deliberately distinct
+    exception types."""
+    array = np.asarray(list(distances), dtype=float)
+    if array.size == 0:
+        raise ValueError(
+            f"empty {name} trajectory: need at least the starting point"
+        )
+    return array
+
+
 def iterations_to_reach(
     distances: Sequence[float], target_distance: float
 ) -> Optional[int]:
     """First index t with distances[t] ≤ target, or ``None`` if never.
 
     ``distances`` is a distance-to-optimum trajectory indexed by
-    iteration (entry 0 = starting point).
+    iteration (entry 0 = starting point).  Raises ``ValueError`` for an
+    empty trajectory.
     """
     if target_distance < 0:
         raise ConfigurationError(
             f"target_distance must be >= 0, got {target_distance}"
         )
-    array = np.asarray(list(distances), dtype=float)
+    array = _trajectory(distances, "distances")
     hits = np.nonzero(array <= target_distance)[0]
     return int(hits[0]) if hits.size else None
 
@@ -46,9 +62,7 @@ def iterations_to_stay_below(
         raise ConfigurationError(
             f"target_distance must be >= 0, got {target_distance}"
         )
-    array = np.asarray(list(distances), dtype=float)
-    if array.size == 0:
-        return None
+    array = _trajectory(distances, "distances")
     above = np.nonzero(array > target_distance)[0]
     if above.size == 0:
         return 0
@@ -65,8 +79,12 @@ def slowdown_ratio(
 
     Returns ``None`` when either trajectory never reaches the target
     (the attacked run "failing to converge" is reported as None rather
-    than infinity so callers can count it separately).
+    than infinity so callers can count it separately).  Empty
+    trajectories raise ``ValueError`` — there is no ratio to report and
+    no run to have failed.
     """
+    _trajectory(attacked_distances, "attacked_distances")
+    _trajectory(baseline_distances, "baseline_distances")
     attacked = iterations_to_reach(attacked_distances, target_distance)
     baseline = iterations_to_reach(baseline_distances, target_distance)
     if attacked is None or baseline is None or baseline == 0:
@@ -109,7 +127,7 @@ def log_progress_rate(distances: Sequence[float]) -> float:
     rates (log((1−α)^τ) vs log(α/2) per attack round).  Zero-distance
     entries are clipped to avoid −inf.
     """
-    array = np.asarray(list(distances), dtype=float)
+    array = _trajectory(distances, "distances")
     if array.size < 2:
         raise ConfigurationError("need at least two trajectory points")
     clipped = np.maximum(array, 1e-300)

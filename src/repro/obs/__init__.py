@@ -1,0 +1,68 @@
+"""Observability: run-time metrics, paper-aligned derived quantities,
+span tracing, snapshot files and text views (DESIGN.md §13).
+
+The package splits telemetry along the repo's determinism boundary:
+
+* deterministic metrics (pure functions of the seeded simulation) may
+  enter byte-identity-checked snapshot files;
+* wall-clock telemetry (span durations, pool/watchdog weather) lives in
+  the live ``repro top`` view and the Chrome-trace dump only.
+"""
+
+from repro.obs.paper import (
+    PaperTracker,
+    merge_paper_metrics,
+    paper_metrics,
+    publish_paper_metrics,
+    tau_histogram_buckets,
+)
+from repro.obs.registry import (
+    NULL,
+    TAU_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    live_registry,
+)
+from repro.obs.snapshot import (
+    load_snapshot_jsonl,
+    prometheus_exposition,
+    write_snapshot_jsonl,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    get_span_recorder,
+    set_span_recorder,
+    trace_span,
+)
+from repro.obs.top import TopView, render_metrics_block, render_snapshot_lines
+
+__all__ = [
+    "NULL",
+    "TAU_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "PaperTracker",
+    "Span",
+    "SpanRecorder",
+    "TopView",
+    "get_span_recorder",
+    "live_registry",
+    "load_snapshot_jsonl",
+    "merge_paper_metrics",
+    "paper_metrics",
+    "prometheus_exposition",
+    "publish_paper_metrics",
+    "render_metrics_block",
+    "render_snapshot_lines",
+    "set_span_recorder",
+    "tau_histogram_buckets",
+    "trace_span",
+    "write_snapshot_jsonl",
+]

@@ -1,0 +1,143 @@
+"""Span tracing: wall-clock profiling of the harness, never the model.
+
+A span covers one harness phase — an epoch, a ``run_fast`` chunk, a
+journal replay, a campaign cell — with parent/child nesting and
+monotonic-clock durations.  Spans answer "where did the wall-clock go?",
+which the deterministic artifacts can never answer (and must never try:
+wall-clock durations are banned from byte-identity-checked reports by
+lint rule ``RPD204``).  Span dumps therefore live in their own Chrome
+trace file (``chrome://tracing`` / Perfetto ``traceEvents`` format),
+separate from the metric snapshots.
+
+Usage::
+
+    recorder = SpanRecorder()
+    set_span_recorder(recorder)
+    with trace_span("campaign.spec", spec="prob-crash"):
+        ...
+    recorder.write_chrome_trace("trace.json")
+
+:func:`trace_span` is a no-op when no recorder is installed, so
+instrumented drivers cost nothing in normal runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.durable.atomic_io import atomic_write
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float  # monotonic seconds
+    end: Optional[float] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+
+class SpanRecorder:
+    """Collects spans with parent/child ids off an injectable clock.
+
+    The default clock is ``time.monotonic`` — this is harness-level
+    profiling, deliberately outside the simulated
+    :class:`~repro.runtime.clock.Clock`; tests inject a fake clock for
+    deterministic assertions.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.monotonic  # repro: allow(RPD201)
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **args: object):
+        """Open a child span of the innermost active span."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            start=self._clock(),
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span.span_id)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self._clock()
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """The ``traceEvents`` payload Chrome/Perfetto load directly.
+
+        Complete events (``ph: "X"``) with microsecond timestamps
+        relative to the first span; parent ids ride in ``args`` so the
+        hierarchy survives tools that flatten by timestamp.
+        """
+        origin = self.spans[0].start if self.spans else 0.0
+        events = []
+        for span in self.spans:
+            end = span.end if span.end is not None else span.start
+            args = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.args)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start - origin) * 1e6, 3),
+                    "dur": round((end - span.start) * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        """Atomically dump :meth:`chrome_trace` as JSON."""
+        payload = json.dumps(self.chrome_trace(), indent=2, sort_keys=True)
+        atomic_write(path, (payload + "\n").encode("utf-8"))
+
+
+#: The process-wide active recorder (None = tracing off).
+_ACTIVE: Optional[SpanRecorder] = None
+
+
+def set_span_recorder(recorder: Optional[SpanRecorder]) -> None:
+    """Install (or clear, with ``None``) the active recorder."""
+    global _ACTIVE
+    _ACTIVE = recorder
+
+
+def get_span_recorder() -> Optional[SpanRecorder]:
+    return _ACTIVE
+
+
+@contextmanager
+def trace_span(name: str, **args: object):
+    """Span the enclosed block on the active recorder (no-op without
+    one) — the one-liner instrumented drivers use."""
+    recorder = _ACTIVE
+    if recorder is None:
+        yield None
+        return
+    with recorder.span(name, **args) as span:
+        yield span

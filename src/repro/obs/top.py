@@ -1,0 +1,168 @@
+"""Curses-free text views: ASCII histograms, snapshot rendering, and
+the periodic ``repro top``-style live view.
+
+Everything here renders to plain text — no terminal control beyond
+newlines — so it works identically in CI logs, pipes and dumb
+terminals.  :class:`TopView` is the live side (wall-clock gated,
+written to stderr, explicitly *not* deterministic);
+:func:`render_snapshot_lines` is the offline side ``python -m repro
+obs`` uses on snapshot files (pure text over deterministic input, so
+its output is deterministic too).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+_BAR_WIDTH = 30
+
+
+def ascii_bar(count: int, maximum: int, width: int = _BAR_WIDTH) -> str:
+    """A ``#``-bar scaled to ``maximum`` (non-empty counts always show
+    at least one mark)."""
+    if maximum <= 0 or count <= 0:
+        return ""
+    return "#" * max(1, round(width * count / maximum))
+
+
+def render_histogram_rows(
+    buckets: Sequence[Sequence[object]], indent: str = "  "
+) -> List[str]:
+    """Rows for a cumulative ``le``-bucket list (de-cumulated bars)."""
+    per_bucket: List[int] = []
+    previous = 0
+    for _le, cumulative in buckets:
+        per_bucket.append(int(cumulative) - previous)
+        previous = int(cumulative)
+    top = max(per_bucket) if per_bucket else 0
+    rows = []
+    for (le, _cumulative), count in zip(buckets, per_bucket):
+        label = f"le {le}".rjust(8)
+        rows.append(f"{indent}{label}  {str(count).rjust(7)}  {ascii_bar(count, top)}")
+    return rows
+
+
+def render_metrics_block(metrics: Dict[str, object], indent: str = "  ") -> List[str]:
+    """Rows for one metrics dict: scalars first, histogram bars after."""
+    rows = []
+    for key in sorted(metrics):
+        value = metrics[key]
+        if key == "tau_histogram":
+            continue
+        if key == "window_counts":
+            values = list(value) if isinstance(value, list) else []
+            if values:
+                rows.append(
+                    f"{indent}{key}: {len(values)} window(s), "
+                    f"max {max(values)}"
+                )
+            continue
+        rows.append(f"{indent}{key}: {value}")
+    histogram = metrics.get("tau_histogram")
+    if histogram:
+        rows.append(f"{indent}tau_histogram:")
+        rows.extend(render_histogram_rows(histogram, indent=indent + "  "))
+    return rows
+
+
+def render_snapshot_lines(lines: Sequence[Dict[str, object]]) -> str:
+    """The ``repro obs`` text rendering of a snapshot file."""
+    rows: List[str] = []
+    for line in lines:
+        kind = line.get("kind", "?")
+        if kind == "cell":
+            header = f"cell spec={line.get('spec')} seed={line.get('seed')}"
+            extras = [
+                f"{key}={line[key]}"
+                for key in ("converged", "crashed", "respawned", "steps")
+                if key in line
+            ]
+            if extras:
+                header += "  " + " ".join(extras)
+            rows.append(header)
+            metrics = line.get("metrics") or {}
+            summary = [
+                f"{key}={metrics[key]}"
+                for key in (
+                    "iterations",
+                    "tau_max",
+                    "window_bad_max",
+                    "indicator_sum_max",
+                )
+                if key in metrics
+            ]
+            if summary:
+                rows.append("  " + " ".join(summary))
+        elif kind == "aggregate":
+            rows.append("aggregate")
+            rows.extend(render_metrics_block(line.get("metrics") or {}))
+        elif kind == "experiment":
+            rows.append(
+                f"experiment {line.get('id')}  passed={line.get('passed')}"
+            )
+            rows.extend(render_metrics_block(line.get("metrics") or {}))
+        elif kind == "run":
+            rows.append(
+                f"run {line.get('label')}  findings={line.get('findings')} "
+                f"certificates_ok={line.get('certificates_ok')}"
+            )
+        else:
+            rows.append(f"{kind}: {line}")
+    rows.append(f"{len(lines)} snapshot line(s)")
+    return "\n".join(rows)
+
+
+class TopView:
+    """Periodic plain-text view of a live registry (``repro top`` style).
+
+    Renders at most once per ``interval`` wall-clock seconds (the clock
+    is injectable for tests).  Output goes to ``stream`` (stderr by
+    default) and deliberately includes *all* instruments — wall-clock
+    ones too — because a live view is telemetry, not an artifact.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float = 2.0,
+        stream=None,
+        clock: Optional[Callable[[], float]] = None,
+        title: str = "repro top",
+    ) -> None:
+        self.registry = registry
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock if clock is not None else time.monotonic  # repro: allow(RPD201)
+        self.title = title
+        self._last_render: Optional[float] = None
+        self.renders = 0
+
+    def render_text(self) -> str:
+        rows = [f"-- {self.title} --"]
+        for instrument in self.registry.instruments():
+            if isinstance(instrument, Histogram):
+                sample = instrument.sample()
+                rows.append(f"{instrument.name} (count={sample['count']})")
+                rows.extend(render_histogram_rows(sample["buckets"]))
+            else:
+                rows.append(f"{instrument.name} {instrument.sample()}")
+        return "\n".join(rows)
+
+    def maybe_render(self, force: bool = False) -> bool:
+        """Render if ``interval`` elapsed since the last render (or
+        ``force``).  Returns whether it rendered."""
+        now = self._clock()
+        if (
+            not force
+            and self._last_render is not None
+            and now - self._last_render < self.interval
+        ):
+            return False
+        self._last_render = now
+        self.renders += 1
+        print(self.render_text(), file=self.stream, flush=True)
+        return True

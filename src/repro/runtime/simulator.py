@@ -97,10 +97,47 @@ class Simulator:
         self._crashed_count = 0
         self._runnable_count = 0
         self._analyzers: List[Any] = []
+        # Telemetry (repro.obs) — None until attach_metrics(); the hot
+        # loops only ever do bulk increments at run()/run_fast() exit.
+        self.metrics: Optional[Any] = None
+        self._m_steps: Optional[Any] = None
+        self._m_spawned: Optional[Any] = None
+        self._m_crashed: Optional[Any] = None
         # Hooks are resolved once: schedulers that inherit the base class
         # no-ops (or define no hook at all) pay nothing per spawn/step.
         self._on_spawn = live_hook(scheduler, "on_spawn")
         self._on_step = live_hook(scheduler, "on_step")
+
+    # ------------------------------------------------------------------
+    # Telemetry (repro.obs — bulk counters, hot loops untouched)
+    # ------------------------------------------------------------------
+    def attach_metrics(self, metrics: Any) -> None:
+        """Wire a :class:`repro.obs.registry.MetricsRegistry` in.
+
+        ``None`` and the null backend detach cleanly; a live registry
+        gets ``repro_sim_*`` counters that are incremented in bulk at
+        :meth:`run`/:meth:`run_fast` exit and per event for the rare
+        spawn/crash transitions — never inside the step loop.  Also
+        forwards to :meth:`SharedMemory.attach_metrics` for per-opcode
+        operation counters.
+        """
+        from repro.obs.registry import live_registry
+
+        registry = live_registry(metrics)
+        self.metrics = registry
+        if registry is None:
+            self._m_steps = self._m_spawned = self._m_crashed = None
+        else:
+            self._m_steps = registry.counter(
+                "repro_sim_steps_total", "shared-memory steps executed"
+            )
+            self._m_spawned = registry.counter(
+                "repro_sim_threads_spawned_total", "threads spawned"
+            )
+            self._m_crashed = registry.counter(
+                "repro_sim_threads_crashed_total", "threads crashed by the adversary"
+            )
+        self.memory.attach_metrics(registry)
 
     # ------------------------------------------------------------------
     # Thread management
@@ -119,6 +156,8 @@ class Simulator:
         )
         if self._on_spawn is not None:
             self._on_spawn(self, thread)
+        if self._m_spawned is not None:
+            self._m_spawned.inc()
         return thread
 
     def crash(self, thread_id: int) -> None:
@@ -143,6 +182,8 @@ class Simulator:
         self._crashed_count += 1
         self._runnable_count -= 1
         self.trace.append(CrashEvent(time=self.clock.now, thread_id=thread_id))
+        if self._m_crashed is not None:
+            self._m_crashed.inc()
 
     def _thread(self, thread_id: int) -> SimThread:
         if not 0 <= thread_id < len(self.threads):
@@ -255,6 +296,8 @@ class Simulator:
                 break
             self.step()
             executed += 1
+        if self._m_steps is not None and executed:
+            self._m_steps.inc(executed)
         return executed
 
     def run_fast(self, max_steps: Optional[int] = None) -> int:
@@ -339,6 +382,8 @@ class Simulator:
             # correctly.
             if applied_fast:
                 memory._seq += applied_fast
+        if self._m_steps is not None and executed:
+            self._m_steps.inc(executed)
         return executed
 
     # ------------------------------------------------------------------

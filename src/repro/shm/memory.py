@@ -66,12 +66,24 @@ class SharedMemory:
         5.0
     """
 
+    #: Opcode → metric-name fragment for :meth:`attach_metrics`.
+    _OP_NAMES = (
+        "read",
+        "write",
+        "fetch_add",
+        "compare_and_swap",
+        "dcss",
+        "guarded_fetch_add",
+        "noop",
+    )
+
     def __init__(self, record_log: bool = True) -> None:
         self._values: List[float] = []
         self._segments: Dict[str, _Segment] = {}
         self.record_log = record_log
         self.log: List[LogRecord] = []
         self._seq = 0
+        self._op_counters: Optional[List[Any]] = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -127,6 +139,31 @@ class SharedMemory:
         self._values[address] = value
 
     # ------------------------------------------------------------------
+    # Telemetry (repro.obs)
+    # ------------------------------------------------------------------
+    def attach_metrics(self, metrics: Any) -> None:
+        """Wire per-opcode operation counters into :meth:`execute`.
+
+        ``None``/null registry detaches.  Note the scope: the
+        ``run_fast()`` elided path dispatches straight off the opcode
+        table and bypasses :meth:`execute`, so opcode counters are only
+        populated on the standard (logged) path — by design, the hot
+        loop is never instrumented per step.
+        """
+        from repro.obs.registry import live_registry
+
+        registry = live_registry(metrics)
+        if registry is None:
+            self._op_counters = None
+            return
+        self._op_counters = [
+            registry.counter(
+                f"repro_shm_op_{name}_total", f"{name} operations applied"
+            )
+            for name in self._OP_NAMES
+        ]
+
+    # ------------------------------------------------------------------
     # The one and only mutation path for simulated threads
     # ------------------------------------------------------------------
     def execute(self, op: Operation, time: int = -1, thread_id: int = -1) -> Any:
@@ -137,6 +174,10 @@ class SharedMemory:
         drives one scheduled step at a time.
         """
         result = self._apply(op)
+        if self._op_counters is not None:
+            opcode = getattr(op, "opcode", -1)
+            if 0 <= opcode < len(self._op_counters):
+                self._op_counters[opcode].inc()
         if self.record_log:
             if time < 0:
                 time = self._seq

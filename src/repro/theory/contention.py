@@ -178,6 +178,49 @@ def max_incomplete_iterations(records: Sequence[IterationRecord]) -> int:
     return worst
 
 
+def lemma_6_2_window_counts(
+    records: Sequence[IterationRecord],
+    window_multiplier: int,
+    num_threads: int,
+    stride: int = 0,
+) -> List[int]:
+    """Per-window bad-iteration counts (Lemma 6.2's raw measurements).
+
+    Same classification as :func:`lemma_6_2_violations`, but returns the
+    bad count of *every* window checked, in start-order — the live
+    contention telemetry (``repro.obs``) streams exactly this list, and
+    :func:`lemma_6_2_max_bad` reduces it to the certified extremes.
+
+    Returns an empty list when the trace is too short for even one
+    window.
+    """
+    if window_multiplier < 1:
+        raise ConfigurationError(
+            f"window_multiplier must be >= 1, got {window_multiplier}"
+        )
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    by_start = sorted(records, key=lambda r: r.start_time)
+    total = len(by_start)
+    window = window_multiplier * num_threads
+    if total < window:
+        return []
+    starts = np.array([r.start_time for r in by_start], dtype=np.int64)
+    ends = np.array([r.end_time for r in by_start], dtype=np.int64)
+    started_by_end = np.searchsorted(starts, ends, side="right")
+    started_by_start = np.searchsorted(starts, starts, side="right")
+    is_bad = (started_by_end - started_by_start) > window
+
+    counts: List[int] = []
+    step = stride if stride >= 1 else window
+    for left in range(0, total - window + 1, step):
+        interval_lo = starts[left]
+        interval_hi = starts[left + window - 1]
+        completes_inside = (ends >= interval_lo) & (ends <= interval_hi)
+        counts.append(int(np.count_nonzero(is_bad & completes_inside)))
+    return counts
+
+
 def lemma_6_2_max_bad(
     records: Sequence[IterationRecord],
     window_multiplier: int,
@@ -194,33 +237,12 @@ def lemma_6_2_max_bad(
         (max_bad_count, windows_checked); (0, 0) when the trace is too
         short for even one window.
     """
-    if window_multiplier < 1:
-        raise ConfigurationError(
-            f"window_multiplier must be >= 1, got {window_multiplier}"
-        )
-    if num_threads < 1:
-        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
-    by_start = sorted(records, key=lambda r: r.start_time)
-    total = len(by_start)
-    window = window_multiplier * num_threads
-    if total < window:
+    counts = lemma_6_2_window_counts(
+        records, window_multiplier, num_threads, stride=stride
+    )
+    if not counts:
         return 0, 0
-    starts = np.array([r.start_time for r in by_start], dtype=np.int64)
-    ends = np.array([r.end_time for r in by_start], dtype=np.int64)
-    started_by_end = np.searchsorted(starts, ends, side="right")
-    started_by_start = np.searchsorted(starts, starts, side="right")
-    is_bad = (started_by_end - started_by_start) > window
-
-    worst = 0
-    windows = 0
-    step = stride if stride >= 1 else window
-    for left in range(0, total - window + 1, step):
-        interval_lo = starts[left]
-        interval_hi = starts[left + window - 1]
-        completes_inside = (ends >= interval_lo) & (ends <= interval_hi)
-        worst = max(worst, int(np.count_nonzero(is_bad & completes_inside)))
-        windows += 1
-    return worst, windows
+    return max(counts), len(counts)
 
 
 def lemma_6_4_sums(delays: np.ndarray) -> np.ndarray:

@@ -299,6 +299,29 @@ def wobble(items):
         pass
 '''
 
+WALL_CLOCK_REPORT_FIXTURE = '''
+class Report:
+    def to_json(self):
+        return {"steps": self.steps, "wall_secs": self.wall_secs}
+
+    def as_dict(self):
+        def rows():
+            return [{"elapsed": 1.0}]
+        return {"rows": rows(), "label": self.label}
+
+def helper():
+    # Same key names outside a report builder: not RPD204's business.
+    return {"duration": 3, "monotonic": 4}
+'''
+
+WALL_CLOCK_REPORT_PRAGMA_FIXTURE = '''
+def to_payload(run):
+    return {
+        "wall_secs": run.wall,  # repro: allow(RPD204)
+        "steps": run.steps,
+    }
+'''
+
 
 class TestLint:
     def test_wall_clock_is_flagged(self):
@@ -325,6 +348,22 @@ class TestLint:
     def test_set_iteration_is_flagged(self):
         findings = lint_source(SET_ITERATION_FIXTURE, path="fixture.py")
         assert sum(1 for f in findings if f.rule == "RPD203") == 2
+
+    def test_wall_clock_report_keys_are_flagged(self):
+        findings = lint_source(WALL_CLOCK_REPORT_FIXTURE, path="fixture.py")
+        hits = [f for f in findings if f.rule == "RPD204"]
+        # to_json's wall_secs + the nested helper's elapsed inside
+        # as_dict; the free helper() dict is exempt.
+        assert len(hits) == 2
+        assert any("'wall_secs'" in f.message for f in hits)
+        assert any("'elapsed'" in f.message for f in hits)
+        assert all("helper" not in f.message for f in hits)
+
+    def test_wall_clock_report_pragma_suppresses(self):
+        findings = lint_source(
+            WALL_CLOCK_REPORT_PRAGMA_FIXTURE, path="fixture.py"
+        )
+        assert not [f for f in findings if f.rule == "RPD204"]
 
     def test_repo_sources_are_clean(self):
         findings = lint_paths(["src/repro"])

@@ -137,6 +137,27 @@ class TestTrace:
         with pytest.raises(ConfigurationError):
             log_progress_rate([1.0])
 
+    def test_empty_trajectories_raise_value_error(self):
+        # Empty inputs are caller bugs, reported as a clear ValueError —
+        # never a silent None and never a bare IndexError from numpy.
+        with pytest.raises(ValueError, match="empty distances"):
+            iterations_to_reach([], 1.0)
+        with pytest.raises(ValueError, match="empty distances"):
+            iterations_to_stay_below([], 1.0)
+        with pytest.raises(ValueError, match="attacked_distances"):
+            slowdown_ratio([], [4, 1], 1.0)
+        with pytest.raises(ValueError, match="baseline_distances"):
+            slowdown_ratio([4, 1], [], 1.0)
+        with pytest.raises(ValueError, match="empty distances"):
+            log_progress_rate([])
+
+    def test_empty_guard_is_not_configuration_error(self):
+        # The two failure families stay distinct: parameter errors are
+        # ConfigurationError, empty-input errors are plain ValueError.
+        with pytest.raises(ValueError) as excinfo:
+            iterations_to_reach([], 0.5)
+        assert not isinstance(excinfo.value, ConfigurationError)
+
 
 class TestTable:
     def test_render_alignment(self):
