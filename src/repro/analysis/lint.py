@@ -6,8 +6,12 @@ and flags, without executing anything:
 * **atomicity hazards** in simulated programs — generator functions that
   yield :class:`~repro.shm.ops.Operation` descriptors and both read and
   plainly write the same shared handle (the lost-update pattern the
-  sanitizer catches dynamically, rule ``RPL101``), and yields of values
-  that are plainly not operations (``RPL102``);
+  sanitizer catches dynamically, rule ``RPL101``), yields of values
+  that are plainly not operations (``RPL102``), and direct mutation of
+  shared handles from inside a program — subscript stores,
+  ``.load()``/``.poke()``/``.store()`` calls or raw ``._values``
+  access, all of which bypass the scheduler and the op log
+  (``RPL103``);
 * **determinism hazards** anywhere in the tree — wall-clock reads
   (``RPD201``), draws from the global ``random`` / ``numpy.random``
   singletons instead of seeded :class:`~repro.runtime.rng.RngStream`
@@ -41,6 +45,11 @@ RULES: Dict[str, str] = {
     ),
     "RPL102": (
         "program yields a value that is not an Operation descriptor"
+    ),
+    "RPL103": (
+        "program mutates a shared handle outside the op DSL (subscript "
+        "assignment, .load()/.poke()/.store(), or ._values access): "
+        "such writes bypass the scheduler, the op log and the analyzers"
     ),
     "RPD201": (
         "wall-clock read (time.time/perf_counter/datetime.now ...): "
@@ -108,6 +117,10 @@ _STDLIB_RANDOM_DRAWS = {
     "betavariate",
     "expovariate",
 }
+
+#: Methods that mutate a shared handle directly, bypassing the op DSL
+#: (legitimate in drivers before/after a run, never inside a program).
+_DIRECT_MUTATORS = {"load", "poke", "store"}
 
 #: Functions whose return value is (by repo convention) a serialized
 #: report payload whose bytes CI pins — the places RPD204 watches.
@@ -353,6 +366,7 @@ class _Linter(ast.NodeVisitor):
             return
         reads: Dict[str, int] = {}
         writes: List[Tuple[str, int]] = []
+        op_receivers: Set[str] = set()
         for value in _yield_values(node):
             if _is_constant_expression(value):
                 self._flag(
@@ -380,6 +394,7 @@ class _Linter(ast.NodeVisitor):
                     )
             if receiver is None or accessor is None:
                 continue
+            op_receivers.add(receiver)
             if accessor in ("read_op", "read_count_op"):
                 reads.setdefault(receiver, value.lineno)
             elif accessor == "write_op":
@@ -394,6 +409,80 @@ class _Linter(ast.NodeVisitor):
                     f"plainly writes it — concurrent updates in between "
                     f"are lost; use fetch_add_op or cas_op",
                 )
+        self._check_direct_mutation(node, op_receivers)
+
+    def _check_direct_mutation(
+        self,
+        function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        receivers: Set[str],
+    ) -> None:
+        """RPL103: inside an op-yielding program, shared handles the
+        program addresses through the DSL must never be mutated directly
+        — a subscript store, ``.load()``/``.poke()``/``.store()``, or a
+        reach into ``._values`` skips the scheduler interleaving, the
+        operation log and every analyzer built on them."""
+        linter = self
+
+        class _Mutations(ast.NodeVisitor):
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                if node is not function:
+                    return  # nested defs lint on their own
+                self.generic_visit(node)
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                return
+
+            def _check_target(self, target: ast.expr) -> None:
+                if isinstance(target, ast.Subscript):
+                    name = _dotted_name(target.value)
+                    if name is not None and name in receivers:
+                        linter._flag(
+                            "RPL103",
+                            target.lineno,
+                            f"direct subscript store into shared handle "
+                            f"{name!r}: model coordinates must change "
+                            f"through yielded shm ops only",
+                        )
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                for target in node.targets:
+                    self._check_target(target)
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                self._check_target(node.target)
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _DIRECT_MUTATORS
+                ):
+                    name = _dotted_name(func.value)
+                    if name is not None and name in receivers:
+                        linter._flag(
+                            "RPL103",
+                            node.lineno,
+                            f"direct mutation {name}.{func.attr}(...) of a "
+                            f"shared handle inside a program: bulk stores "
+                            f"belong in the driver, before the run",
+                        )
+                self.generic_visit(node)
+
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                if node.attr == "_values":
+                    linter._flag(
+                        "RPL103",
+                        node.lineno,
+                        "program reaches into raw memory storage "
+                        "(._values): every access must be a yielded op",
+                    )
+                self.generic_visit(node)
+
+        _Mutations().visit(function)
 
     @staticmethod
     def _address_argument(call: ast.Call) -> Optional[str]:

@@ -45,9 +45,7 @@ from repro.objectives.noise import GaussianNoise
 from repro.objectives.quadratic import IsotropicQuadratic
 from repro.runtime.simulator import Simulator
 from repro.sched.base import Scheduler
-from repro.sched.contention_max import ContentionMaximizer
-from repro.sched.random_sched import RandomScheduler
-from repro.sched.stale_attack import StaleGradientAttack
+from repro.sched.registry import build_scheduler as _build_registered_scheduler
 from repro.shm.array import AtomicArray
 from repro.shm.counter import AtomicCounter
 from repro.shm.memory import SharedMemory
@@ -114,14 +112,13 @@ def sanitize_presets() -> Dict[str, SanitizePreset]:
 
 
 def build_scheduler(kind: str, seed: int) -> Scheduler:
-    """Instantiate one of the sanitize grid's scheduler kinds."""
-    if kind == "random":
-        return RandomScheduler(seed=seed)
-    if kind == "stale-attack":
-        return StaleGradientAttack(victim=1, runner=0, delay=8)
-    if kind == "contention-max":
-        return ContentionMaximizer()
-    raise ConfigurationError(f"unknown sanitize scheduler kind: {kind!r}")
+    """Instantiate one of the sanitize grid's scheduler kinds.
+
+    Thin delegate to the shared :mod:`repro.sched.registry` factory —
+    kept as a name so existing callers (and journal fingerprints built
+    before the registry existed) keep working unchanged.
+    """
+    return _build_registered_scheduler(kind, seed=seed)
 
 
 def _analyze(sim, sanitizer, records, preset, label, steps):

@@ -8,6 +8,7 @@ code::
     python -m repro run E5 --scale full    # EXPERIMENTS.md-scale
     python -m repro run all --out results/ # every experiment, files per id
     python -m repro chaos --seeds 4        # seeded fault campaign
+    python -m repro zoo                    # every algorithm x every adversary
     python -m repro sanitize               # race/staleness sanitizer presets
     python -m repro lint src/repro         # program-DSL / determinism lint
 """
@@ -34,6 +35,7 @@ from repro.experiments import (
     e10_momentum,
     e11_dense_gradients,
     e12_sparsity,
+    e13_algorithm_zoo,
     f1_figure,
 )
 
@@ -51,6 +53,7 @@ REGISTRY: Dict[str, Tuple[object, type]] = {
     "E10": (e10_momentum, e10_momentum.E10Config),
     "E11": (e11_dense_gradients, e11_dense_gradients.E11Config),
     "E12": (e12_sparsity, e12_sparsity.E12Config),
+    "E13": (e13_algorithm_zoo, e13_algorithm_zoo.E13Config),
     "F1": (f1_figure, f1_figure.F1Config),
     "A1": (a1_ablations, a1_ablations.A1Config),
     "A2": (a2_consistency, a2_consistency.A2Config),
@@ -225,6 +228,20 @@ def _resume_invocation(command: str, args: argparse.Namespace) -> str:
         # campaign must resume with --metrics as well.
         if args.metrics is not None:
             parts += ["--metrics", args.metrics]
+    elif command == "zoo":
+        parts += [
+            "--algorithms", args.algorithms,
+            "--adversaries", args.adversaries,
+            "--seeds", str(args.seeds),
+            "--base-seed", str(args.base_seed),
+            "--threads", str(args.threads),
+            "--iterations", str(args.iterations),
+        ]
+        if args.no_sanitize:
+            parts.append("--no-sanitize")
+        # collect_obs is part of the journal fingerprint (see chaos).
+        if args.metrics is not None:
+            parts += ["--metrics", args.metrics]
     else:
         parts += [
             "--presets", args.presets,
@@ -385,6 +402,114 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         report.write(str(out_dir / "chaos_report.txt"), "txt")
         report.write(str(out_dir / "chaos_report.json"), "json")
+    return 0 if report.passed else 1
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    """Run the algorithm zoo grid: every selected algorithm under every
+    selected adversary, seed-ensembled, with lemma certificates and the
+    race/staleness sanitizer attached.
+
+    Exit code 1 when any applicable certificate is violated or the
+    sanitizer flags anything (what the CI zoo job pins); 0 otherwise.
+    ``--journal``/``--resume`` give durable kill/resume at cell
+    granularity with byte-identical final reports, and ``--jobs``
+    parallelizes without changing a byte either.
+    """
+    from repro.core.algorithm import algorithm_names
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import ConfigurationError, InterruptedRunError
+    from repro.experiments.e13_algorithm_zoo import (
+        ZooConfig,
+        ZooWorkload,
+        partial_zoo_report,
+        run_zoo,
+        zoo_fingerprint,
+        zoo_metrics_lines,
+    )
+
+    algorithms = (
+        algorithm_names()
+        if args.algorithms == "all"
+        else tuple(n.strip() for n in args.algorithms.split(",") if n.strip())
+    )
+    adversaries = tuple(
+        n.strip() for n in args.adversaries.split(",") if n.strip()
+    )
+    try:
+        config = ZooConfig(
+            algorithms=algorithms,
+            adversaries=adversaries,
+            seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+            workload=ZooWorkload(
+                num_threads=args.threads, iterations=args.iterations
+            ),
+            sanitize=not args.no_sanitize,
+            jobs=args.jobs if args.jobs is not None else 1,
+            collect_obs=args.metrics is not None,
+        )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    registry = top = None
+    if args.metrics is not None or args.metrics_interval is not None:
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.top import TopView
+
+        registry = MetricsRegistry()
+        if args.metrics_interval is not None:
+            top = TopView(
+                registry, interval=args.metrics_interval, title="repro zoo"
+            )
+
+    def on_cell(_seed, _outcome) -> None:
+        if top is not None:
+            top.maybe_render()
+
+    journal, exit_code = _open_journal(args, zoo_fingerprint(config))
+    if exit_code is not None:
+        return exit_code
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_zoo(
+                config,
+                journal=journal,
+                shutdown=shutdown,
+                metrics=registry,
+                progress=on_cell,
+            )
+    except InterruptedRunError as error:
+        return _interrupted(
+            "zoo",
+            args,
+            error,
+            journal,
+            lambda: partial_zoo_report(config, journal),
+            "zoo_report",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if top is not None:
+        top.maybe_render(force=True)
+    text = report.render()
+    print(text)
+    if args.metrics is not None:
+        from repro.obs.snapshot import write_snapshot_jsonl
+
+        lines = zoo_metrics_lines(config, report.outcomes)
+        write_snapshot_jsonl(args.metrics, lines)
+        print(
+            f"metric snapshot ({len(lines)} line(s)) written to "
+            f"{args.metrics}; inspect with: python -m repro obs "
+            f"{args.metrics}",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report.write(str(out_dir / "zoo_report.txt"), "txt")
+        report.write(str(out_dir / "zoo_report.json"), "json")
     return 0 if report.passed else 1
 
 
@@ -682,6 +807,76 @@ def build_parser() -> argparse.ArgumentParser:
         "dump a Chrome-trace JSON here (load in chrome://tracing)",
     )
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    zoo_parser = subparsers.add_parser(
+        "zoo",
+        help="run every registered algorithm under every adversary "
+        "(lemma certificates + sanitizer per cell) and report the grid",
+    )
+    zoo_parser.add_argument(
+        "--algorithms", default="all",
+        help="comma-separated registry names (see repro.core.algorithm), "
+        "or 'all' (default): epoch-sgd, full-sgd, hogwild, leashed, "
+        "locked, momentum, staleness-aware",
+    )
+    zoo_parser.add_argument(
+        "--adversaries",
+        default="round-robin,random,bounded-delay,stale-attack,contention-max",
+        help="comma-separated scheduler registry names "
+        "(see repro.sched.registry)",
+    )
+    zoo_parser.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per (algorithm, adversary) cell (default 2)",
+    )
+    zoo_parser.add_argument(
+        "--base-seed", type=int, default=7000, metavar="S",
+        help="first seed of each cell's ensemble (default 7000)",
+    )
+    zoo_parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="SGD threads per run (default 4)",
+    )
+    zoo_parser.add_argument(
+        "--iterations", type=int, default=200, metavar="T",
+        help="global iteration budget per run (default 200)",
+    )
+    zoo_parser.add_argument(
+        "--no-sanitize", action="store_true",
+        help="skip the race/staleness sanitizer (faster; certificates "
+        "still checked)",
+    )
+    zoo_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the grid (1 = serial, 0 = one per "
+        "CPU); reports are byte-identical for any value",
+    )
+    zoo_parser.add_argument(
+        "--out", default=None,
+        help="directory to write zoo_report.{txt,json} to",
+    )
+    zoo_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable run journal (JSONL): completed cells are recorded "
+        "as they finish, so a killed run can be resumed",
+    )
+    zoo_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal, skipping already-completed cells; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
+    zoo_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect each cell's paper-aligned metrics (tau histogram, "
+        "window contention, lemma indicators) and write a deterministic "
+        "snapshot JSONL here (inspect with 'repro obs')",
+    )
+    zoo_parser.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECS",
+        help="render a live 'repro top'-style text view to stderr at "
+        "most every SECS seconds (wall clock; telemetry only)",
+    )
+    zoo_parser.set_defaults(func=cmd_zoo)
 
     sanitize_parser = subparsers.add_parser(
         "sanitize",

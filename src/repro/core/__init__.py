@@ -18,17 +18,42 @@
 from repro.core.schedules import ConstantRate, EpochHalvingRate, LearningRateSchedule
 from repro.core.results import LockFreeRunResult, SequentialRunResult
 from repro.core.sequential import run_sequential_sgd
-from repro.core.epoch_sgd import EpochSGDProgram, run_lock_free_sgd
-from repro.core.full_sgd import FullSGD, FullSGDResult, recommended_num_epochs
-from repro.core.hogwild import HogwildProgram
-from repro.core.locked import LockedSGDProgram
+from repro.core.algorithm import (
+    LEMMAS,
+    Algorithm,
+    AlgorithmSetup,
+    algorithm_names,
+    algorithm_registry,
+    build_zoo_simulation,
+    get_algorithm,
+    register_algorithm,
+    run_algorithm,
+)
+from repro.core.epoch_sgd import (
+    EpochSGDAlgorithm,
+    EpochSGDProgram,
+    run_lock_free_sgd,
+)
+from repro.core.full_sgd import (
+    FullSGD,
+    FullSGDAlgorithm,
+    FullSGDResult,
+    recommended_num_epochs,
+)
+from repro.core.hogwild import HogwildAlgorithm, HogwildProgram
+from repro.core.leashed import LeashedAlgorithm, LeashedSGDProgram
+from repro.core.locked import LockedAlgorithm, LockedSGDProgram
 from repro.core.minibatch import run_minibatch_sgd
 from repro.core.momentum import (
+    MomentumAlgorithm,
     MomentumSGDProgram,
     fit_implicit_momentum,
     run_momentum_sgd,
 )
-from repro.core.staleness_aware import StalenessAwareSGDProgram
+from repro.core.staleness_aware import (
+    StalenessAwareAlgorithm,
+    StalenessAwareSGDProgram,
+)
 from repro.core.snapshot_sgd import SnapshotSGDProgram, run_snapshot_sgd
 from repro.core.averaged import (
     AveragedRunResult,
@@ -37,6 +62,23 @@ from repro.core.averaged import (
 )
 
 __all__ = [
+    "LEMMAS",
+    "Algorithm",
+    "AlgorithmSetup",
+    "algorithm_names",
+    "algorithm_registry",
+    "build_zoo_simulation",
+    "get_algorithm",
+    "register_algorithm",
+    "run_algorithm",
+    "EpochSGDAlgorithm",
+    "FullSGDAlgorithm",
+    "HogwildAlgorithm",
+    "LeashedAlgorithm",
+    "LeashedSGDProgram",
+    "LockedAlgorithm",
+    "MomentumAlgorithm",
+    "StalenessAwareAlgorithm",
     "LearningRateSchedule",
     "ConstantRate",
     "EpochHalvingRate",

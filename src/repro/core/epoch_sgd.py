@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.core.results import LockFreeRunResult, accumulator_trajectory
 from repro.errors import ConfigurationError
 from repro.objectives.base import Objective
@@ -254,6 +255,28 @@ class EpochSGDProgram(Program):
 
         ctx.annotate("phase", "done")
         return {"iterations": iterations_done, "accumulator": accumulator}
+
+
+@register_algorithm
+class EpochSGDAlgorithm(Algorithm):
+    """Algorithm 1 on the zoo seam: per-entry read / fetch&add, constant
+    α, no epoch machinery.  All three lemma certificates apply."""
+
+    name = "epoch-sgd"
+    title = "Algorithm 1: lock-free SGD (per-entry fetch&add)"
+
+    def build(self, setup: AlgorithmSetup):
+        return [
+            EpochSGDProgram(
+                model=setup.model,
+                counter=setup.counter,
+                objective=setup.objective,
+                step_size=setup.step_size,
+                max_iterations=setup.iterations,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]
 
 
 def collect_iteration_records(sim: Simulator) -> List[IterationRecord]:

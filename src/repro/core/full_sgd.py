@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.core.epoch_sgd import collect_iteration_records, sgd_iteration_body
 from repro.core.results import accumulator_trajectory
 from repro.core.schedules import EpochHalvingRate, LearningRateSchedule
@@ -168,6 +169,44 @@ class FullSGDThreadProgram(Program):
 
         ctx.annotate("phase", "done")
         return {"iterations": iterations_done, "accumulator": accumulator}
+
+
+@register_algorithm
+class FullSGDAlgorithm(Algorithm):
+    """Algorithm 2 on the zoo seam: the global budget is split into
+    ``num_epochs`` halving-rate epochs, updates epoch-guarded through
+    the shared epoch register the adapter allocates.  Guarded fetch&adds
+    keep iteration length bounded, so all three lemma certificates
+    apply (rejected stale updates still order by their first attempt)."""
+
+    name = "full-sgd"
+    title = "Algorithm 2: epoch-halving SGD with epoch-guarded updates"
+
+    def __init__(self, num_epochs: int = 2) -> None:
+        if num_epochs < 1:
+            raise ConfigurationError(
+                f"num_epochs must be >= 1, got {num_epochs}"
+            )
+        self.num_epochs = num_epochs
+
+    def build(self, setup: AlgorithmSetup):
+        epoch_slot = setup.memory.allocate(1, name="zoo_epoch", initial=0.0)
+        epoch_register = AtomicRegister(setup.memory, epoch_slot)
+        schedule = EpochHalvingRate(setup.step_size)
+        iterations_per_epoch = max(1, setup.iterations // self.num_epochs)
+        return [
+            FullSGDThreadProgram(
+                model=setup.model,
+                counter=setup.counter,
+                epoch_register=epoch_register,
+                objective=setup.objective,
+                schedule=schedule,
+                iterations_per_epoch=iterations_per_epoch,
+                num_epochs=self.num_epochs,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]
 
 
 @dataclass

@@ -14,6 +14,7 @@ configurations and traces name the baseline explicitly.
 
 from __future__ import annotations
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.core.epoch_sgd import EpochSGDProgram
 from repro.objectives.base import Objective
 from repro.shm.array import AtomicArray
@@ -53,3 +54,27 @@ class HogwildProgram(EpochSGDProgram):
             record_iterations=record_iterations,
             use_write=False,
         )
+
+
+@register_algorithm
+class HogwildAlgorithm(Algorithm):
+    """Hogwild on the zoo seam: unsynchronized per-coordinate updates
+    with a fixed α.  Structurally identical to Algorithm 1 (bounded
+    iteration length), so all three lemma certificates apply — the
+    difference Theorem 5.1 exposes is the *rate*, not the structure."""
+
+    name = "hogwild"
+    title = "Hogwild!: unsynchronized constant-rate lock-free SGD"
+
+    def build(self, setup: AlgorithmSetup):
+        return [
+            HogwildProgram(
+                model=setup.model,
+                counter=setup.counter,
+                objective=setup.objective,
+                step_size=setup.step_size,
+                max_iterations=setup.iterations,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]

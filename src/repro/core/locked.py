@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.core.epoch_sgd import sgd_iteration_body
 from repro.errors import ConfigurationError
 from repro.objectives.base import Objective
@@ -73,13 +74,19 @@ class LockedSGDProgram(Program):
                 break
             start_time = ctx.now - 1
 
-            # Acquire the global lock (CAS spinlock).
+            # Acquire the global lock (CAS spinlock).  A thread that lost
+            # the race publishes ``blocked`` so phase-parking adversaries
+            # (contention-max, stale-attack) know scheduling it cannot
+            # make progress — without this they would spin the waiters
+            # forever while starving the parked lock holder.
             ctx.annotate("phase", "lock")
             while True:
                 acquired = yield self.lock.cas_op(0.0, 1.0)
                 if acquired:
                     break
                 spin_steps += 1
+                ctx.annotate("blocked", True)
+            ctx.annotate("blocked", False)
 
             record = yield from sgd_iteration_body(
                 ctx,
@@ -105,3 +112,31 @@ class LockedSGDProgram(Program):
             "accumulator": np.zeros(self.model.length),
             "spin_steps": spin_steps,
         }
+
+
+@register_algorithm
+class LockedAlgorithm(Algorithm):
+    """The lock-based baseline on the zoo seam.  Allocates the shared
+    lock register and hands it to every thread.  Spinlock acquisition
+    retries make iteration length unbounded under contention, so the
+    window lemmas (6.2/6.4) are N/A; the 6.1 total order still holds."""
+
+    name = "locked"
+    title = "Locked: coarse-grained CAS-spinlock SGD (Langford et al.)"
+    lemmas = ("6.1",)
+
+    def build(self, setup: AlgorithmSetup):
+        lock_slot = setup.memory.allocate(1, name="zoo_lock", initial=0.0)
+        lock = AtomicRegister(setup.memory, lock_slot)
+        return [
+            LockedSGDProgram(
+                model=setup.model,
+                counter=setup.counter,
+                lock=lock,
+                objective=setup.objective,
+                step_size=setup.step_size,
+                max_iterations=setup.iterations,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.core.results import SequentialRunResult
 from repro.errors import ConfigurationError
 from repro.objectives.base import Objective
@@ -201,6 +202,33 @@ class MomentumSGDProgram(Program):
 
         ctx.annotate("phase", "done")
         return {"iterations": iterations_done, "accumulator": np.zeros(dim)}
+
+
+@register_algorithm
+class MomentumAlgorithm(Algorithm):
+    """Heavy-ball on the zoo seam: thread-local velocity buffers applied
+    via fetch&add.  Iteration length stays bounded, so all three lemma
+    certificates apply (the velocity changes values, not structure)."""
+
+    name = "momentum"
+    title = "Momentum: thread-local heavy-ball over lock-free fetch&add"
+
+    def __init__(self, momentum: float = 0.5) -> None:
+        self.momentum = momentum
+
+    def build(self, setup: AlgorithmSetup):
+        return [
+            MomentumSGDProgram(
+                model=setup.model,
+                counter=setup.counter,
+                objective=setup.objective,
+                step_size=setup.step_size,
+                momentum=self.momentum,
+                max_iterations=setup.iterations,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]
 
 
 def fit_implicit_momentum(

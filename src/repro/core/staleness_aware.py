@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.algorithm import Algorithm, AlgorithmSetup, register_algorithm
 from repro.errors import ConfigurationError
 from repro.objectives.base import Objective
 from repro.runtime.events import IterationRecord
@@ -160,3 +161,30 @@ class StalenessAwareSGDProgram(Program):
 
         ctx.annotate("phase", "done")
         return {"iterations": iterations_done, "accumulator": np.zeros(dim)}
+
+
+@register_algorithm
+class StalenessAwareAlgorithm(Algorithm):
+    """The staleness-damped mitigation on the zoo seam.  One extra
+    counter read per iteration keeps iteration length bounded, so all
+    three lemma certificates apply."""
+
+    name = "staleness-aware"
+    title = "Staleness-aware: α damped by 1/(1 + γ·staleness)"
+
+    def __init__(self, damping: float = 1.0) -> None:
+        self.damping = damping
+
+    def build(self, setup: AlgorithmSetup):
+        return [
+            StalenessAwareSGDProgram(
+                model=setup.model,
+                counter=setup.counter,
+                objective=setup.objective,
+                step_size=setup.step_size,
+                max_iterations=setup.iterations,
+                damping=self.damping,
+                record_iterations=setup.record_iterations,
+            )
+            for _ in range(setup.num_threads)
+        ]

@@ -42,7 +42,7 @@ from repro.objectives.quadratic import IsotropicQuadratic
 from repro.runtime.events import IterationRecord
 from repro.runtime.simulator import Simulator
 from repro.runtime.thread import ThreadState
-from repro.sched.random_sched import RandomScheduler
+from repro.sched.registry import build_scheduler
 from repro.shm.array import AtomicArray
 from repro.shm.counter import AtomicCounter
 from repro.shm.memory import SharedMemory
@@ -168,7 +168,7 @@ def _chaos_worker(
     model = AtomicArray.allocate(memory, workload.dim, name="model")
     model.load(np.full(workload.dim, workload.x0_scale))
     counter = AtomicCounter.allocate(memory, name="iteration_counter")
-    engine = spec.build(RandomScheduler(seed=seed), seed=seed)
+    engine = spec.build(build_scheduler("random", seed=seed), seed=seed)
     sim = Simulator(memory, engine, seed=seed)
 
     def make_program() -> EpochSGDProgram:

@@ -29,6 +29,11 @@ from repro.sched.replay import (
     ReplayScheduler,
 )
 from repro.sched.contention_max import ContentionMaximizer
+from repro.sched.registry import (
+    build_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
 
 __all__ = [
     "Scheduler",
@@ -45,4 +50,7 @@ __all__ = [
     "ReplayScheduler",
     "PrefixReplayScheduler",
     "ContentionMaximizer",
+    "build_scheduler",
+    "register_scheduler",
+    "scheduler_names",
 ]

@@ -22,6 +22,10 @@ Annotation contract of the SGD programs (:mod:`repro.core`):
     The inconsistent view the gradient was computed at.
 ``sample``
     The raw random sample/coin used by the gradient oracle.
+``blocked``
+    ``True`` while the thread's next step cannot make progress (e.g. a
+    spinlock waiter whose CAS just failed).  Phase-parking adversaries
+    use it to avoid livelocking lock-based programs.
 
 :class:`GreedyAscentAdversary` is a concrete worst-case-seeking adversary:
 knowing the optimum x*, it always schedules the pending primitive that
@@ -62,6 +66,11 @@ class AdaptiveAdversary(Scheduler):
     def pending_gradient(sim, thread_id: int) -> Optional[np.ndarray]:
         """The gradient a thread is currently applying, if any."""
         return sim.annotations(thread_id).get("pending_gradient")
+
+    @staticmethod
+    def blocked(sim, thread_id: int) -> bool:
+        """Whether a thread published that it cannot make progress."""
+        return bool(sim.annotations(thread_id).get("blocked", False))
 
 
 class GreedyAscentAdversary(AdaptiveAdversary):

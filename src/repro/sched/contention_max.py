@@ -70,7 +70,13 @@ class ContentionMaximizer(AdaptiveAdversary):
                     # the next iteration's claim/read/compute.
                     return self._releasing
 
-        advancing = [i for i in ids if i not in parked]
+        # Threads that published ``blocked`` (e.g. spinlock waiters) can
+        # burn steps but cannot reach their update phase while the lock
+        # holder is parked — treat them like parked threads so the
+        # release logic below still fires instead of livelocking.
+        advancing = [
+            i for i in ids if i not in parked and not self.blocked(sim, i)
+        ]
         if advancing:
             # Keep funneling everyone else toward their update phase.
             return self._round_robin(advancing)

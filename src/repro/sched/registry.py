@@ -1,0 +1,90 @@
+"""Name-keyed scheduler registry — one factory for every adversary kind.
+
+The sanitize presets, the chaos campaign and the algorithm-zoo grid all
+need to build schedulers from a *name* that travels through configs,
+journal fingerprints and CLI flags.  Before this module each of them
+carried its own name→class map; now there is a single registry, so a
+kind string means the same adversary everywhere and new schedulers are
+exposed to every grid by registering them once.
+
+Construction is seed-disciplined: :func:`build_scheduler` always accepts
+a ``seed`` and passes it only to schedulers that actually consume
+randomness — deterministic adversaries (round-robin, contention-max,
+stale-attack) ignore it, so fingerprints stay stable across registry
+growth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sched.base import Scheduler
+from repro.sched.bounded_delay import BoundedDelayScheduler
+from repro.sched.contention_max import ContentionMaximizer
+from repro.sched.priority_delay import PriorityDelayScheduler
+from repro.sched.random_sched import RandomScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sched.sequential import SequentialScheduler
+from repro.sched.stale_attack import StaleGradientAttack
+
+#: A factory takes ``(seed, **params)`` and returns a fresh scheduler.
+SchedulerFactory = Callable[..., Scheduler]
+
+_FACTORIES: Dict[str, SchedulerFactory] = {}
+
+
+def register_scheduler(name: str, factory: SchedulerFactory) -> None:
+    """Register ``factory`` under ``name`` (unique; grids key on it)."""
+    if name in _FACTORIES:
+        raise ConfigurationError(f"scheduler kind {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """Registered kinds, sorted (stable across registration order)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def build_scheduler(kind: str, seed: int = 0, **params) -> Scheduler:
+    """Instantiate the scheduler registered under ``kind``.
+
+    ``seed`` feeds the scheduler's private random stream where one
+    exists; ``params`` override the kind's default knobs (e.g.
+    ``delay_bound`` for ``bounded-delay``).
+    """
+    factory = _FACTORIES.get(kind)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scheduler kind: {kind!r} "
+            f"(choose from {', '.join(scheduler_names())})"
+        )
+    return factory(seed, **params)
+
+
+register_scheduler("sequential", lambda seed, **p: SequentialScheduler())
+register_scheduler("round-robin", lambda seed, **p: RoundRobinScheduler())
+register_scheduler(
+    "random", lambda seed, **p: RandomScheduler(seed=seed, **p)
+)
+register_scheduler(
+    "bounded-delay",
+    lambda seed, delay_bound=8, **p: BoundedDelayScheduler(
+        delay_bound=delay_bound, seed=seed, **p
+    ),
+)
+register_scheduler(
+    "stale-attack",
+    lambda seed, victim=1, runner=0, delay=8, **p: StaleGradientAttack(
+        victim=victim, runner=runner, delay=delay, **p
+    ),
+)
+register_scheduler(
+    "contention-max", lambda seed, **p: ContentionMaximizer()
+)
+register_scheduler(
+    "priority-delay",
+    lambda seed, victims=(1,), delay=12, **p: PriorityDelayScheduler(
+        victims, delay, seed=seed, **p
+    ),
+)

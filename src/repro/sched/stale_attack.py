@@ -73,8 +73,16 @@ class StaleGradientAttack(AdaptiveAdversary):
 
     def _pick_runner(self, sim) -> int:
         ids = self._runnable(sim)
-        if self.runner in ids:
+        # Prefer runners that can actually make progress; a blocked
+        # runner (spinlock waiter) burns steps without ever finishing an
+        # iteration, which would stall the attack's delay count.
+        candidates = [
+            i for i in ids if i != self.victim and not self.blocked(sim, i)
+        ]
+        if self.runner in candidates:
             return self.runner
+        if candidates:
+            return candidates[0]
         others = [i for i in ids if i != self.victim]
         return others[0] if others else ids[0]
 
@@ -105,8 +113,18 @@ class StaleGradientAttack(AdaptiveAdversary):
 
         if self._state == self._RUN_RUNNER:
             assert self._runner_target is not None
+            # If every candidate runner published ``blocked`` (e.g. they
+            # spin on a lock the frozen victim holds), no amount of runner
+            # scheduling completes an iteration — release the victim
+            # instead of livelocking.  The attack degenerates against
+            # lock-consistent algorithms, which is itself a result.
+            runners = [i for i in ids if i != self.victim]
+            runners_blocked = bool(runners) and all(
+                self.blocked(sim, i) for i in runners
+            )
             if (
                 not only_victim
+                and not runners_blocked
                 and self.iterations_done(sim, self.runner) < self._runner_target
             ):
                 return self._pick_runner(sim)

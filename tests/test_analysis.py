@@ -281,6 +281,29 @@ def program(model):
     yield 42
 '''
 
+DIRECT_MUTATION_FIXTURE = '''
+def program(self, ctx):
+    value = yield self.model.read_op(0)
+    self.model[0] = value + 1.0
+    self.model.load([value])
+    raw = self.model._values[0]
+    yield self.model.fetch_add_op(0, -value)
+'''
+
+DIRECT_MUTATION_PRAGMA_FIXTURE = '''
+def program(self, ctx):
+    value = yield self.model.read_op(0)
+    self.model.load([value])  # repro: allow(RPL103)
+    yield self.model.fetch_add_op(0, -value)
+'''
+
+DRIVER_LOAD_FIXTURE = '''
+def driver(model, x0):
+    model.load(x0)
+    model[0] = 1.0
+    return model.snapshot()
+'''
+
 GLOBAL_RANDOM_FIXTURE = '''
 import random
 import numpy as np
@@ -340,6 +363,23 @@ class TestLint:
     def test_non_operation_yield_is_flagged(self):
         findings = lint_source(BAD_YIELD_FIXTURE, path="fixture.py")
         assert any(f.rule == "RPL102" for f in findings)
+
+    def test_direct_mutation_is_flagged(self):
+        findings = lint_source(DIRECT_MUTATION_FIXTURE, path="fixture.py")
+        hits = [f for f in findings if f.rule == "RPL103"]
+        # The subscript store, the .load() call and the ._values reach.
+        assert len(hits) == 3
+
+    def test_direct_mutation_pragma_suppresses(self):
+        findings = lint_source(
+            DIRECT_MUTATION_PRAGMA_FIXTURE, path="fixture.py"
+        )
+        assert not [f for f in findings if f.rule == "RPL103"]
+
+    def test_driver_mutation_is_not_flagged(self):
+        # Bulk loads in drivers (no op yields -> not a program) are fine.
+        findings = lint_source(DRIVER_LOAD_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL103"]
 
     def test_global_random_is_flagged(self):
         findings = lint_source(GLOBAL_RANDOM_FIXTURE, path="fixture.py")

@@ -1,0 +1,226 @@
+"""Tests for the Algorithm interface, its registry and the unified driver.
+
+Pins the zoo contract: the registry holds exactly the built-in variants,
+every variant completes under every panel adversary, the fidelity modes
+(``run`` vs ``run_fast``) land on identical machine states, and the
+variant-specific counters surface through ``result.extras``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import (
+    LEMMAS,
+    Algorithm,
+    algorithm_names,
+    algorithm_registry,
+    build_zoo_simulation,
+    get_algorithm,
+    register_algorithm,
+    run_algorithm,
+)
+from repro.durable.checkpoint import state_digest
+from repro.errors import ConfigurationError
+from repro.objectives.noise import GaussianNoise
+from repro.objectives.quadratic import IsotropicQuadratic
+from repro.sched.registry import build_scheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+EXPECTED_NAMES = (
+    "epoch-sgd",
+    "full-sgd",
+    "hogwild",
+    "leashed",
+    "locked",
+    "momentum",
+    "staleness-aware",
+)
+
+PANEL_ADVERSARIES = (
+    "round-robin",
+    "random",
+    "bounded-delay",
+    "stale-attack",
+    "contention-max",
+)
+
+
+def _objective(dim=2):
+    return IsotropicQuadratic(dim=dim, noise=GaussianNoise(0.2))
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert algorithm_names() == EXPECTED_NAMES
+
+    def test_registry_returns_classes(self):
+        registry = algorithm_registry()
+        for name, cls in registry.items():
+            assert cls.name == name
+            assert issubclass(cls, Algorithm)
+            assert cls.title
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            get_algorithm("nonexistent-sgd")
+
+    def test_duplicate_name_rejected(self):
+        class Duplicate(Algorithm):
+            name = "hogwild"  # already taken by the built-in
+
+            def build(self, setup):  # pragma: no cover - never called
+                return []
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_algorithm(Duplicate)
+        # The built-in registration is untouched.
+        assert algorithm_registry()["hogwild"] is not Duplicate
+
+    def test_empty_name_rejected(self):
+        class Nameless(Algorithm):
+            def build(self, setup):  # pragma: no cover - never called
+                return []
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_algorithm(Nameless)
+
+    def test_unknown_lemma_rejected(self):
+        class BadLemmas(Algorithm):
+            name = "bad-lemmas-variant"
+            lemmas = ("6.1", "9.9")
+
+            def build(self, setup):  # pragma: no cover - never called
+                return []
+
+        with pytest.raises(ConfigurationError, match="unknown lemma"):
+            register_algorithm(BadLemmas)
+        # Rejected before insertion: the bad name never lands.
+        assert "bad-lemmas-variant" not in algorithm_registry()
+
+    def test_lemma_applicability(self):
+        assert get_algorithm("locked").lemma_applicability() == {
+            "6.1": True,
+            "6.2": False,
+            "6.4": False,
+        }
+        assert get_algorithm("leashed").lemma_applicability() == {
+            "6.1": True,
+            "6.2": False,
+            "6.4": False,
+        }
+        for name in ("epoch-sgd", "hogwild", "momentum", "staleness-aware"):
+            applicability = get_algorithm(name).lemma_applicability()
+            assert applicability == {lemma: True for lemma in LEMMAS}
+
+
+class TestUnifiedDriver:
+    @pytest.mark.parametrize("adversary", PANEL_ADVERSARIES)
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_every_algorithm_under_every_adversary(self, name, adversary):
+        iterations = 20
+        result = run_algorithm(
+            get_algorithm(name),
+            _objective(),
+            build_scheduler(adversary, seed=3),
+            num_threads=3,
+            step_size=0.05,
+            iterations=iterations,
+            x0=np.full(2, 2.0),
+            seed=3,
+        )
+        assert len(result.records) == iterations
+        assert sum(result.thread_iterations.values()) == iterations
+        # The counter hands out unique, gap-free iteration indices.
+        assert sorted(r.index for r in result.records) == list(
+            range(iterations)
+        )
+        assert np.all(np.isfinite(result.x_final))
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_run_and_run_fast_land_on_identical_state(self, name):
+        digests = []
+        snapshots = []
+        for mode in ("run", "run_fast"):
+            sim, model, _x0 = build_zoo_simulation(
+                get_algorithm(name),
+                _objective(),
+                RoundRobinScheduler(),
+                num_threads=3,
+                step_size=0.05,
+                iterations=24,
+                x0=np.full(2, 2.0),
+                seed=5,
+            )
+            getattr(sim, mode)()
+            digests.append(state_digest(sim))
+            snapshots.append(model.snapshot())
+        assert digests[0] == digests[1]
+        assert np.array_equal(snapshots[0], snapshots[1])
+
+    def test_locked_reports_spin_steps(self):
+        result = run_algorithm(
+            get_algorithm("locked"),
+            _objective(),
+            RoundRobinScheduler(),
+            num_threads=4,
+            step_size=0.05,
+            iterations=40,
+            x0=np.full(2, 2.0),
+            seed=1,
+        )
+        assert result.extras["spin_steps"] > 0
+
+    def test_leashed_reports_cas_failures_under_contention(self):
+        result = run_algorithm(
+            get_algorithm("leashed"),
+            _objective(dim=1),
+            RoundRobinScheduler(),
+            num_threads=4,
+            step_size=0.05,
+            iterations=40,
+            x0=np.full(1, 2.0),
+            seed=1,
+        )
+        assert result.extras["cas_failures"] > 0
+
+    def test_leashed_zero_retries_drops_components(self):
+        result = run_algorithm(
+            get_algorithm("leashed", max_cas_retries=0),
+            _objective(dim=1),
+            RoundRobinScheduler(),
+            num_threads=4,
+            step_size=0.05,
+            iterations=40,
+            x0=np.full(1, 2.0),
+            seed=1,
+        )
+        assert result.extras["dropped_components"] > 0
+
+    def test_build_count_mismatch_raises(self):
+        class HalfBuilt(Algorithm):
+            name = "half-built"
+
+            def build(self, setup):
+                inner = get_algorithm("hogwild").build(setup)
+                return inner[:1]  # wrong: one program for many threads
+
+        with pytest.raises(ConfigurationError, match="program"):
+            build_zoo_simulation(
+                HalfBuilt(),
+                _objective(),
+                RoundRobinScheduler(),
+                num_threads=3,
+                step_size=0.05,
+                iterations=10,
+            )
+
+    def test_invalid_thread_count_raises(self):
+        with pytest.raises(ConfigurationError, match="num_threads"):
+            build_zoo_simulation(
+                get_algorithm("hogwild"),
+                _objective(),
+                RoundRobinScheduler(),
+                num_threads=0,
+                step_size=0.05,
+                iterations=10,
+            )
