@@ -12,6 +12,12 @@ and flags, without executing anything:
   ``.load()``/``.poke()``/``.store()`` calls or raw ``._values``
   access, all of which bypass the scheduler and the op log
   (``RPL103``);
+* **health-detector purity** — classes named ``*Detector`` (or deriving
+  from ``HealthDetector``) are the read-only observers of
+  :mod:`repro.heal.detectors`; any ``.poke()``/``.store()`` call,
+  ``memory.load()`` or raw ``._values`` access inside one would make
+  the observer part of the fault model it is supposed to watch
+  (``RPL104``);
 * **determinism hazards** anywhere in the tree — wall-clock reads
   (``RPD201``), draws from the global ``random`` / ``numpy.random``
   singletons instead of seeded :class:`~repro.runtime.rng.RngStream`
@@ -50,6 +56,11 @@ RULES: Dict[str, str] = {
         "program mutates a shared handle outside the op DSL (subscript "
         "assignment, .load()/.poke()/.store(), or ._values access): "
         "such writes bypass the scheduler, the op log and the analyzers"
+    ),
+    "RPL104": (
+        "health detector mutates simulation state (.poke()/.store(), "
+        "memory.load(), or ._values access): detectors are read-only "
+        "observers — peek at chunk boundaries, never write"
     ),
     "RPD201": (
         "wall-clock read (time.time/perf_counter/datetime.now ...): "
@@ -341,6 +352,64 @@ class _Linter(ast.NodeVisitor):
                         f"the obs metrics/trace stream instead",
                     )
         self.generic_visit(node)
+
+    # -- detector purity (RPL104) ---------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_detector_class(node):
+            self._check_detector_purity(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_detector_class(node: ast.ClassDef) -> bool:
+        if node.name.endswith("Detector"):
+            return True
+        for base in node.bases:
+            name = _dotted_name(base)
+            if name is not None and name.split(".")[-1] == "HealthDetector":
+                return True
+        return False
+
+    def _check_detector_purity(self, node: ast.ClassDef) -> None:
+        """RPL104: a health detector observes; it never writes.  Flags
+        ``.poke()``/``.store()`` on any receiver, ``.load()`` on a
+        memory-looking receiver (``json.load`` and friends stay legal),
+        and raw ``._values`` access, anywhere in the class body."""
+        linter = self
+
+        class _Impurities(ast.NodeVisitor):
+            def visit_Call(self, call: ast.Call) -> None:
+                func = call.func
+                if isinstance(func, ast.Attribute):
+                    receiver = _dotted_name(func.value)
+                    memoryish = receiver is not None and (
+                        receiver.split(".")[-1] == "memory"
+                    )
+                    if func.attr in ("poke", "store") or (
+                        func.attr == "load" and memoryish
+                    ):
+                        linter._flag(
+                            "RPL104",
+                            call.lineno,
+                            f"detector {node.name} calls "
+                            f"{receiver or '<expr>'}.{func.attr}(...): "
+                            f"detectors are read-only observers — peek "
+                            f"only, never mutate the simulation",
+                        )
+                self.generic_visit(call)
+
+            def visit_Attribute(self, attribute: ast.Attribute) -> None:
+                if attribute.attr == "_values":
+                    linter._flag(
+                        "RPL104",
+                        attribute.lineno,
+                        f"detector {node.name} reaches into raw memory "
+                        f"storage (._values): observe through peek/"
+                        f"peek_range only",
+                    )
+                self.generic_visit(attribute)
+
+        for item in node.body:
+            _Impurities().visit(item)
 
     # -- program rules (op-yielding generators only) --------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

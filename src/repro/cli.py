@@ -36,6 +36,7 @@ from repro.experiments import (
     e11_dense_gradients,
     e12_sparsity,
     e13_algorithm_zoo,
+    e14_resilience,
     f1_figure,
 )
 
@@ -54,6 +55,7 @@ REGISTRY: Dict[str, Tuple[object, type]] = {
     "E11": (e11_dense_gradients, e11_dense_gradients.E11Config),
     "E12": (e12_sparsity, e12_sparsity.E12Config),
     "E13": (e13_algorithm_zoo, e13_algorithm_zoo.E13Config),
+    "E14": (e14_resilience, e14_resilience.E14Config),
     "F1": (f1_figure, f1_figure.F1Config),
     "A1": (a1_ablations, a1_ablations.A1Config),
     "A2": (a2_consistency, a2_consistency.A2Config),
@@ -242,6 +244,18 @@ def _resume_invocation(command: str, args: argparse.Namespace) -> str:
         # collect_obs is part of the journal fingerprint (see chaos).
         if args.metrics is not None:
             parts += ["--metrics", args.metrics]
+    elif command == "heal":
+        parts += [
+            "--algorithms", args.algorithms,
+            "--plans", args.plans,
+            "--seeds", str(args.seeds),
+            "--base-seed", str(args.base_seed),
+            "--threads", str(args.threads),
+            "--iterations", str(args.iterations),
+            "--adversary", args.adversary,
+            "--retry-budget", str(args.retry_budget),
+            "--check-interval", str(args.check_interval),
+        ]
     else:
         parts += [
             "--presets", args.presets,
@@ -510,6 +524,119 @@ def cmd_zoo(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         report.write(str(out_dir / "zoo_report.txt"), "txt")
         report.write(str(out_dir / "zoo_report.json"), "json")
+    return 0 if report.passed else 1
+
+
+def cmd_heal(args: argparse.Namespace) -> int:
+    """Run the E14 resilience grid: every selected algorithm under every
+    selected corruption plan with the self-healing ladder on.
+
+    Exit code 1 when any cell is abandoned or fails to converge (what
+    the CI heal job pins); 0 otherwise.  ``--journal``/``--resume`` give
+    durable kill/resume at cell granularity with byte-identical final
+    reports, and ``--jobs`` parallelizes without changing a byte either.
+    """
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import ConfigurationError, InterruptedRunError
+    from repro.experiments.e14_resilience import (
+        HEAL_ALGORITHMS,
+        HealGridConfig,
+        HealWorkload,
+        heal_fingerprint,
+        heal_metrics_lines,
+        heal_plan_specs,
+        partial_heal_report,
+        run_heal_grid,
+    )
+    from repro.heal.rollback import HealPolicy
+
+    algorithms = (
+        HEAL_ALGORITHMS
+        if args.algorithms == "default"
+        else tuple(n.strip() for n in args.algorithms.split(",") if n.strip())
+    )
+    plans = (
+        tuple(sorted(heal_plan_specs()))
+        if args.plans == "all"
+        else tuple(n.strip() for n in args.plans.split(",") if n.strip())
+    )
+    try:
+        config = HealGridConfig(
+            algorithms=algorithms,
+            plans=plans,
+            seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+            workload=HealWorkload(
+                num_threads=args.threads,
+                iterations=args.iterations,
+                adversary=args.adversary,
+            ),
+            policy=HealPolicy(
+                check_interval=args.check_interval,
+                retry_budget=args.retry_budget,
+            ),
+            jobs=args.jobs if args.jobs is not None else 1,
+        )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    registry = top = None
+    if args.metrics is not None or args.metrics_interval is not None:
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.top import TopView
+
+        registry = MetricsRegistry()
+        if args.metrics_interval is not None:
+            top = TopView(
+                registry, interval=args.metrics_interval, title="repro heal"
+            )
+
+    def on_cell(_seed, _outcome) -> None:
+        if top is not None:
+            top.maybe_render()
+
+    journal, exit_code = _open_journal(args, heal_fingerprint(config))
+    if exit_code is not None:
+        return exit_code
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_heal_grid(
+                config,
+                journal=journal,
+                shutdown=shutdown,
+                metrics=registry,
+                progress=on_cell,
+            )
+    except InterruptedRunError as error:
+        return _interrupted(
+            "heal",
+            args,
+            error,
+            journal,
+            lambda: partial_heal_report(config, journal),
+            "heal_report",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if top is not None:
+        top.maybe_render(force=True)
+    print(report.render())
+    if args.metrics is not None:
+        from repro.obs.snapshot import write_snapshot_jsonl
+
+        lines = heal_metrics_lines(config, report.outcomes)
+        write_snapshot_jsonl(args.metrics, lines)
+        print(
+            f"metric snapshot ({len(lines)} line(s)) written to "
+            f"{args.metrics}; inspect with: python -m repro obs "
+            f"{args.metrics}",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report.write(str(out_dir / "heal_report.txt"), "txt")
+        report.write(str(out_dir / "heal_report.json"), "json")
     return 0 if report.passed else 1
 
 
@@ -877,6 +1004,83 @@ def build_parser() -> argparse.ArgumentParser:
         "most every SECS seconds (wall clock; telemetry only)",
     )
     zoo_parser.set_defaults(func=cmd_zoo)
+
+    heal_parser = subparsers.add_parser(
+        "heal",
+        help="run the resilience grid: algorithms under silent-data-"
+        "corruption plans with the detect/rollback/retry ladder on",
+    )
+    heal_parser.add_argument(
+        "--algorithms", default="default",
+        help="comma-separated registry names, or 'default' "
+        "(epoch-sgd, hogwild, locked)",
+    )
+    heal_parser.add_argument(
+        "--plans", default="none,bit-flip,nan-poison,dup-write",
+        help="comma-separated corruption plan names "
+        "(none, bit-flip, nan-poison, inf-poison, dup-write, "
+        "drop-write), or 'all'",
+    )
+    heal_parser.add_argument(
+        "--seeds", type=int, default=2, metavar="N",
+        help="seeds per (algorithm, plan) cell (default 2)",
+    )
+    heal_parser.add_argument(
+        "--base-seed", type=int, default=8000, metavar="S",
+        help="first seed of each cell's ensemble (default 8000)",
+    )
+    heal_parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="SGD threads per run (default 4)",
+    )
+    heal_parser.add_argument(
+        "--iterations", type=int, default=200, metavar="T",
+        help="global iteration budget per run (default 200)",
+    )
+    heal_parser.add_argument(
+        "--adversary", default="random",
+        help="scheduler the grid runs under (default random)",
+    )
+    heal_parser.add_argument(
+        "--retry-budget", type=int, default=8, metavar="N",
+        help="rollback budget units per ladder level (default 8)",
+    )
+    heal_parser.add_argument(
+        "--check-interval", type=int, default=64, metavar="STEPS",
+        help="detector/checkpoint chunk size in logical steps "
+        "(default 64)",
+    )
+    heal_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the grid (1 = serial, 0 = one per "
+        "CPU); reports are byte-identical for any value",
+    )
+    heal_parser.add_argument(
+        "--out", default=None,
+        help="directory to write heal_report.{txt,json} to",
+    )
+    heal_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable run journal (JSONL): completed cells are recorded "
+        "as they finish, so a killed run can be resumed",
+    )
+    heal_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal, skipping already-completed cells; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
+    heal_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a deterministic per-cell heal snapshot JSONL here "
+        "(detections, rollbacks, degradations, recovery latencies; "
+        "inspect with 'repro obs')",
+    )
+    heal_parser.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECS",
+        help="render a live 'repro top'-style text view to stderr at "
+        "most every SECS seconds (wall clock; telemetry only)",
+    )
+    heal_parser.set_defaults(func=cmd_heal)
 
     sanitize_parser = subparsers.add_parser(
         "sanitize",

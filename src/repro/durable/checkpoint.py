@@ -340,7 +340,11 @@ class Checkpoint:
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     @classmethod
-    def from_json(cls, text: str) -> "Checkpoint":
+    def _parse(cls, text: str) -> Tuple["Checkpoint", Optional[str]]:
+        """Parse JSON into a checkpoint plus its *stored* digest (or
+        ``None`` when the payload predates digests).  Raises
+        :class:`~repro.errors.ConfigurationError` on malformed text;
+        digest validation is left to the caller."""
         try:
             payload = json.loads(text)
             checkpoint = cls(
@@ -363,6 +367,11 @@ class Checkpoint:
         except (ValueError, KeyError, TypeError) as error:
             raise ConfigurationError(f"not a checkpoint: {error}") from None
         stored = payload.get("digest")
+        return checkpoint, None if stored is None else str(stored)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        checkpoint, stored = cls._parse(text)
         if stored is not None and stored != checkpoint.digest():
             raise ConfigurationError(
                 "checkpoint digest mismatch (corrupt or hand-edited file)"
@@ -378,3 +387,49 @@ class Checkpoint:
     @classmethod
     def load(cls, path: PathLike) -> "Checkpoint":
         return cls.from_json(pathlib.Path(path).read_text())
+
+
+def inspect_checkpoint(text: str) -> Tuple[Optional[Checkpoint], List[Any]]:
+    """Triage an on-disk checkpoint without raising.
+
+    Where :meth:`Checkpoint.from_json` treats damage as a hard
+    configuration error, this returns ``(checkpoint, findings)`` in the
+    sanitizer's vocabulary, so recovery tooling can *report* a damaged
+    artifact and fall back instead of crashing:
+
+    * ``CKPT005`` — the stored digest disagrees with the recomputed one
+      (e.g. the digest field was truncated on disk); the parsed
+      checkpoint is still returned for forensics, but must not be
+      restored from.
+    * ``CKPT006`` — the text is not a checkpoint at all (torn JSON,
+      wrong schema); no checkpoint is returned.
+    """
+    from repro.analysis.report import Finding
+
+    try:
+        checkpoint, stored = Checkpoint._parse(text)
+    except ConfigurationError as error:
+        return None, [
+            Finding(
+                source="checkpoint",
+                rule="CKPT006",
+                message=f"unreadable checkpoint: {error}",
+                time=0,
+            )
+        ]
+    findings: List[Any] = []
+    if stored is not None and stored != checkpoint.digest():
+        findings.append(
+            Finding(
+                source="checkpoint",
+                rule="CKPT005",
+                message=(
+                    "stored digest does not match the checkpoint contents "
+                    f"(expected {checkpoint.digest()[:12]}..., file says "
+                    f"{stored[:12] + '...' if stored else '<empty>'}); "
+                    "truncated or corrupted on disk — do not restore"
+                ),
+                time=checkpoint.time,
+            )
+        )
+    return checkpoint, findings

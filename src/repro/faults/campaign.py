@@ -31,7 +31,11 @@ from repro.faults.monitors import MonitorSuite, default_monitors
 from repro.faults.recovery import run_with_recovery
 from repro.faults.spec import (
     AdaptiveCrashSpec,
+    BitFlipSpec,
+    DroppedWriteSpec,
+    DuplicateWriteSpec,
     FaultSpec,
+    PoisonSpec,
     ProbabilisticCrashSpec,
     StallSpec,
     TornUpdateSpec,
@@ -79,6 +83,47 @@ def preset_specs() -> Dict[str, FaultSpec]:
                 ProbabilisticCrashSpec(rate=0.001, max_crashes=1, after_time=20),
                 StallSpec(victims=(1,), start=100, duration=80, period=500),
                 TornUpdateSpec(rate=0.005, max_crashes=1, after_time=20),
+            ),
+        ),
+    }
+
+
+def corruption_specs() -> Dict[str, FaultSpec]:
+    """Named silent-data-corruption plans (``repro heal --plans ...``).
+
+    Unlike :func:`preset_specs`, these are *not* tuned to converge on
+    their own — a NaN-poisoned run diverges by construction.  They are
+    tuned so the heal layer's detectors catch every corruption within a
+    chunk and the rollback ladder recovers, which is what E14 verifies.
+    Corruption composes with scheduling faults (``sdc-mixed``).
+    """
+    return {
+        "bit-flip": FaultSpec(
+            "bit-flip",
+            (BitFlipSpec(rate=0.004, max_corruptions=3, after_time=30),),
+        ),
+        "nan-poison": FaultSpec(
+            "nan-poison",
+            (PoisonSpec(rate=0.004, mode="nan", max_corruptions=3, after_time=30),),
+        ),
+        "inf-poison": FaultSpec(
+            "inf-poison",
+            (PoisonSpec(rate=0.004, mode="inf", max_corruptions=3, after_time=30),),
+        ),
+        "dup-write": FaultSpec(
+            "dup-write",
+            (DuplicateWriteSpec(rate=0.01, max_corruptions=4, after_time=30),),
+        ),
+        "drop-write": FaultSpec(
+            "drop-write",
+            (DroppedWriteSpec(rate=0.01, max_corruptions=4, after_time=30),),
+        ),
+        "sdc-mixed": FaultSpec(
+            "sdc-mixed",
+            (
+                PoisonSpec(rate=0.002, mode="nan", max_corruptions=2, after_time=40),
+                BitFlipSpec(rate=0.002, max_corruptions=2, after_time=40),
+                ProbabilisticCrashSpec(rate=0.0005, max_crashes=1, after_time=40),
             ),
         ),
     }
@@ -148,6 +193,13 @@ class FaultRunOutcome:
     distance: float
     converged: bool
     violations: Tuple[str, ...]
+    #: Crashes left unrecovered because the ``max_respawns`` budget ran
+    #: out (from :class:`~repro.faults.recovery.RecoveryReport`).
+    respawn_denied: int = 0
+    #: Per-lineage crash counts ``((root_thread_id, crashes), ...)``,
+    #: sorted by root id — a lineage with count > 1 is a respawn that
+    #: crashed again (a "doomed worker").
+    crash_tally: Tuple[Tuple[int, int], ...] = ()
     #: Paper-aligned metrics of the cell (``collect_obs`` campaigns
     #: only).  Excluded from :meth:`CampaignReport.to_json`, so report
     #: bytes are identical with or without observability — metrics flow
@@ -168,7 +220,11 @@ def _chaos_worker(
     model = AtomicArray.allocate(memory, workload.dim, name="model")
     model.load(np.full(workload.dim, workload.x0_scale))
     counter = AtomicCounter.allocate(memory, name="iteration_counter")
-    engine = spec.build(build_scheduler("random", seed=seed), seed=seed)
+    engine = spec.build(
+        build_scheduler("random", seed=seed),
+        seed=seed,
+        num_threads=workload.num_threads,
+    )
     sim = Simulator(memory, engine, seed=seed)
 
     def make_program() -> EpochSGDProgram:
@@ -224,6 +280,8 @@ def _chaos_worker(
         distance=distance,
         converged=distance <= workload.convergence_radius,
         violations=violations,
+        respawn_denied=recovery.respawn_denied,
+        crash_tally=tuple(sorted(recovery.crash_tally.items())),
         obs=obs,
     )
 
@@ -242,6 +300,9 @@ class SpecSummary:
     torn_updates: int
     skipped_crashes: int
     violations: int
+    #: Respawn requests the ``max_respawns`` budget denied, summed over
+    #: the seed ensemble (satellite of the recovery report).
+    respawn_denied: int = 0
 
 
 @dataclass
@@ -278,6 +339,7 @@ class CampaignReport:
                 "respawned",
                 "torn",
                 "budget-skips",
+                "denied",
                 "violations",
             ],
             title="Chaos campaign: fault specs x seeds",
@@ -294,10 +356,22 @@ class CampaignReport:
                     f"{s.mean_respawned:.2f}",
                     s.torn_updates,
                     s.skipped_crashes,
+                    s.respawn_denied,
                     s.violations,
                 ]
             )
         parts = [table.render()]
+        for outcome in self.outcomes:
+            if outcome.respawn_denied or any(
+                count > 1 for _, count in outcome.crash_tally
+            ):
+                tally = ", ".join(
+                    f"{root}x{count}" for root, count in outcome.crash_tally
+                )
+                parts.append(
+                    f"LINEAGES spec={outcome.spec} seed={outcome.seed}: "
+                    f"denied={outcome.respawn_denied} crashes [{tally}]"
+                )
         for outcome in self.outcomes:
             for violation in outcome.violations:
                 parts.append(
@@ -364,6 +438,7 @@ def summarize(outcomes: List[FaultRunOutcome]) -> List[SpecSummary]:
                 torn_updates=sum(o.torn_updates for o in cell),
                 skipped_crashes=sum(o.skipped_crashes for o in cell),
                 violations=sum(len(o.violations) for o in cell),
+                respawn_denied=sum(o.respawn_denied for o in cell),
             )
         )
     return summaries
@@ -395,6 +470,12 @@ def outcome_from_payload(payload: Dict[str, Any]) -> FaultRunOutcome:
     journaled and freshly computed outcomes mix byte-identically."""
     data = dict(payload)
     data["violations"] = tuple(data.get("violations", ()))
+    # Journals written before the lineage fields existed decode with the
+    # dataclass defaults.
+    data.setdefault("respawn_denied", 0)
+    data["crash_tally"] = tuple(
+        (int(root), int(count)) for root, count in data.get("crash_tally", ())
+    )
     data.setdefault("obs", None)
     return FaultRunOutcome(**data)
 

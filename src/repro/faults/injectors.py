@@ -12,6 +12,18 @@ delegates the actual pick to the inner scheduler.  An injector may:
   right after it executes (:meth:`FaultInjector.after_choice` — how torn
   updates are injected at op granularity without any per-step hook).
 
+Besides the scheduling faults, *value-corruption* injectors (silent data
+corruption: bit flips, NaN/Inf poisoning, duplicated and dropped writes)
+also act at selection points, mutating stored values through the
+unlogged ``poke`` path.  A poke costs no logical time, appends nothing
+to the op log, and is invisible to every scheduler — so corrupting never
+perturbs the schedule, only the values, which is exactly what "silent"
+means.  Corruption injectors honor *suppression windows* (half-open
+``[start, end)`` logical-time intervals) inside which they neither draw
+nor fire; the heal layer uses these to retry a rolled-back chunk
+fault-free while keeping checkpoint replay certification sound (windows
+are part of the rebuildable engine configuration, not mutable state).
+
 Because everything happens at ``select`` time, injection behaves
 identically under :meth:`~repro.runtime.simulator.Simulator.run` and the
 elided :meth:`~repro.runtime.simulator.Simulator.run_fast` batch loop —
@@ -20,11 +32,17 @@ the engine never needs step records to inject faults.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set, Tuple
+import math
+import struct
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.spec import (
     AdaptiveCrashSpec,
+    BitFlipSpec,
+    DroppedWriteSpec,
+    DuplicateWriteSpec,
     InjectorSpec,
+    PoisonSpec,
     ProbabilisticCrashSpec,
     StallSpec,
     TornUpdateSpec,
@@ -186,6 +204,167 @@ class TornUpdateInjector(FaultInjector):
             self._doomed.add(thread.thread_id)
 
 
+def _flip_bit(value: float, bit: int) -> float:
+    """Flip one bit of a float64's IEEE-754 image."""
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    (flipped,) = struct.unpack("<d", struct.pack("<Q", bits ^ (1 << bit)))
+    return flipped
+
+
+class ValueCorruptionInjector(FaultInjector):
+    """Base for silent-data-corruption injectors.
+
+    Corruption mutates stored values via ``memory.poke`` — unlogged,
+    free of logical time, invisible to schedulers — so it never perturbs
+    the select sequence, only the numbers.  Suppression windows
+    (:attr:`suppress_windows`, half-open ``[start, end)`` logical-time
+    intervals) gate both the RNG draws and the effects: because they are
+    indexed by logical time, a freshly built engine carrying the same
+    windows reproduces the exact corruption pattern during checkpoint
+    replay — the property the heal layer's rollback certification
+    relies on.
+    """
+
+    def __init__(self, spec, rng: RngStream) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.corrupted = 0  # corruption events applied to memory
+        self.suppress_windows: Tuple[Tuple[int, int], ...] = ()
+        self._segment: Optional[Tuple[int, int]] = None  # (base, end)
+
+    def _charged(self) -> int:
+        """Corruption events counted against ``max_corruptions``."""
+        return self.corrupted
+
+    def _active(self, sim) -> bool:
+        spec = self.spec
+        now = sim.now
+        if now < spec.after_time:
+            return False
+        if (
+            spec.max_corruptions is not None
+            and self._charged() >= spec.max_corruptions
+        ):
+            return False
+        for start, end in self.suppress_windows:
+            if start <= now < end:
+                return False
+        return True
+
+    def _watch_range(self, sim) -> Optional[Tuple[int, int]]:
+        if self._segment is None:
+            try:
+                seg = sim.memory.segment(self.spec.segment)
+            except UnknownAddressError:
+                return None
+            self._segment = (seg.base, seg.base + seg.length)
+        return self._segment
+
+
+class BitFlipInjector(ValueCorruptionInjector):
+    """Flip a random bit of a random watched component (seeded)."""
+
+    def before_select(self, sim, engine) -> None:
+        if not self._active(sim):
+            return
+        watch = self._watch_range(sim)
+        if watch is None:
+            return
+        # Coin first, cell/bit only on a hit: a miss costs one draw
+        # regardless of segment size, keeping streams cheap and aligned.
+        if self.rng.uniform() >= self.spec.rate:
+            return
+        base, end = watch
+        address = base + int(self.rng.integers(0, end - base))
+        bit = int(self.rng.integers(0, 64))
+        sim.memory.poke(address, _flip_bit(sim.memory.peek(address), bit))
+        self.corrupted += 1
+        engine.note_corruption()
+
+
+class PoisonInjector(ValueCorruptionInjector):
+    """Overwrite a random watched component with NaN or ±Inf (seeded)."""
+
+    def before_select(self, sim, engine) -> None:
+        if not self._active(sim):
+            return
+        watch = self._watch_range(sim)
+        if watch is None:
+            return
+        if self.rng.uniform() >= self.spec.rate:
+            return
+        base, end = watch
+        address = base + int(self.rng.integers(0, end - base))
+        if self.spec.mode == "nan":
+            value = math.nan
+        else:
+            value = math.inf if self.rng.uniform() < 0.5 else -math.inf
+        sim.memory.poke(address, value)
+        self.corrupted += 1
+        engine.note_corruption()
+
+
+class _WriteEchoInjector(ValueCorruptionInjector):
+    """Shared machinery for duplicated / dropped ``fetch&add`` faults.
+
+    The decision is taken at select time by inspecting the chosen
+    thread's pending op (the op then provably lands this very step); the
+    echo — re-applying or revoking its delta — is poked in at the next
+    selection point, mirroring :class:`TornUpdateInjector`'s
+    decide-then-fire structure.  Only plain ``fetch&add`` is watched:
+    a guarded fetch&add may legally not land, so echoing it would not
+    be *silent* corruption but a semantics change.
+    """
+
+    #: +1 re-applies the delta (duplicate); -1 revokes it (drop).
+    echo_sign = 1.0
+
+    def __init__(self, spec, rng: RngStream) -> None:
+        super().__init__(spec, rng)
+        self._pending: List[Tuple[int, float]] = []
+
+    def _charged(self) -> int:
+        return self.corrupted + len(self._pending)
+
+    def before_select(self, sim, engine) -> None:
+        if not self._pending:
+            return
+        for address, delta in self._pending:
+            sim.memory.poke(
+                address, sim.memory.peek(address) + self.echo_sign * delta
+            )
+            self.corrupted += 1
+            engine.note_corruption()
+        self._pending.clear()
+
+    def after_choice(self, sim, engine, thread) -> None:
+        spec = self.spec
+        if not self._active(sim):
+            return
+        if spec.victims is not None and thread.thread_id not in spec.victims:
+            return
+        op = thread.pending_op
+        if op is None or op.opcode != OP_FETCH_ADD:
+            return
+        watch = self._watch_range(sim)
+        if watch is None or not watch[0] <= op.address < watch[1]:
+            return
+        if self.rng.uniform() < spec.rate:
+            self._pending.append((op.address, op.delta))
+
+
+class DuplicateWriteInjector(_WriteEchoInjector):
+    """Apply a landed ``fetch&add`` delta a second time (at-least-once)."""
+
+    echo_sign = 1.0
+
+
+class DroppedWriteInjector(_WriteEchoInjector):
+    """Revoke a landed ``fetch&add`` delta (lost update)."""
+
+    echo_sign = -1.0
+
+
 def build_injector(spec: InjectorSpec, rng: RngStream) -> FaultInjector:
     """Instantiate the runtime injector for one spec."""
     if isinstance(spec, ProbabilisticCrashSpec):
@@ -196,6 +375,14 @@ def build_injector(spec: InjectorSpec, rng: RngStream) -> FaultInjector:
         return StallInjector(spec, rng)
     if isinstance(spec, TornUpdateSpec):
         return TornUpdateInjector(spec, rng)
+    if isinstance(spec, BitFlipSpec):
+        return BitFlipInjector(spec, rng)
+    if isinstance(spec, PoisonSpec):
+        return PoisonInjector(spec, rng)
+    if isinstance(spec, DuplicateWriteSpec):
+        return DuplicateWriteInjector(spec, rng)
+    if isinstance(spec, DroppedWriteSpec):
+        return DroppedWriteInjector(spec, rng)
     raise ConfigurationError(f"unknown injector spec: {type(spec).__name__}")
 
 
@@ -236,6 +423,7 @@ class FaultInjectionScheduler(Scheduler):
         self._m_crashes = None
         self._m_skipped = None
         self._m_reroutes = None
+        self._m_corruptions = None
         spawn_hook = live_hook(inner, "on_spawn")
         if spawn_hook is not None:
             self.on_spawn = spawn_hook
@@ -252,6 +440,7 @@ class FaultInjectionScheduler(Scheduler):
         registry = live_registry(metrics)
         if registry is None:
             self._m_crashes = self._m_skipped = self._m_reroutes = None
+            self._m_corruptions = None
             return
         self._m_crashes = registry.counter(
             "repro_faults_crashes_total", "injected crashes fired"
@@ -264,6 +453,35 @@ class FaultInjectionScheduler(Scheduler):
             "repro_faults_stall_reroutes_total",
             "picks rerouted around stalled threads",
         )
+        self._m_corruptions = registry.counter(
+            "repro_faults_corruptions_total",
+            "value-corruption events applied to shared memory",
+        )
+
+    def note_corruption(self) -> None:
+        """Count one applied corruption event (called by injectors)."""
+        if self._m_corruptions is not None:
+            self._m_corruptions.inc()
+
+    @property
+    def corruptions(self) -> int:
+        """Corruption events applied to memory across all injectors."""
+        return sum(
+            injector.corrupted
+            for injector in self.injectors
+            if isinstance(injector, ValueCorruptionInjector)
+        )
+
+    def set_suppression(self, windows: Sequence[Tuple[int, int]]) -> None:
+        """Install logical-time suppression windows on every corruption
+        injector (scheduling-fault injectors are unaffected).  The heal
+        layer passes the same windows to replay-rebuilt engines, so the
+        corruption pattern is a pure function of (spec, seed, windows).
+        """
+        frozen = tuple((int(start), int(end)) for start, end in windows)
+        for injector in self.injectors:
+            if isinstance(injector, ValueCorruptionInjector):
+                injector.suppress_windows = frozen
 
     def try_crash(self, sim, thread_id: int) -> bool:
         """Crash ``thread_id`` if every budget allows it.

@@ -8,15 +8,25 @@ that fires all of them at selection points.  Because the spec (not the
 runtime injector) is what campaigns grid over and ship to worker
 processes, every field here is a plain value type.
 
-All the faults expressible here are *legal* adversary behaviour in the
-asynchronous shared-memory model:
+Two fault families live here:
 
-* crashing a thread (up to the ``n - 1`` budget) — probabilistic,
-  adaptive, or conditioned on the operation just executed (torn updates);
-* delaying a thread arbitrarily (stall windows).
+* **scheduling faults** — legal adversary behaviour in the asynchronous
+  shared-memory model: crashing a thread (up to the ``n - 1`` budget),
+  probabilistically, adaptively, or conditioned on the operation just
+  executed (torn updates); and delaying a thread arbitrarily (stall
+  windows).  The adversary schedules and kills, it does not write.
+* **value-corruption faults** — *silent data corruption*, outside the
+  paper's model but exactly what a production stack must survive (the
+  perturbed-iterate regime of "Taming the Wild"): flipping a bit of a
+  stored model component (:class:`BitFlipSpec`), poisoning a component
+  to NaN/Inf (:class:`PoisonSpec`), and echoing or revoking a landed
+  ``fetch&add`` (:class:`DuplicateWriteSpec` /
+  :class:`DroppedWriteSpec`).  Corruption fires through the unlogged
+  ``poke`` path at selection points, so it is deterministic under the
+  plan seed and identical under ``run()``/``run_fast()`` — and it is
+  what the :mod:`repro.heal` layer detects and rolls back.
 
-Nothing here can corrupt memory or forge operations — the adversary
-schedules and kills, it does not write.
+Both families compose freely inside one :class:`FaultSpec`.
 """
 
 from __future__ import annotations
@@ -146,10 +156,139 @@ class TornUpdateSpec:
             raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
 
 
+@dataclass(frozen=True)
+class BitFlipSpec:
+    """Flip one random bit of a stored model component.
+
+    With probability ``rate`` per selection point, one component of the
+    watched segment has a uniformly chosen bit of its float64 image
+    flipped in place.  Mantissa flips are small perturbations (the
+    perturbed-iterate regime); exponent/sign flips can send a component
+    to 1e300 or NaN — exactly the silent-data-corruption spectrum the
+    heal layer must catch.
+
+    Attributes:
+        rate: Per-select corruption probability in [0, 1].
+        segment: Named shared-memory segment whose components may flip.
+        max_corruptions: Cap on corruption events; ``None`` is unbounded.
+        after_time: No corruption before this logical time.
+    """
+
+    rate: float
+    segment: str = "model"
+    max_corruptions: Optional[int] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class PoisonSpec:
+    """Poison a stored model component to NaN or ±Inf.
+
+    With probability ``rate`` per selection point, one component of the
+    watched segment is overwritten with NaN (``mode="nan"``) or an
+    infinity of random sign (``mode="inf"``).  Poison persists under
+    ``fetch&add`` (NaN + x = NaN), so the streaming NaN/Inf guard is
+    guaranteed to see it at the next chunk boundary.
+
+    Attributes:
+        rate: Per-select corruption probability in [0, 1].
+        segment: Named shared-memory segment whose components may be
+            poisoned.
+        mode: ``"nan"`` or ``"inf"``.
+        max_corruptions: Cap on corruption events; ``None`` is unbounded.
+        after_time: No corruption before this logical time.
+    """
+
+    rate: float
+    segment: str = "model"
+    mode: str = "nan"
+    max_corruptions: Optional[int] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+        if self.mode not in ("nan", "inf"):
+            raise ConfigurationError(
+                f'mode must be "nan" or "inf", got {self.mode!r}'
+            )
+
+
+@dataclass(frozen=True)
+class DuplicateWriteSpec:
+    """Silently apply a landed ``fetch&add`` twice.
+
+    When a victim's plain ``fetch&add`` into the watched segment lands,
+    with probability ``rate`` its delta is applied *again* one step
+    later through the unlogged poke path — the classic at-least-once
+    delivery bug, invisible to the op log.
+
+    Attributes:
+        rate: Per-eligible-op duplication probability in [0, 1].
+        segment: Named shared-memory segment to watch.
+        victims: Thread ids whose writes may duplicate; ``None`` = all.
+        max_corruptions: Cap on corruption events; ``None`` is unbounded.
+        after_time: No corruption before this logical time.
+    """
+
+    rate: float
+    segment: str = "model"
+    victims: Optional[Tuple[int, ...]] = None
+    max_corruptions: Optional[int] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class DroppedWriteSpec:
+    """Silently revoke a landed ``fetch&add``.
+
+    When a victim's plain ``fetch&add`` into the watched segment lands,
+    with probability ``rate`` its delta is subtracted back out one step
+    later through the unlogged poke path — a lost update the victim
+    believes succeeded.
+
+    Attributes:
+        rate: Per-eligible-op drop probability in [0, 1].
+        segment: Named shared-memory segment to watch.
+        victims: Thread ids whose writes may drop; ``None`` = all.
+        max_corruptions: Cap on corruption events; ``None`` is unbounded.
+        after_time: No corruption before this logical time.
+    """
+
+    rate: float
+    segment: str = "model"
+    victims: Optional[Tuple[int, ...]] = None
+    max_corruptions: Optional[int] = None
+    after_time: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+
+
 #: Any single-fault description the DSL accepts.
 InjectorSpec = Union[
-    ProbabilisticCrashSpec, AdaptiveCrashSpec, StallSpec, TornUpdateSpec
+    ProbabilisticCrashSpec,
+    AdaptiveCrashSpec,
+    StallSpec,
+    TornUpdateSpec,
+    BitFlipSpec,
+    PoisonSpec,
+    DuplicateWriteSpec,
+    DroppedWriteSpec,
 ]
+
+#: Spec types that corrupt stored values (the silent-data-corruption
+#: family) — the ones the heal layer suppresses during a rollback retry.
+CORRUPTION_SPECS = (BitFlipSpec, PoisonSpec, DuplicateWriteSpec, DroppedWriteSpec)
 
 
 @dataclass(frozen=True)
@@ -169,15 +308,45 @@ class FaultSpec:
     injectors: Tuple[InjectorSpec, ...] = field(default_factory=tuple)
     crash_budget: Optional[int] = None
 
-    def build(self, inner, seed: int = 0):
+    def validate(self, num_threads: int) -> None:
+        """Check the plan against a concrete thread count.
+
+        Raises :class:`~repro.errors.ConfigurationError` when any
+        injector targets a thread id outside ``[0, num_threads)`` —
+        caught at spec-build time instead of silently never firing (or
+        exploding) mid-run.  Respawned lineages get ids ``>= n``, so
+        only *original* ids are plannable victims.
+        """
+        if num_threads < 1:
+            raise ConfigurationError(
+                f"num_threads must be >= 1, got {num_threads}"
+            )
+        for spec in self.injectors:
+            victims = getattr(spec, "victims", None)
+            if victims is None:
+                continue
+            bad = sorted(tid for tid in victims if not 0 <= tid < num_threads)
+            if bad:
+                raise ConfigurationError(
+                    f"fault plan {self.name!r}: {type(spec).__name__} targets "
+                    f"non-existent thread id(s) {bad} (run has "
+                    f"{num_threads} threads, ids 0..{num_threads - 1})"
+                )
+
+    def build(self, inner, seed: int = 0, num_threads: Optional[int] = None):
         """Wrap ``inner`` in a seeded fault-injection scheduler.
 
         Each injector receives an independent child stream of ``seed``,
         so adding or removing one injector never perturbs the draws of
         the others (campaign sweeps stay comparable across specs).
+
+        When ``num_threads`` is given the plan is validated against it
+        first (see :meth:`validate`).
         """
         from repro.faults.injectors import FaultInjectionScheduler, build_injector
 
+        if num_threads is not None:
+            self.validate(num_threads)
         root = RngStream.root(seed)
         streams = root.spawn(len(self.injectors)) if self.injectors else []
         runtime = tuple(

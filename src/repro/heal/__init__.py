@@ -1,0 +1,43 @@
+"""Self-healing execution: detect silent data corruption, roll back, retry.
+
+The fault DSL can now *corrupt values* (bit flips, NaN/Inf poison,
+duplicated/dropped writes — :mod:`repro.faults.spec`); this package is
+the response.  :mod:`repro.heal.detectors` holds read-only health
+detectors fed at the same chunk boundaries the sanitizer uses, and
+:mod:`repro.heal.rollback` holds the checkpoint-rollback retry ladder
+that turns a detection into a recovery: replay-restore the last healthy
+cut, retry the chunk with exponential backoff on a retry budget, then
+degrade — shrink the step size, fall back to a safer algorithm variant,
+and only then abandon with a structured :class:`HealReport`.  It is the
+WD001–WD003 watchdog ladder transplanted to the numerical layer.
+"""
+
+from repro.heal.detectors import (
+    CheckpointDigestDetector,
+    DetectorSuite,
+    GradientNormDetector,
+    HealthDetector,
+    LossDivergenceDetector,
+    NanGuardDetector,
+    default_detectors,
+)
+from repro.heal.rollback import (
+    HealPolicy,
+    HealReport,
+    HealRunResult,
+    run_with_healing,
+)
+
+__all__ = [
+    "CheckpointDigestDetector",
+    "DetectorSuite",
+    "GradientNormDetector",
+    "HealthDetector",
+    "LossDivergenceDetector",
+    "NanGuardDetector",
+    "default_detectors",
+    "HealPolicy",
+    "HealReport",
+    "HealRunResult",
+    "run_with_healing",
+]

@@ -479,3 +479,81 @@ class TestFindingModel:
         assert violation.monitor == "model-finite"
         assert str(violation) == "[model-finite @ t=12] model[0] is inf"
         assert violation.as_dict()["severity"] == "error"
+
+
+MUTATING_DETECTOR_FIXTURE = '''
+class QuietDetector:
+    def check(self, sim):
+        view = sim.memory.peek_range(0, 4)
+        sim.memory.poke(0, 0.0)
+        sim.memory.load([0.0])
+        raw = sim.memory._values[0]
+        return None
+'''
+
+MUTATING_DETECTOR_PRAGMA_FIXTURE = '''
+class QuietDetector:
+    def check(self, sim):
+        sim.memory.poke(0, 0.0)  # repro: allow(RPL104)
+        return None
+'''
+
+READ_ONLY_DETECTOR_FIXTURE = '''
+import json
+
+class HonestDetector:
+    def check(self, sim):
+        view = sim.memory.peek_range(0, 4)
+        with open("config.json") as handle:
+            config = json.load(handle)
+        return None
+'''
+
+DETECTOR_BY_BASE_FIXTURE = '''
+from repro.heal.detectors import HealthDetector
+
+class Sneaky(HealthDetector):
+    def check(self, sim):
+        sim.memory.store(0, 1.0)
+        return None
+'''
+
+NON_DETECTOR_POKE_FIXTURE = '''
+class Driver:
+    def prepare(self, sim):
+        sim.memory.poke(0, 2.0)  # drivers may poke; not a detector
+'''
+
+
+class TestLintDetectorPurity:
+    """RPL104: health detectors are read-only observers."""
+
+    def test_mutating_detector_is_flagged_per_sin(self):
+        findings = lint_source(MUTATING_DETECTOR_FIXTURE, path="fixture.py")
+        hits = [f for f in findings if f.rule == "RPL104"]
+        # The .poke() call, the memory.load() call and the ._values reach.
+        assert len(hits) == 3
+        assert all("QuietDetector" in f.message for f in hits)
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            MUTATING_DETECTOR_PRAGMA_FIXTURE, path="fixture.py"
+        )
+        assert not [f for f in findings if f.rule == "RPL104"]
+
+    def test_read_only_detector_is_clean(self):
+        # peek_range is fine, and json.load is not a memory mutation.
+        findings = lint_source(READ_ONLY_DETECTOR_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL104"]
+
+    def test_healthdetector_subclass_caught_by_base(self):
+        findings = lint_source(DETECTOR_BY_BASE_FIXTURE, path="fixture.py")
+        assert [f.rule for f in findings] == ["RPL104"]
+
+    def test_non_detector_classes_exempt(self):
+        findings = lint_source(NON_DETECTOR_POKE_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL104"]
+
+    def test_shipped_detectors_pass_their_own_rule(self):
+        findings = lint_paths(["src/repro/heal"])
+        assert findings == [], render_findings(findings)

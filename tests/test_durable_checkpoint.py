@@ -308,3 +308,50 @@ class TestPrefixReplayScheduler:
         sim = build_sim(RandomScheduler(seed=9))
         sim.run_fast(max_steps=10)
         assert sim.state_digest() == state_digest(sim)
+
+
+class TestInspectCheckpoint:
+    """`inspect_checkpoint`: forensic (non-raising) checkpoint triage."""
+
+    def _checkpoint_text(self):
+        sim = build_sim(RecordingScheduler(RandomScheduler(seed=9)))
+        sim.run_fast(max_steps=20)
+        return Checkpoint.capture(sim).to_json()
+
+    def test_intact_checkpoint_yields_no_findings(self):
+        from repro.durable.checkpoint import inspect_checkpoint
+
+        checkpoint, findings = inspect_checkpoint(self._checkpoint_text())
+        assert findings == []
+        assert checkpoint is not None
+        assert checkpoint.time == 20
+
+    def test_digest_mismatch_is_ckpt005_not_a_raise(self):
+        import json as _json
+
+        from repro.durable.checkpoint import inspect_checkpoint
+
+        payload = _json.loads(self._checkpoint_text())
+        payload["memory_values"][0] += 1.0  # simulate on-disk corruption
+        checkpoint, findings = inspect_checkpoint(_json.dumps(payload))
+        assert [f.rule for f in findings] == ["CKPT005"]
+        assert "do not restore" in findings[0].message
+        # The parsed checkpoint is still returned for forensics.
+        assert checkpoint is not None
+        assert checkpoint.memory_values[0] == payload["memory_values"][0]
+
+    def test_truncated_text_is_ckpt006_with_no_checkpoint(self):
+        from repro.durable.checkpoint import inspect_checkpoint
+
+        text = self._checkpoint_text()
+        checkpoint, findings = inspect_checkpoint(text[: len(text) // 2])
+        assert checkpoint is None
+        assert [f.rule for f in findings] == ["CKPT006"]
+
+    def test_from_json_still_raises_on_mismatch(self):
+        import json as _json
+
+        payload = _json.loads(self._checkpoint_text())
+        payload["memory_values"][0] += 1.0
+        with pytest.raises(ConfigurationError):
+            Checkpoint.from_json(_json.dumps(payload))

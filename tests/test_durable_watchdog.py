@@ -284,3 +284,64 @@ class TestPooledIntegration:
         with pytest.raises(InterruptedRunError):
             run_ensemble(worker, list(range(5)), jobs=1, shutdown=shutdown)
         assert calls == [0, 1]  # stopped at the next seed boundary
+
+
+class TestRunChunksPooledDirect:
+    """`_run_chunks_pooled` driven directly (no run_ensemble wrapper):
+    the reroute path must refill every slot exactly once, and the
+    abandon path must leave unfinished slots as None for the caller's
+    serial fallback."""
+
+    def _patch(self, monkeypatch, pool, fake_wait):
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", pool)
+        monkeypatch.setattr(ensemble, "wait", fake_wait)
+
+    def test_reroute_refills_every_chunk_once(self, monkeypatch):
+        clock = FakeClock()
+        pool = _InProcessPool()
+        self._patch(monkeypatch, pool, _stalling_wait(clock, stall_rounds=1))
+        watchdog = EnsembleWatchdog(
+            WatchdogPolicy(heartbeat_timeout=5.0, max_reroutes=1), clock=clock
+        )
+        chunks = [[0, 1], [2, 3], [4, 5]]
+        delivered = []
+        results = ensemble._run_chunks_pooled(
+            _square,
+            chunks,
+            jobs=3,
+            chunk_retries=1,
+            chunk_timeout=None,
+            backoff_base=0.0,
+            watchdog=watchdog,
+            on_chunk=lambda index, part: delivered.append((index, part)),
+        )
+        assert results == [[s * s for s in chunk] for chunk in chunks]
+        assert watchdog.reroutes == 1
+        assert [f.rule for f in watchdog.findings] == ["WD001"]
+        # on_chunk fired exactly once per chunk despite the duplicate
+        # submissions the reroute caused.
+        assert sorted(index for index, _part in delivered) == [0, 1, 2]
+        assert pool.submits == 2 * len(chunks)
+
+    def test_abandon_leaves_unfilled_slots_none(self, monkeypatch):
+        clock = FakeClock()
+        self._patch(
+            monkeypatch,
+            _InProcessPool(),
+            _stalling_wait(clock, stall_rounds=99),
+        )
+        watchdog = EnsembleWatchdog(
+            WatchdogPolicy(heartbeat_timeout=5.0, max_reroutes=0), clock=clock
+        )
+        chunks = [[0], [1]]
+        results = ensemble._run_chunks_pooled(
+            _square,
+            chunks,
+            jobs=2,
+            chunk_retries=0,
+            chunk_timeout=None,
+            backoff_base=0.0,
+            watchdog=watchdog,
+        )
+        assert results == [None, None]
+        assert [f.rule for f in watchdog.findings] == ["WD002"]

@@ -158,3 +158,70 @@ class TestChaosCli:
         )
         assert code == 0
         assert "verdict: PASS" in capsys.readouterr().out
+
+
+class TestLineageAccounting:
+    """Respawn denials and per-lineage crash tallies surface in rendered
+    campaign reports and survive the journal codec (satellite of the
+    recovery report)."""
+
+    def _denied_report(self):
+        config = _config(
+            specs=(
+                FaultSpec(
+                    "crashy",
+                    (ProbabilisticCrashSpec(rate=0.05, max_crashes=3),),
+                ),
+            ),
+            seeds=(1, 2, 3),
+            max_respawns=0,
+        )
+        return run_campaign(config)
+
+    def test_respawn_denied_counted_and_rendered(self):
+        report = self._denied_report()
+        denied = sum(o.respawn_denied for o in report.outcomes)
+        crashed = sum(o.crashed for o in report.outcomes)
+        assert crashed >= 1, "crash spec never fired; rates too low"
+        assert denied == crashed  # zero respawn budget denies every one
+        text = report.render()
+        assert "denied" in text.splitlines()[1]
+        assert any(
+            line.startswith("LINEAGES spec=crashy") for line in text.splitlines()
+        ), text
+        summary = next(s for s in report.summaries if s.spec == "crashy")
+        assert summary.respawn_denied == denied
+
+    def test_crash_tally_lists_each_crashed_lineage(self):
+        report = self._denied_report()
+        for outcome in report.outcomes:
+            assert sum(c for _tid, c in outcome.crash_tally) == outcome.crashed
+            for thread_id, count in outcome.crash_tally:
+                assert 0 <= thread_id and count >= 1
+
+    def test_lineage_fields_survive_the_journal_codec(self):
+        from repro.faults.campaign import (
+            outcome_from_payload,
+            outcome_to_payload,
+        )
+
+        report = self._denied_report()
+        for outcome in report.outcomes:
+            payload = json.loads(json.dumps(outcome_to_payload(outcome)))
+            rebuilt = outcome_from_payload(payload)
+            assert rebuilt.respawn_denied == outcome.respawn_denied
+            assert rebuilt.crash_tally == outcome.crash_tally
+
+    def test_json_report_carries_the_new_fields(self):
+        report = self._denied_report()
+        payload = json.loads(report.to_json())
+        assert all("respawn_denied" in o for o in payload["outcomes"])
+        assert all("crash_tally" in o for o in payload["outcomes"])
+        assert any(s["respawn_denied"] > 0 for s in payload["summaries"])
+
+    def test_clean_campaign_prints_no_lineage_lines(self):
+        report = run_campaign(_config())
+        lines = report.render().splitlines()
+        # The baseline grid has no denials and no repeat-crash lineage,
+        # so the LINEAGES detail stays out of the report.
+        assert not any(line.startswith("LINEAGES") for line in lines)
