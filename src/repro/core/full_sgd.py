@@ -128,8 +128,10 @@ class FullSGDThreadProgram(Program):
             start_time = ctx.now - 1
 
             # Ratchet the shared epoch register up to this iteration's
-            # epoch (lock-free: CAS k -> k+1 until it catches up).
-            while True:
+            # epoch (lock-free: CAS k -> k+1 until it catches up).  The
+            # register is monotone, so every retry round some thread has
+            # advanced it — the loop runs at most ``epoch`` rounds.
+            while True:  # repro: allow(RPL105)
                 current = yield self.epoch_register.read_op()
                 if current >= epoch:
                     break

@@ -80,7 +80,10 @@ class LockedSGDProgram(Program):
             # make progress — without this they would spin the waiters
             # forever while starving the parked lock holder.
             ctx.annotate("phase", "lock")
-            while True:
+            # Intentional unbounded spin: a lock-based baseline waits as
+            # long as the adversary starves the holder (the point of the
+            # variant).  Not enumerable by `repro verify` at any scope.
+            while True:  # repro: allow(RPL105)
                 acquired = yield self.lock.cas_op(0.0, 1.0)
                 if acquired:
                     break

@@ -75,6 +75,34 @@ class SchedulerError(SimulationError):
     """A scheduler made an illegal decision (e.g. picked a finished thread)."""
 
 
+class ReplayDivergenceError(SchedulerError):
+    """A schedule replay diverged from its recording.
+
+    Raised by the replay schedulers in :mod:`repro.sched.replay` when the
+    live simulation disagrees with the recorded decision sequence — the
+    inner scheduler picked a different thread, the recorded thread is not
+    runnable, or the recording ran out while the simulation still wants
+    steps.  Structured so the verification tier (and checkpoint restore)
+    can report *where* a counterexample replay broke instead of failing
+    with undefined behavior past the prefix.
+
+    Attributes:
+        step_index: 0-based decision index at which replay diverged.
+        expected: Thread id the recording prescribes (``-1`` when the
+            recording was exhausted and prescribes nothing).
+        actual: Thread id the live run produced (``-1`` when the recorded
+            thread simply was not runnable).
+    """
+
+    def __init__(
+        self, message: str, step_index: int, expected: int, actual: int
+    ) -> None:
+        super().__init__(message)
+        self.step_index = step_index
+        self.expected = expected
+        self.actual = actual
+
+
 class ProgramError(SimulationError):
     """A simulated program misbehaved (yielded a non-operation, etc.)."""
 

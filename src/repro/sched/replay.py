@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.errors import SchedulerError
+from repro.errors import ReplayDivergenceError
 from repro.runtime.policy import live_hook
 from repro.sched.base import Scheduler
 
@@ -46,7 +46,7 @@ class PrefixReplayScheduler(Scheduler):
     continue.  In ``verify`` mode (the default) ``inner`` is consulted on
     every prefix step and must agree with the recording: that both
     *certifies* determinism (a disagreement means the replayed run is not
-    the recorded run, raised as :class:`SchedulerError`) and advances the
+    the recorded run, raised as :class:`ReplayDivergenceError`) and advances the
     inner scheduler's internal state — RNG draws, adaptive histories,
     fault-injection budgets — to exactly what it was at the cut, so the
     post-prefix continuation is byte-identical to the uninterrupted run.
@@ -93,11 +93,14 @@ class PrefixReplayScheduler(Scheduler):
             if self.verify:
                 choice = int(self.inner.select(sim))
                 if choice != recorded:
-                    raise SchedulerError(
+                    raise ReplayDivergenceError(
                         f"replay divergence at decision {self._cursor - 1}: "
                         f"inner scheduler picked thread {choice}, recording "
                         f"says {recorded} — the replayed run is not the "
-                        "recorded run"
+                        "recorded run",
+                        step_index=self._cursor - 1,
+                        expected=recorded,
+                        actual=choice,
                     )
             self.decisions.append(recorded)
             return recorded
@@ -112,7 +115,7 @@ class ReplayScheduler(Scheduler):
     Args:
         schedule: The thread-id sequence to replay.
         strict: When True (default), running out of schedule or hitting a
-            non-runnable choice raises :class:`SchedulerError` — replay
+            non-runnable choice raises :class:`ReplayDivergenceError` — replay
             divergence means the run being replayed differs from the run
             that was recorded, which should never pass silently.  With
             ``strict=False`` the scheduler falls back to the first
@@ -133,19 +136,25 @@ class ReplayScheduler(Scheduler):
         runnable = self._runnable(sim)
         if self._cursor >= len(self._schedule):
             if self.strict:
-                raise SchedulerError(
+                raise ReplayDivergenceError(
                     "replay schedule exhausted but the simulation wants "
-                    f"another step (played {self._cursor} decisions)"
+                    f"another step (played {self._cursor} decisions)",
+                    step_index=self._cursor,
+                    expected=-1,
+                    actual=runnable[0],
                 )
             return runnable[0]
         choice = self._schedule[self._cursor]
         self._cursor += 1
         if choice not in runnable:
             if self.strict:
-                raise SchedulerError(
+                raise ReplayDivergenceError(
                     f"replay divergence at decision {self._cursor - 1}: "
                     f"recorded thread {choice} is not runnable "
-                    f"(runnable: {runnable})"
+                    f"(runnable: {runnable})",
+                    step_index=self._cursor - 1,
+                    expected=choice,
+                    actual=-1,
                 )
             return runnable[0]
         return choice

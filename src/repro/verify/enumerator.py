@@ -1,0 +1,264 @@
+"""Depth-first schedule enumeration with sleep-set partial-order reduction.
+
+The simulator is deterministic given (programs, seeds, schedule), so the
+space of behaviors at a fixed scope *is* the tree of schedules: at every
+``select()`` point the driver forks over each runnable thread.  Programs
+are plain Python generators — there is no way to snapshot and restore a
+coroutine frame — so backtracking is implemented by **re-execution**: a
+node at depth *d* is reached by building a fresh simulation from the
+factory and forcing the *d*-step decision prefix through a strict
+:class:`repro.sched.replay.ReplayScheduler`.  Determinism makes the
+re-executed node bit-identical to the abandoned one; the cost is
+O(depth) steps per node, measured by :attr:`EnumerationStats.replays`.
+
+Pruning is the classic Flanagan–Godefroid sleep-set reduction, driven by
+the *concrete* pending operations at the frontier (see
+:mod:`repro.verify.independence`): after exploring thread *t* from a
+node, *t* enters the sleep set of its siblings' subtrees and stays
+asleep along a branch until some step dependent on *t*'s pending
+operation fires.  Sleep sets guarantee at least one representative per
+Mazurkiewicz trace still reaches every terminal state, so checking a
+schedule-insensitive property on each complete schedule explored equals
+checking it on *all* interleavings.  (Lemma certificates compare against
+*measured* contention, which is itself a per-schedule quantity, so each
+explored representative is certified individually — see DESIGN.md §16.)
+
+State-digest memoization (``memoize=True``) additionally skips a
+frontier whose digest was already visited under a smaller-or-equal
+sleep set.  :meth:`Simulator.state_digest` does not capture
+generator-local variables, so the digest here extends it with each
+thread's full (op, result) history; even so, two histories can coincide
+on digest while differing in ways a *checker* cares about, so
+memoization is off by default for certification runs and exists to be
+measured (see ``benchmarks/bench_verify.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.simulator import Simulator
+from repro.sched.base import Scheduler
+from repro.sched.replay import ReplayScheduler
+from repro.verify.independence import ops_conflict
+
+#: Builds a fresh simulation driven by the given scheduler.  Called once
+#: per DFS node; must be deterministic (same scheduler decisions ⇒ same
+#: execution), which holds for everything built on the runtime's
+#: spawn-order-derived RNG streams.
+SimulationFactory = Callable[[Scheduler], Simulator]
+
+#: Callback invoked with the finished simulation and its complete
+#: schedule (``on_schedule``) or the truncated simulation and its prefix
+#: (``on_budget``).
+ScheduleCallback = Callable[[Simulator, Tuple[int, ...]], None]
+
+
+@dataclass(frozen=True)
+class EnumerationStats:
+    """Counters describing one enumeration pass."""
+
+    #: Complete (terminal) schedules explored — with POR on, one or more
+    #: representatives per Mazurkiewicz trace; with POR off, every
+    #: interleaving.
+    schedules: int
+    #: Interior + terminal DFS nodes expanded.
+    nodes: int
+    #: Fresh simulations built (one per node; re-execution backtracking).
+    replays: int
+    #: Simulator steps executed across all replays.
+    steps: int
+    #: Deepest schedule reached.
+    max_depth: int
+    #: Branches skipped because the thread was asleep.
+    sleep_skips: int
+    #: Frontiers skipped by state-digest memoization.
+    memo_skips: int
+    #: Schedules truncated by the ``max_steps`` budget (non-terminating
+    #: or too-deep programs; any non-zero value voids exhaustiveness).
+    budget_hits: int
+
+
+@dataclass(frozen=True)
+class EnumerationResult:
+    """Outcome of :func:`enumerate_schedules`."""
+
+    stats: EnumerationStats
+    #: Complete schedules in DFS order, when ``collect=True``.
+    schedules: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    @property
+    def exhaustive(self) -> bool:
+        """Whether every behavior at scope was covered (no budget hits)."""
+        return self.stats.budget_hits == 0
+
+
+class _Counters:
+    """Mutable mirror of :class:`EnumerationStats` used during the DFS."""
+
+    def __init__(self) -> None:
+        self.schedules = 0
+        self.nodes = 0
+        self.replays = 0
+        self.steps = 0
+        self.max_depth = 0
+        self.sleep_skips = 0
+        self.memo_skips = 0
+        self.budget_hits = 0
+
+    def freeze(self) -> EnumerationStats:
+        return EnumerationStats(
+            schedules=self.schedules,
+            nodes=self.nodes,
+            replays=self.replays,
+            steps=self.steps,
+            max_depth=self.max_depth,
+            sleep_skips=self.sleep_skips,
+            memo_skips=self.memo_skips,
+            budget_hits=self.budget_hits,
+        )
+
+
+def frontier_digest(sim: Simulator) -> str:
+    """State digest extended with per-thread operation histories.
+
+    :meth:`Simulator.state_digest` covers memory values, the clock and
+    thread lifecycle states but not generator-local variables; two
+    frontiers with the same digest could still be about to behave
+    differently.  Appending every thread's executed (op, result)
+    sequence closes that gap for programs whose local state is a
+    function of their operation history — true of the SGD programs here,
+    but not checkable in general, which is why memoization defaults off.
+    """
+    if not sim.memory.record_log:
+        raise ConfigurationError(
+            "frontier_digest requires the simulation's memory to record "
+            "its operation log (record_log=True)"
+        )
+    hasher = hashlib.sha256(sim.state_digest().encode("ascii"))
+    histories: Dict[int, List[str]] = {}
+    for record in sim.memory.log:
+        histories.setdefault(record.thread_id, []).append(
+            f"{record.op!r}={record.result!r}"
+        )
+    # Per-thread (not global) order: two frontiers that interleaved the
+    # same per-thread histories differently but reached the same memory
+    # state are behaviorally identical, which is exactly the coincidence
+    # memoization wants to exploit.
+    for tid in sorted(histories):
+        hasher.update(f"|{tid}:".encode())
+        hasher.update(";".join(histories[tid]).encode())
+    return hasher.hexdigest()
+
+
+def enumerate_schedules(
+    factory: SimulationFactory,
+    max_steps: int,
+    por: bool = True,
+    memoize: bool = False,
+    collect: bool = False,
+    on_schedule: Optional[ScheduleCallback] = None,
+    on_budget: Optional[ScheduleCallback] = None,
+    max_nodes: int = 1_000_000,
+) -> EnumerationResult:
+    """Explore every schedule of the factory's simulation at scope.
+
+    Args:
+        factory: Builds a fresh, deterministic simulation for a given
+            scheduler; called once per DFS node.
+        max_steps: Total step budget per schedule.  A schedule that is
+            not done after ``max_steps`` counts as a budget hit (and the
+            result is no longer a universal certificate).
+        por: Apply the sleep-set reduction.  With ``por=False`` every
+            interleaving is visited — the full tree, used to measure the
+            reduction factor.
+        memoize: Skip frontiers already visited (by
+            :func:`frontier_digest`) under a subset sleep set.  Off by
+            default; see the module docstring for the soundness caveat.
+        collect: Also return the complete schedules in DFS order.
+        on_schedule: Called with ``(sim, schedule)`` for every complete
+            schedule, on the finished simulation — this is where
+            sanitizers and certifiers run.
+        on_budget: Called with ``(sim, prefix)`` for every truncated
+            schedule.
+        max_nodes: Hard cap on DFS nodes; exceeding it raises
+            :class:`ConfigurationError` (the scope is not enumerable).
+    """
+    if max_steps < 1:
+        raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
+    if max_nodes < 1:
+        raise ConfigurationError(f"max_nodes must be >= 1, got {max_nodes}")
+    counters = _Counters()
+    memo: Dict[str, List[FrozenSet[int]]] = {}
+    collected: List[Tuple[int, ...]] = []
+
+    def replay(prefix: List[int]) -> Simulator:
+        sim = factory(ReplayScheduler(list(prefix), strict=True))
+        counters.replays += 1
+        for _ in range(len(prefix)):
+            sim.step()
+        counters.steps += len(prefix)
+        return sim
+
+    def explore(prefix: List[int], sleep: FrozenSet[int]) -> None:
+        if counters.nodes >= max_nodes:
+            raise ConfigurationError(
+                f"schedule enumeration exceeded max_nodes={max_nodes} at "
+                f"depth {len(prefix)} — the scope is not exhaustively "
+                "enumerable; shrink threads/iterations or raise max_nodes"
+            )
+        sim = replay(prefix)
+        counters.nodes += 1
+        if len(prefix) > counters.max_depth:
+            counters.max_depth = len(prefix)
+        if sim.is_done:
+            counters.schedules += 1
+            if collect:
+                collected.append(tuple(prefix))
+            if on_schedule is not None:
+                on_schedule(sim, tuple(prefix))
+            return
+        if len(prefix) >= max_steps:
+            counters.budget_hits += 1
+            if on_budget is not None:
+                on_budget(sim, tuple(prefix))
+            return
+        enabled = list(sim.runnable_ids)
+        pending = {tid: sim.threads[tid].pending_op for tid in enabled}
+        if memoize:
+            digest = frontier_digest(sim)
+            seen = memo.setdefault(digest, [])
+            if any(prev <= sleep for prev in seen):
+                counters.memo_skips += 1
+                return
+            seen.append(sleep)
+        explored: List[int] = []
+        for tid in enabled:
+            if por and tid in sleep:
+                counters.sleep_skips += 1
+                continue
+            if por:
+                # A sibling already explored from this node (or a thread
+                # asleep on arrival) stays asleep in the child unless the
+                # step just taken conflicts with its pending operation —
+                # the sleeper's subtree would only permute independent
+                # steps of schedules the sibling's subtree already covers.
+                child_sleep = frozenset(
+                    u
+                    for u in sleep.union(explored)
+                    if u in pending
+                    and not ops_conflict(pending[u], pending[tid])
+                )
+            else:
+                child_sleep = frozenset()
+            explore(prefix + [tid], child_sleep)
+            explored.append(tid)
+
+    explore([], frozenset())
+    return EnumerationResult(
+        stats=counters.freeze(),
+        schedules=tuple(collected) if collect else None,
+    )

@@ -1,0 +1,88 @@
+"""The independence relation the partial-order reduction prunes with.
+
+Two pending operations *commute* — executing them in either order
+produces the same memory state, the same per-thread results and the same
+happens-before relation — unless they touch a common memory component
+with at least one writer.  The enumerator only needs a *sound*
+under-approximation of independence: calling two dependent operations
+independent would merge distinct Mazurkiewicz traces (unsound pruning),
+while calling two independent operations dependent merely explores a few
+redundant interleavings.  Unknown opcodes therefore conflict with
+everything.
+
+Footprints are computed from the concrete operation descriptors
+(:mod:`repro.shm.ops`), not from static program text, so an address
+computed at runtime is handled exactly.  A successful and a failed CAS
+behave differently, but whether a CAS succeeds depends on the order
+being decided — so CAS is conservatively treated as a writer.
+Fetch&add results also depend on order (the returned pre-values swap),
+which the shared-address rule already captures: two fetch&adds on the
+same cell are write/write conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.shm.ops import (
+    OP_COMPARE_AND_SWAP,
+    OP_DCSS,
+    OP_FETCH_ADD,
+    OP_GUARDED_FETCH_ADD,
+    OP_NOOP,
+    OP_READ,
+    OP_WRITE,
+)
+
+#: ``(reads, writes)`` address sets; ``None`` marks the universal
+#: footprint of an unknown opcode (conflicts with everything).
+Footprint = Optional[Tuple[FrozenSet[int], FrozenSet[int]]]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+def op_footprint(op: object) -> Footprint:
+    """``(reads, writes)`` for a pending operation descriptor.
+
+    Returns ``None`` for opcodes this module does not know, which
+    :func:`ops_conflict` treats as conflicting with everything —
+    soundness over precision.
+    """
+    opcode = getattr(op, "opcode", -1)
+    if opcode == OP_READ:
+        return (frozenset((op.address,)), _EMPTY)
+    if opcode == OP_WRITE:
+        return (_EMPTY, frozenset((op.address,)))
+    if opcode in (OP_FETCH_ADD, OP_COMPARE_AND_SWAP):
+        cell = frozenset((op.address,))
+        return (cell, cell)
+    if opcode in (OP_DCSS, OP_GUARDED_FETCH_ADD):
+        return (
+            frozenset((op.address, op.guard_address)),
+            frozenset((op.address,)),
+        )
+    if opcode == OP_NOOP:
+        return (_EMPTY, _EMPTY)
+    return None
+
+
+def footprints_conflict(a: Footprint, b: Footprint) -> bool:
+    """Whether two footprints share a component with at least one writer."""
+    if a is None or b is None:
+        return True
+    reads_a, writes_a = a
+    reads_b, writes_b = b
+    if writes_a & (reads_b | writes_b):
+        return True
+    return bool(writes_b & (reads_a | writes_a))
+
+
+def ops_conflict(a: object, b: object) -> bool:
+    """Whether two pending operations are *dependent* (do not commute).
+
+    This is the relation D of the Mazurkiewicz trace monoid the
+    sleep-set reduction works over: schedules are trace-equivalent iff
+    one can be obtained from the other by swapping adjacent steps of
+    different threads whose operations are not in D.
+    """
+    return footprints_conflict(op_footprint(a), op_footprint(b))

@@ -1,0 +1,323 @@
+"""SMT lemma queries — unsat means proved, for all delay sequences.
+
+Mirrors ccac's proof harness: each paper claim becomes a quantifier-free
+query whose *negation* is handed to a solver; ``unsat`` means no
+counterexample exists at the queried scope, i.e. the claim holds for
+**all** delay sequences / adversary behaviors there — a strictly
+stronger statement than any per-trace certificate.
+
+Two claims are encoded:
+
+* **Lemma 6.4** — over integer delay variables τ_1..τ_H with the
+  execution-feasibility envelope ``1 ≤ τ_t ≤ min(t, τ_max)`` (an
+  iteration cannot be overtaken by more iterations than have started,
+  nor by more than the contention bound), assert some window sum
+  ``S_t = Σ_m 1{τ_{t+m} ≥ m}`` exceeds ``2·√(τ_max·n)`` — squared to
+  stay in integers: ``S_t² > 4·τ_max·n``.  The envelope is a superset
+  of the delay sequences real executions produce, so ``unsat`` proves
+  the lemma for every execution at scope.  (The envelope alone bounds
+  ``S_t ≤ τ_max``, hence the query is provable exactly when
+  ``τ_max ≤ 4n`` — which covers the paper's regime, where τ is the
+  contention among n concurrent threads.)
+* **Theorem 5.1** — the fixed-α adversary: a run contracts
+  ``x_{k+1} = (1−α)·x_k`` for τ sequential steps while one stale
+  gradient (computed at x_0 on the 1-d quadratic) is delayed, then the
+  stale update lands: ``x_{τ+1} = x_τ − α·x_0``.  With τ chosen so
+  ``2·(1−α)^τ ≤ α``, assert ``|x_{τ+1}| < (α/2)·|x_0|`` — ``unsat``
+  proves the adversary keeps the iterate at distance ``Ω(α)``, the
+  paper's lower-bound step.  Linear real arithmetic over exact
+  rationals.
+
+z3 is an optional extra (``pip install repro[verify]``); when absent
+each query falls back to an exact finite-domain engine — for Lemma 6.4
+the indicator sum is monotone in every τ_t, so the extremal sequence
+``τ_t = min(t, τ_max)`` witnesses the maximum of every S_t and one
+evaluation decides the query; for Theorem 5.1 the recurrence is solved
+in :class:`fractions.Fraction` arithmetic.  The engine used is recorded
+in the result so reports stay honest about what did the proving.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.theory.lower_bound import required_delay
+
+_ENGINES = ("auto", "z3", "finite")
+
+
+def solver_available() -> bool:
+    """Whether the optional z3 dependency is importable."""
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SmtResult:
+    """Outcome of one lemma query."""
+
+    #: Claim identifier ("lemma-6.4" or "theorem-5.1").
+    claim: str
+    #: Human-readable parameter point, e.g. ``n=2 tau_max=3 horizon=8``.
+    params: str
+    #: Engine that decided the query: "z3" or "finite".
+    engine: str
+    #: "proved" (negation unsatisfiable), "refuted" (counterexample
+    #: exists at scope) or "skipped" (engine unavailable).
+    status: str
+    #: Witness / bound details.
+    detail: str
+
+    @property
+    def proved(self) -> bool:
+        return self.status == "proved"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.claim} [{self.params}] {self.status} "
+            f"({self.engine}): {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class SmtConfig:
+    """Scope of the default query grid."""
+
+    engine: str = "auto"
+    max_n: int = 3
+    max_tau: int = 4
+    horizon: int = 8
+    alphas: Tuple[str, ...] = ("1/10", "1/5")
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.max_n < 1:
+            raise ConfigurationError(f"max_n must be >= 1, got {self.max_n}")
+        if self.max_tau < 1:
+            raise ConfigurationError(
+                f"max_tau must be >= 1, got {self.max_tau}"
+            )
+        if self.horizon < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1, got {self.horizon}"
+            )
+        for alpha in self.alphas:
+            value = Fraction(alpha)
+            if not 0 < value < 1:
+                raise ConfigurationError(
+                    f"alphas must lie in (0, 1), got {alpha!r}"
+                )
+
+
+def _resolve_engine(engine: str) -> str:
+    if engine == "auto":
+        return "z3" if solver_available() else "finite"
+    return engine
+
+
+def _window_sums(delays: List[int], tau_max: int) -> List[int]:
+    """``S_t = Σ_{m=1..} 1{τ_{t+m} ≥ m}`` for each t (1-indexed),
+    matching :func:`repro.theory.contention.lemma_6_4_sums`."""
+    horizon = len(delays)
+    sums: List[int] = []
+    for t in range(horizon):
+        total = 0
+        for m in range(1, min(tau_max, horizon - 1 - t) + 1):
+            if delays[t + m] >= m:
+                total += 1
+        sums.append(total)
+    return sums
+
+
+def check_lemma_6_4(
+    n: int, tau_max: int, horizon: int, engine: str = "auto"
+) -> SmtResult:
+    """Decide Lemma 6.4's window bound for *all* delay sequences at
+    scope ``(n, τ_max, horizon)``."""
+    if n < 1 or tau_max < 1 or horizon < 1:
+        raise ConfigurationError(
+            f"n, tau_max, horizon must be >= 1, got ({n}, {tau_max}, {horizon})"
+        )
+    params = f"n={n} tau_max={tau_max} horizon={horizon}"
+    chosen = _resolve_engine(engine)
+    bound = 2.0 * math.sqrt(float(tau_max) * float(n))
+    bound_sq = 4 * tau_max * n
+    if chosen == "z3":
+        try:
+            import z3
+        except ImportError:
+            return SmtResult(
+                claim="lemma-6.4",
+                params=params,
+                engine="z3",
+                status="skipped",
+                detail="z3 not installed (pip install 'repro[verify]')",
+            )
+        taus = [z3.Int(f"tau_{t}") for t in range(1, horizon + 1)]
+        solver = z3.Solver()
+        for t, tau in enumerate(taus, start=1):
+            solver.add(tau >= 1, tau <= min(t, tau_max))
+        violations = []
+        for t in range(horizon):
+            terms = [
+                z3.If(taus[t + m] >= m, 1, 0)
+                for m in range(1, min(tau_max, horizon - 1 - t) + 1)
+            ]
+            if not terms:
+                continue
+            window = z3.Sum(terms)
+            violations.append(window * window > bound_sq)
+        solver.add(z3.Or(violations) if violations else z3.BoolVal(False))
+        verdict = solver.check()
+        if verdict == z3.unsat:
+            return SmtResult(
+                claim="lemma-6.4",
+                params=params,
+                engine="z3",
+                status="proved",
+                detail=(
+                    f"no delay sequence at scope pushes any window sum "
+                    f"past 2*sqrt(tau_max*n) = {bound:.4f}"
+                ),
+            )
+        model = solver.model()
+        witness = [model.eval(tau).as_long() for tau in taus]
+        return SmtResult(
+            claim="lemma-6.4",
+            params=params,
+            engine="z3",
+            status="refuted",
+            detail=f"counterexample delays: {witness}",
+        )
+    # Finite engine: every indicator 1{tau_{t+m} >= m} is monotone
+    # nondecreasing in tau_{t+m}, so the componentwise-maximal feasible
+    # sequence tau_t = min(t, tau_max) maximizes every window sum
+    # simultaneously — one evaluation decides the universally
+    # quantified claim exactly.
+    extremal = [min(t, tau_max) for t in range(1, horizon + 1)]
+    worst = max(_window_sums(extremal, tau_max), default=0)
+    if float(worst) <= bound + 1e-9:
+        return SmtResult(
+            claim="lemma-6.4",
+            params=params,
+            engine="finite",
+            status="proved",
+            detail=(
+                f"extremal sequence max window sum {worst} <= "
+                f"2*sqrt(tau_max*n) = {bound:.4f} (monotone envelope)"
+            ),
+        )
+    return SmtResult(
+        claim="lemma-6.4",
+        params=params,
+        engine="finite",
+        status="refuted",
+        detail=(
+            f"extremal sequence {extremal} reaches window sum {worst} > "
+            f"{bound:.4f}"
+        ),
+    )
+
+
+def check_theorem_5_1(alpha: str, engine: str = "auto") -> SmtResult:
+    """Decide the Theorem 5.1 adversary's progress floor for step size
+    ``alpha`` (a rational literal like ``"1/10"``)."""
+    rate = Fraction(alpha)
+    if not 0 < rate < 1:
+        raise ConfigurationError(f"alpha must lie in (0, 1), got {alpha!r}")
+    delay = required_delay(float(rate))
+    params = f"alpha={alpha} tau={delay}"
+    chosen = _resolve_engine(engine)
+    if chosen == "z3":
+        try:
+            import z3
+        except ImportError:
+            return SmtResult(
+                claim="theorem-5.1",
+                params=params,
+                engine="z3",
+                status="skipped",
+                detail="z3 not installed (pip install 'repro[verify]')",
+            )
+        a = z3.RealVal(f"{rate.numerator}/{rate.denominator}")
+        xs = [z3.Real(f"x_{k}") for k in range(delay + 2)]
+        solver = z3.Solver()
+        solver.add(xs[0] > 0)
+        for k in range(delay):
+            solver.add(xs[k + 1] == (1 - a) * xs[k])
+        solver.add(xs[delay + 1] == xs[delay] - a * xs[0])
+        # Negation of the claim: the landed stale update leaves the
+        # iterate strictly inside the (alpha/2)*x_0 floor.
+        solver.add(xs[delay + 1] < (a / 2) * xs[0])
+        solver.add(xs[delay + 1] > -(a / 2) * xs[0])
+        verdict = solver.check()
+        if verdict == z3.unsat:
+            return SmtResult(
+                claim="theorem-5.1",
+                params=params,
+                engine="z3",
+                status="proved",
+                detail=(
+                    f"after {delay} contraction steps the landed stale "
+                    f"update keeps |x| >= (alpha/2)*x0 for every x0 > 0"
+                ),
+            )
+        return SmtResult(
+            claim="theorem-5.1",
+            params=params,
+            engine="z3",
+            status="refuted",
+            detail="adversary fails the progress floor at this alpha",
+        )
+    # Exact rational algebra: x_{tau+1} = ((1-a)^tau - a) * x0, and
+    # required_delay guarantees (1-a)^tau <= a/2, so the magnitude is
+    # (a - (1-a)^tau) * x0 >= (a/2) * x0, linearly in x0 > 0.
+    contraction = (1 - rate) ** delay
+    magnitude = abs(contraction - rate)
+    floor = rate / 2
+    if magnitude >= floor:
+        return SmtResult(
+            claim="theorem-5.1",
+            params=params,
+            engine="finite",
+            status="proved",
+            detail=(
+                f"|(1-alpha)^tau - alpha| = {float(magnitude):.6f} >= "
+                f"alpha/2 = {float(floor):.6f} (exact rationals)"
+            ),
+        )
+    return SmtResult(
+        claim="theorem-5.1",
+        params=params,
+        engine="finite",
+        status="refuted",
+        detail=(
+            f"|(1-alpha)^tau - alpha| = {float(magnitude):.6f} < "
+            f"alpha/2 = {float(floor):.6f}"
+        ),
+    )
+
+
+def run_smt_queries(config: Optional[SmtConfig] = None) -> List[SmtResult]:
+    """The default query grid: Lemma 6.4 over ``n × τ_max`` and Theorem
+    5.1 per configured α, in deterministic order."""
+    cfg = config if config is not None else SmtConfig()
+    results: List[SmtResult] = []
+    for n in range(1, cfg.max_n + 1):
+        for tau in range(1, cfg.max_tau + 1):
+            results.append(
+                check_lemma_6_4(n, tau, cfg.horizon, engine=cfg.engine)
+            )
+    for alpha in cfg.alphas:
+        results.append(check_theorem_5_1(alpha, engine=cfg.engine))
+    return results

@@ -345,6 +345,41 @@ def to_payload(run):
     }
 '''
 
+UNBOUNDED_RETRY_FIXTURE = '''
+def program(register):
+    while True:
+        value = yield register.read_op()
+        if value > 0:
+            break
+'''
+
+BOUNDED_RETRY_FIXTURE = '''
+def program(register, max_attempts):
+    attempts = 0
+    while True:
+        value = yield register.read_op()
+        if value > 0 or attempts >= max_attempts:
+            break
+        attempts += 1
+'''
+
+UNBOUNDED_RETRY_PRAGMA_FIXTURE = '''
+def program(register):
+    while True:  # repro: allow(RPL105)
+        value = yield register.read_op()
+        if value > 0:
+            break
+'''
+
+UNBOUNDED_DRIVER_FIXTURE = '''
+def poll(queue):
+    # No op yields: not a simulated program, so RPL105 stays silent.
+    while True:
+        item = queue.get()
+        if item is None:
+            break
+'''
+
 
 class TestLint:
     def test_wall_clock_is_flagged(self):
@@ -404,6 +439,26 @@ class TestLint:
             WALL_CLOCK_REPORT_PRAGMA_FIXTURE, path="fixture.py"
         )
         assert not [f for f in findings if f.rule == "RPD204"]
+
+    def test_unbounded_spin_is_flagged(self):
+        findings = lint_source(UNBOUNDED_RETRY_FIXTURE, path="fixture.py")
+        hits = [f for f in findings if f.rule == "RPL105"]
+        assert len(hits) == 1
+        assert "enumeration" in hits[0].message
+
+    def test_bounded_retry_guard_passes(self):
+        findings = lint_source(BOUNDED_RETRY_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL105"]
+
+    def test_unbounded_spin_pragma_suppresses(self):
+        findings = lint_source(
+            UNBOUNDED_RETRY_PRAGMA_FIXTURE, path="fixture.py"
+        )
+        assert not [f for f in findings if f.rule == "RPL105"]
+
+    def test_non_program_loops_are_not_flagged(self):
+        findings = lint_source(UNBOUNDED_DRIVER_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL105"]
 
     def test_repo_sources_are_clean(self):
         findings = lint_paths(["src/repro"])

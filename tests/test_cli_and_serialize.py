@@ -24,7 +24,7 @@ class TestCli:
     def test_registry_covers_all_experiments(self):
         assert set(REGISTRY) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "E11", "E12", "E13", "E14", "F1", "A1", "A2",
+            "E11", "E12", "E13", "E14", "E15", "F1", "A1", "A2",
         }
 
     def test_list_command(self, capsys):

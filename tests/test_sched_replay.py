@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.epoch_sgd import run_lock_free_sgd
-from repro.errors import ConfigurationError, SchedulerError
+from repro.errors import (
+    ConfigurationError,
+    ReplayDivergenceError,
+    SchedulerError,
+)
 from repro.metrics.trace import parallel_speedup, parallel_wallclock
 from repro.objectives.noise import GaussianNoise
 from repro.objectives.quadratic import IsotropicQuadratic
@@ -65,6 +69,60 @@ class TestRecordReplay:
     def test_remaining_counter(self):
         replay = ReplayScheduler([0, 1, 0])
         assert replay.remaining == 3
+
+
+class TestReplayDivergenceError:
+    """Divergence raises carry structured (step_index, expected, actual)
+    so callers can localize the first bad decision programmatically."""
+
+    def test_divergence_error_is_a_scheduler_error(self):
+        assert issubclass(ReplayDivergenceError, SchedulerError)
+
+    def test_non_runnable_choice_carries_position_and_choice(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        corrupted = list(recorder.schedule)
+        midpoint = len(corrupted) // 2
+        corrupted[midpoint:] = [0] * (len(corrupted) - midpoint)
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            workload(ReplayScheduler(corrupted, strict=True))
+        error = excinfo.value
+        assert error.step_index >= midpoint
+        assert error.expected == 0  # the recorded (non-runnable) thread
+        assert error.actual == -1  # no substitute was taken
+
+    def test_exhausted_schedule_carries_sentinel_expected(self, workload):
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        short = recorder.schedule[:10]
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            workload(ReplayScheduler(short, strict=True))
+        error = excinfo.value
+        assert error.step_index == len(short)
+        assert error.expected == -1  # nothing recorded at this point
+        assert error.actual >= 0  # the thread the run actually wanted
+
+    def test_prefix_verify_mismatch_carries_both_choices(self, workload):
+        from repro.sched.replay import PrefixReplayScheduler
+        from repro.sched.round_robin import RoundRobinScheduler
+
+        recorder = RecordingScheduler(RandomScheduler(seed=9))
+        workload(recorder)
+        prefix = list(recorder.schedule[:20])
+        # Verified prefix replay against a *different* inner scheduler:
+        # the first decision where round-robin disagrees with the random
+        # recording must raise with both sides of the disagreement.
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            workload(
+                PrefixReplayScheduler(
+                    RoundRobinScheduler(), prefix=prefix, verify=True
+                )
+            )
+        error = excinfo.value
+        assert 0 <= error.step_index < len(prefix)
+        assert error.expected == prefix[error.step_index]
+        assert error.actual != error.expected
+        assert error.actual >= 0
 
 
 class TestWallclockMetrics:
