@@ -1,0 +1,136 @@
+"""Serving cost: request latency and cache hit vs miss throughput.
+
+Not a paper artifact — this pins what the service shell adds on top of
+the simulation cores:
+
+* **request latency** — loadgen p50/p99 over a mixed submit/poll run
+  against a live server (real child-process workers);
+* **cache economics** — cold submissions (full compute) vs warm
+  resubmissions (certified cache hits served without compute), the
+  ratio being the whole point of fingerprint-keyed memoization;
+* **endpoint overhead** — raw ``/healthz`` round trips per second, the
+  floor the HTTP layer itself sets.
+
+Lands in ``benchmarks/results/BENCH_serve.json`` (CI uploads it as an
+artifact) so the serving-path perf trajectory accumulates across PRs.
+"""
+
+import asyncio
+import json
+import pathlib
+import time
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.loadgen import LoadGenerator, LoadPlan, http_request
+from repro.serve.server import JobServer
+from repro.serve.supervisor import JobSupervisor, ServerPolicy
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SPEC = {
+    "kind": "chaos",
+    "params": {"specs": ["none"], "seeds": 2, "iterations": 200},
+}
+COLD_JOBS = 3
+WARM_HITS = 30
+HEALTH_PINGS = 50
+
+
+async def _bench(tmp_path: pathlib.Path) -> dict:
+    metrics = MetricsRegistry()
+    supervisor = JobSupervisor(
+        ServerPolicy(workers=2, max_queue=16),
+        workdir=tmp_path,
+        metrics=metrics,
+    )
+    server = JobServer(supervisor, metrics=metrics)
+    await server.start()
+    try:
+        # Mixed-load latency: distinct submits + duplicate flood + polls.
+        generator = LoadGenerator(
+            "127.0.0.1",
+            server.port,
+            LoadPlan(
+                spec=SPEC, requests=COLD_JOBS, duplicates=4,
+                malformed=0, slow_loris=0,
+            ),
+        )
+        start = time.perf_counter()
+        load = await generator.run_async()
+        cold_elapsed = time.perf_counter() - start
+
+        # Warm path: every submission is now a certified cache hit.
+        start = time.perf_counter()
+        warm_latencies = []
+        for _ in range(WARM_HITS):
+            t0 = time.perf_counter()
+            status, _h, _d = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            warm_latencies.append(time.perf_counter() - t0)
+            assert status == 200
+        warm_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(HEALTH_PINGS):
+            await http_request("127.0.0.1", server.port, "GET", "/healthz")
+        health_elapsed = time.perf_counter() - start
+
+        stats = supervisor.cache.stats()
+        warm_latencies.sort()
+        return {
+            "benchmark": "serve.latency_and_cache",
+            "workload": (
+                f"chaos specs=['none'] seeds=2 T=200; {COLD_JOBS} cold + "
+                f"{WARM_HITS} warm submissions, 2 workers"
+            ),
+            "mixed_load": {
+                "requests": len(load.latencies),
+                "latency_p50_s": round(load.percentile(0.50), 6),
+                "latency_p99_s": round(load.percentile(0.99), 6),
+                "jobs_done": load.jobs_done,
+                "wall_s": round(cold_elapsed, 3),
+            },
+            "cache": {
+                "cold_jobs_per_sec": round(COLD_JOBS / cold_elapsed, 2),
+                "warm_hits_per_sec": round(WARM_HITS / warm_elapsed, 1),
+                "warm_p50_s": round(
+                    warm_latencies[len(warm_latencies) // 2], 6
+                ),
+                "warm_p99_s": round(warm_latencies[-1], 6),
+                "hit_speedup_x": round(
+                    (cold_elapsed / COLD_JOBS) / (warm_elapsed / WARM_HITS), 1
+                ),
+                "stats": stats,
+            },
+            "healthz_per_sec": round(HEALTH_PINGS / health_elapsed, 1),
+            "loadgen_ok": load.ok,
+        }
+    finally:
+        await server.stop()
+        await asyncio.get_event_loop().run_in_executor(
+            None, supervisor.drain
+        )
+
+
+def test_serve_latency_and_cache_throughput(tmp_path):
+    """The server stays structured under the bench load; latency and
+    cache hit/miss throughput land in BENCH_serve.json."""
+    payload = asyncio.run(_bench(tmp_path))
+
+    assert payload["loadgen_ok"], "bench load produced anomalies"
+    assert payload["mixed_load"]["jobs_done"] == COLD_JOBS
+    assert payload["cache"]["stats"]["hits"] >= WARM_HITS
+    assert payload["cache"]["hit_speedup_x"] > 1.0
+
+    payload["unix_time"] = int(time.time())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nmixed p50={payload['mixed_load']['latency_p50_s'] * 1e3:.1f}ms "
+        f"p99={payload['mixed_load']['latency_p99_s'] * 1e3:.1f}ms | "
+        f"warm hits {payload['cache']['warm_hits_per_sec']:,.0f}/s "
+        f"({payload['cache']['hit_speedup_x']:.0f}x over cold) | "
+        f"healthz {payload['healthz_per_sec']:,.0f}/s"
+    )

@@ -68,6 +68,13 @@ RULES: Dict[str, str] = {
         "enumeration (repro verify) non-terminating; bound the attempts "
         "or annotate an intentional spin with `# repro: allow(RPL105)`"
     ),
+    "RPL106": (
+        "direct timing call in a serve handler (time.time/time."
+        "monotonic/time.sleep, or a sleep with a literal delay): all "
+        "job-server timing must go through the injectable ServeClock so "
+        "deadlines, backoff and slow-loris cutoffs are testable with a "
+        "fake clock"
+    ),
     "RPD201": (
         "wall-clock read (time.time/perf_counter/datetime.now ...): "
         "feeds nondeterminism into simulated traces"
@@ -138,6 +145,16 @@ _STDLIB_RANDOM_DRAWS = {
 #: Methods that mutate a shared handle directly, bypassing the op DSL
 #: (legitimate in drivers before/after a run, never inside a program).
 _DIRECT_MUTATORS = {"load", "poke", "store"}
+
+#: Dotted-name suffixes RPL106 bans outright inside ``repro/serve/``
+#: sources: clock reads and the blocking sleep.  ``asyncio.sleep`` /
+#: ``asyncio.wait_for`` are additionally banned when their delay is a
+#: numeric literal (a policy- or clock-derived delay at least routes
+#: through one injectable seam).  The one legitimate home for these
+#: calls is ``repro/serve/clock.py`` itself, behind ``# repro:
+#: allow(RPL106)`` pragmas.
+_SERVE_TIMING_SUFFIXES = ("time.time", "time.monotonic", "time.sleep")
+_SERVE_LITERAL_SLEEPS = ("asyncio.sleep", "asyncio.wait_for")
 
 #: Identifier fragments that signal a bounded-attempt guard inside a
 #: retry loop (``attempts``, ``max_iterations``, ``budget`` ...).  A
@@ -318,6 +335,9 @@ class _Linter(ast.NodeVisitor):
         self.lines = source_lines
         self.findings: List[Finding] = []
         self._function_stack: List[str] = []
+        #: RPL106 scope: the job-server package (any path with a
+        #: ``serve`` directory component).
+        self._serve_scope = "serve" in pathlib.PurePath(path).parts
 
     # -- plumbing -------------------------------------------------------
     def _allowed(self, line: int) -> Set[str]:
@@ -345,7 +365,48 @@ class _Linter(ast.NodeVisitor):
         if name is not None:
             self._check_wall_clock(node, name)
             self._check_global_random(node, name)
+            self._check_serve_timing(node, name)
         self.generic_visit(node)
+
+    def _check_serve_timing(self, node: ast.Call, name: str) -> None:
+        """RPL106: inside ``repro/serve/``, timing never bypasses the
+        injectable clock.  Clock reads and ``time.sleep`` are flagged
+        outright; ``asyncio.sleep``/``asyncio.wait_for`` are flagged
+        when a delay argument is a numeric literal."""
+        if not self._serve_scope:
+            return
+        for suffix in _SERVE_TIMING_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                self._flag(
+                    "RPL106",
+                    node.lineno,
+                    f"serve handler calls {name}() directly: route all "
+                    f"timing through the injectable ServeClock "
+                    f"(clock.monotonic/clock.sleep) so it is fake-clock "
+                    f"testable",
+                )
+                return
+        for suffix in _SERVE_LITERAL_SLEEPS:
+            if name == suffix or name.endswith("." + suffix):
+                arguments = list(node.args) + [
+                    keyword.value
+                    for keyword in node.keywords
+                    if keyword.arg in ("delay", "timeout")
+                ]
+                if any(
+                    isinstance(argument, ast.Constant)
+                    and isinstance(argument.value, (int, float))
+                    and not isinstance(argument.value, bool)
+                    for argument in arguments
+                ):
+                    self._flag(
+                        "RPL106",
+                        node.lineno,
+                        f"serve handler calls {name}() with a literal "
+                        f"delay: delays come from the policy and sleeps "
+                        f"go through the injectable ServeClock",
+                    )
+                return
 
     def _check_wall_clock(self, node: ast.Call, name: str) -> None:
         for suffix in _WALL_CLOCK_SUFFIXES:

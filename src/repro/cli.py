@@ -11,6 +11,8 @@ code::
     python -m repro zoo                    # every algorithm x every adversary
     python -m repro sanitize               # race/staleness sanitizer presets
     python -m repro lint src/repro         # program-DSL / determinism lint
+    python -m repro serve --port 8321      # supervised job server (HTTP)
+    python -m repro loadtest --self-host   # chaos-load the server
 """
 
 from __future__ import annotations
@@ -904,6 +906,133 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the supervised job server until SIGINT/SIGTERM, then drain.
+
+    Exit codes: 0 clean drain, 2 configuration error.
+    """
+    import asyncio
+
+    from repro.durable.signals import GracefulShutdown
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.server import JobServer
+    from repro.serve.supervisor import JobSupervisor, ServerPolicy
+
+    if args.workers < 1 or args.queue_size < 1 or args.max_attempts < 1:
+        print(
+            "--workers, --queue-size and --max-attempts must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    policy = ServerPolicy(
+        max_queue=args.queue_size,
+        workers=args.workers,
+        job_deadline=args.job_deadline,
+        stall_timeout=args.stall_timeout,
+        max_attempts=args.max_attempts,
+        respawn_budget=args.respawn_budget,
+    )
+    workdir = pathlib.Path(args.workdir)
+    metrics = MetricsRegistry()
+    supervisor = JobSupervisor(policy, workdir=workdir, metrics=metrics)
+    server = JobServer(
+        supervisor, host=args.host, port=args.port, metrics=metrics
+    )
+
+    async def _serve() -> None:
+        with GracefulShutdown() as shutdown:
+            await server.start()
+            print(
+                f"serving on http://{server.host}:{server.port} "
+                f"(workdir {workdir})",
+                flush=True,
+            )
+            await server.run_until_shutdown(shutdown)
+
+    asyncio.run(_serve())
+    counts = supervisor.counts()
+    print(
+        f"drained: {counts['done']} done, {counts['failed']} failed, "
+        f"{counts['interrupted']} interrupted (journals kept), "
+        f"{counts['cancelled']} cancelled",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Chaos-load a job server and check the acceptance property.
+
+    With ``--self-host`` a private server is started (and drained) in
+    process; otherwise an already-running ``--host``/``--port`` is the
+    target.  Exit codes: 0 acceptance property held, 1 degraded, 2
+    configuration error.
+    """
+    import asyncio
+    import json as json_module
+    import tempfile
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.loadgen import LoadGenerator, LoadPlan
+
+    plan = LoadPlan(
+        spec={
+            "kind": "chaos",
+            "params": {
+                "specs": ["none"],
+                "seeds": args.seeds,
+                "iterations": args.iterations,
+            },
+        },
+        requests=args.requests,
+        duplicates=args.duplicates,
+        malformed=args.malformed,
+        slow_loris=args.slow_loris,
+        kill_workers=args.kill_workers,
+    )
+
+    async def _run() -> "object":
+        if not args.self_host:
+            generator = LoadGenerator(args.host, args.port, plan)
+            return await generator.run_async()
+        from repro.serve.server import JobServer
+        from repro.serve.supervisor import JobSupervisor, ServerPolicy
+
+        workdir = pathlib.Path(
+            args.workdir
+            if args.workdir is not None
+            else tempfile.mkdtemp(prefix="repro-loadtest-")
+        )
+        metrics = MetricsRegistry()
+        supervisor = JobSupervisor(
+            ServerPolicy(max_queue=args.queue_size, workers=args.workers),
+            workdir=workdir,
+            metrics=metrics,
+        )
+        server = JobServer(supervisor, metrics=metrics)
+        await server.start()
+        try:
+            generator = LoadGenerator("127.0.0.1", server.port, plan)
+            return await generator.run_async()
+        finally:
+            await server.stop()
+            await asyncio.get_event_loop().run_in_executor(
+                None, supervisor.drain
+            )
+
+    report = asyncio.run(_run())
+    print(report.render())
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        _write_text_atomic(
+            out_dir / "loadtest_report.json",
+            json_module.dumps(report.summary(), indent=2, sort_keys=True)
+            + "\n",
+        )
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -1331,6 +1460,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write lint_report.txt to",
     )
     lint_parser.set_defaults(func=cmd_lint)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the supervised simulation job server (HTTP/JSON)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks an ephemeral port, printed on start)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent jobs (supervisor worker threads)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=8,
+        help="admission queue bound (429 past it)",
+    )
+    serve_parser.add_argument(
+        "--job-deadline", type=float, default=None,
+        help="per-job wall-clock deadline in seconds (watchdog WD003)",
+    )
+    serve_parser.add_argument(
+        "--stall-timeout", type=float, default=None,
+        help="per-job heartbeat window in seconds (watchdog WD001)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per job before a crash becomes a failure",
+    )
+    serve_parser.add_argument(
+        "--respawn-budget", type=int, default=8,
+        help="server-wide crash respawn budget",
+    )
+    serve_parser.add_argument(
+        "--workdir", default="serve-data",
+        help="journals, progress files and the result cache live here",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest",
+        help="chaos-load a job server and check the acceptance property",
+    )
+    loadtest_parser.add_argument(
+        "--host", default="127.0.0.1", help="target server address"
+    )
+    loadtest_parser.add_argument(
+        "--port", type=int, default=8321, help="target server port"
+    )
+    loadtest_parser.add_argument(
+        "--self-host", action="store_true",
+        help="start (and drain) a private in-process server to test",
+    )
+    loadtest_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="self-hosted server worker threads",
+    )
+    loadtest_parser.add_argument(
+        "--queue-size", type=int, default=8,
+        help="self-hosted server admission bound",
+    )
+    loadtest_parser.add_argument(
+        "--workdir", default=None,
+        help="self-hosted server workdir (default: fresh temp dir)",
+    )
+    loadtest_parser.add_argument(
+        "--requests", type=int, default=3, help="distinct valid submissions"
+    )
+    loadtest_parser.add_argument(
+        "--duplicates", type=int, default=5,
+        help="duplicate submissions of one spec (cache flood)",
+    )
+    loadtest_parser.add_argument(
+        "--malformed", type=int, default=3,
+        help="malformed submissions (must all answer 400)",
+    )
+    loadtest_parser.add_argument(
+        "--slow-loris", type=int, default=2,
+        help="connections that stall mid-request (must be cut off)",
+    )
+    loadtest_parser.add_argument(
+        "--kill-workers", type=int, default=0,
+        help="SIGKILL this many running workers mid-job",
+    )
+    loadtest_parser.add_argument(
+        "--seeds", type=int, default=2, help="seeds per submitted job"
+    )
+    loadtest_parser.add_argument(
+        "--iterations", type=int, default=60,
+        help="iterations per submitted job",
+    )
+    loadtest_parser.add_argument(
+        "--out", default=None,
+        help="directory to write loadtest_report.json to",
+    )
+    loadtest_parser.set_defaults(func=cmd_loadtest)
 
     report_parser = subparsers.add_parser(
         "report", help="summarize verdicts from a directory of artifacts"

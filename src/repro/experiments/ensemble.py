@@ -62,6 +62,41 @@ from repro.errors import ConfigurationError
 
 T = TypeVar("T")
 
+
+def backoff_delay(
+    base: float,
+    attempt: int,
+    chunk_index: int = 0,
+    seed: Optional[int] = None,
+) -> float:
+    """Exponential backoff for retry ``attempt`` (1-based), optionally
+    with **seeded deterministic jitter**.
+
+    Without a ``seed`` this is the classic ``base * 2**(attempt-1)``.
+    With one, the delay is scaled by a factor in ``[0.5, 1.5)`` drawn
+    from an :class:`~repro.runtime.rng.RngStream` keyed on
+    ``(seed, chunk_index, attempt)`` — so concurrent retries de-sync
+    (no thundering herd resubmitting in lockstep) while the schedule of
+    sleeps stays a pure function of the run's seed, never of the global
+    ``random`` singleton or the wall clock.  Jitter only shapes *when*
+    a retry happens; chunk results are pure functions of their seeds,
+    so reports stay byte-identical with jitter on or off (pinned in
+    ``tests/test_exp_ensemble.py``).
+    """
+    import numpy as np
+
+    from repro.runtime.rng import RngStream
+
+    delay = base * 2 ** (attempt - 1)
+    if seed is None or delay <= 0:
+        return delay
+    stream = RngStream(
+        np.random.SeedSequence(
+            entropy=int(seed), spawn_key=(int(chunk_index), int(attempt))
+        )
+    )
+    return delay * (0.5 + float(stream.uniform(0.0, 1.0)))
+
 #: Exceptions that mean "the pool could not be used", not "the experiment
 #: is broken": pickling failures of the callable, fork/spawn failures in
 #: restricted environments, and workers dying before returning.  Real
@@ -127,6 +162,7 @@ def _run_chunks_pooled(
     watchdog: Optional[EnsembleWatchdog] = None,
     shutdown: Optional[Any] = None,
     on_chunk: Optional[Callable[[int, List[T]], None]] = None,
+    backoff_seed: Optional[int] = None,
 ) -> List[Optional[List[T]]]:
     """Run chunks as independent pool futures; never raises pool errors.
 
@@ -242,7 +278,12 @@ def _run_chunks_pooled(
                             continue
                         if backoff_base > 0:
                             time.sleep(
-                                backoff_base * 2 ** (attempts[index] - 1)
+                                backoff_delay(
+                                    backoff_base,
+                                    attempts[index],
+                                    chunk_index=index,
+                                    seed=backoff_seed,
+                                )
                             )
                         if not submit(index):
                             pool_alive = False
@@ -273,6 +314,7 @@ def run_ensemble(
     shutdown: Optional[Any] = None,
     metrics: Optional[Any] = None,
     progress: Optional[Callable[[int, T], None]] = None,
+    backoff_seed: Optional[int] = None,
 ) -> List[T]:
     """Map ``run_one`` over ``seeds``, optionally across processes.
 
@@ -325,6 +367,11 @@ def run_ensemble(
             moment its result lands (journal-skipped seeds do not fire).
             This is the live-view hook (``repro top``); it must not
             mutate results.
+        backoff_seed: When given, chunk-retry backoff sleeps get seeded
+            deterministic jitter via :func:`backoff_delay` (keyed on
+            this seed, the chunk index and the attempt number) instead
+            of the bare exponential.  Jitter shapes wall-clock only;
+            results stay byte-identical for any value.
 
     Returns:
         Results in seed order — identical, element for element, to
@@ -396,6 +443,7 @@ def run_ensemble(
         watchdog=watchdog,
         shutdown=shutdown,
         on_chunk=on_chunk,
+        backoff_seed=backoff_seed,
     )
     if shutdown is not None:
         shutdown.check()

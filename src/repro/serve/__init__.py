@@ -1,0 +1,41 @@
+"""Fault-tolerant simulation-as-a-service (DESIGN.md §17).
+
+``repro.serve`` wraps the repo's deterministic experiment drivers in a
+supervised HTTP job server: bounded admission (429), a certified
+fingerprint-keyed result cache (byte-identical replays), a per-job
+watchdog deadline ladder, seeded-backoff crash retries with a respawn
+budget, and graceful drain that leaves resumable journals.  The layer
+is chaos-tested against itself by :mod:`repro.serve.loadgen`.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.clock import FakeServeClock, ServeClock
+from repro.serve.loadgen import LoadGenerator, LoadPlan
+from repro.serve.server import JobServer
+from repro.serve.specs import JobSpec, execute_spec, parse_job_spec
+from repro.serve.supervisor import (
+    AdmissionError,
+    DrainingError,
+    Job,
+    JobSupervisor,
+    ProcessJobRunner,
+    ServerPolicy,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DrainingError",
+    "FakeServeClock",
+    "Job",
+    "JobServer",
+    "JobSpec",
+    "JobSupervisor",
+    "LoadGenerator",
+    "LoadPlan",
+    "ProcessJobRunner",
+    "ResultCache",
+    "ServeClock",
+    "ServerPolicy",
+    "execute_spec",
+    "parse_job_spec",
+]

@@ -1,0 +1,146 @@
+"""Certified result cache: fingerprint → byte-identical result.
+
+Every job the server runs is deterministic given its spec (that is the
+repo's core invariant, pinned by the byte-identity tests in PRs 1–8),
+so a result may be memoized by the spec's jobs-excluded fingerprint and
+served without compute on resubmission.  "Certified" means the claim is
+checkable end to end:
+
+* entries carry a sha256 **digest** over the canonical JSON bytes of
+  the result; clients can recompute it from the response body;
+* disk entries are re-verified against their digest on load — a torn
+  or tampered file is dropped (and counted) rather than served;
+* the cache is **write-once** per fingerprint: a second ``put`` with a
+  differing digest never overwrites the first (it is counted as a
+  mismatch — a determinism violation worth alarming on, see the
+  ``repro_serve_cache_mismatches`` metric), so a cache hit is always
+  byte-identical to the *first* cold run.
+
+Persistence reuses the durable layer's :func:`atomic_write`
+(temp+fsync+rename), so a crash mid-write leaves either the old entry
+or none — never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+from repro.serve.specs import result_digest
+
+
+class ResultCache:
+    """Thread-safe fingerprint-keyed store of certified job results.
+
+    Args:
+        directory: Optional spill directory.  When set, entries persist
+            as ``<fingerprint>.json`` and survive server restarts; when
+            ``None`` the cache is memory-only (tests, loadgen).
+    """
+
+    def __init__(self, directory: Optional[pathlib.Path] = None) -> None:
+        self._directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.mismatches = 0
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Return ``{"digest", "result"}`` for a seen fingerprint, or
+        ``None`` (counting a miss).  Disk entries are digest-verified;
+        corruption is treated as a miss."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = self._load(fingerprint)
+                if entry is not None:
+                    self._entries[fingerprint] = entry
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(entry)
+
+    def put(self, fingerprint: str, result: Mapping[str, Any]) -> str:
+        """Memoize ``result``; returns its digest.
+
+        Write-once: if the fingerprint is already cached with a
+        *different* digest, the existing entry wins and the collision is
+        counted in :attr:`mismatches` — a repeated submission must never
+        observe the cache changing under it.
+        """
+        digest = result_digest(result)
+        with self._lock:
+            existing = self._entries.get(fingerprint) or self._load(
+                fingerprint
+            )
+            if existing is not None:
+                if existing["digest"] != digest:
+                    self.mismatches += 1
+                self._entries[fingerprint] = existing
+                return str(existing["digest"])
+            entry = {"digest": digest, "result": dict(result)}
+            self._entries[fingerprint] = entry
+            self._store(fingerprint, entry)
+            return digest
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for ``/healthz`` and the metrics registry."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "mismatches": self.mismatches,
+            }
+
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> Optional[pathlib.Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"{fingerprint}.json"
+
+    def _load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        path = self._path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            digest = entry["digest"]
+            result = entry["result"]
+        except (ValueError, KeyError, TypeError, OSError):
+            self.corrupt += 1
+            return None
+        if result_digest(result) != digest:
+            self.corrupt += 1
+            try:  # self-heal: a bad entry re-runs rather than re-serves
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return {"digest": str(digest), "result": result}
+
+    def _store(self, fingerprint: str, entry: Mapping[str, Any]) -> None:
+        path = self._path(fingerprint)
+        if path is None:
+            return
+        from repro.durable.atomic_io import atomic_write
+
+        payload = json.dumps(
+            dict(entry), sort_keys=True, separators=(",", ":")
+        )
+        atomic_write(path, payload.encode("utf-8"))

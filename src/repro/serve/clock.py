@@ -1,0 +1,85 @@
+"""The job server's injectable wall-clock seam.
+
+Everything the serve layer times — admission ``Retry-After`` hints,
+per-job deadlines, retry backoff sleeps, slow-loris read cutoffs, drain
+grace periods — goes through one :class:`ServeClock` object instead of
+calling ``time.*``/``asyncio.sleep`` directly.  That is what makes the
+supervisor's escalation ladder and the server's timeout behaviour
+testable with :class:`FakeServeClock` (no real sleeping, no flaky
+timing assertions), and it is enforced statically: lint rule ``RPL106``
+flags any direct timing call inside ``repro/serve/`` — this module is
+the single waived exception.
+
+The simulated :class:`~repro.runtime.clock.Clock` (logical time inside
+a run) is a different thing entirely and is never touched here; serve
+timing is harness-level weather, the same category as the
+:class:`~repro.durable.watchdog.EnsembleWatchdog`'s clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ServeClock:
+    """Real wall-clock implementation (the production default)."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary origin; only differences matter."""
+        return time.monotonic()  # repro: allow(RPD201, RPL106)
+
+    def sleep(self, seconds: float) -> None:
+        """Blocking sleep (supervisor worker threads only)."""
+        if seconds > 0:
+            time.sleep(seconds)  # repro: allow(RPL106)
+
+    async def aio_sleep(self, seconds: float) -> None:
+        """Cooperative sleep for the asyncio side of the server."""
+        await asyncio.sleep(max(0.0, seconds))  # repro: allow(RPL106)
+
+    async def wait_for(
+        self, awaitable: Awaitable[T], timeout: Optional[float]
+    ) -> T:
+        """``asyncio.wait_for`` behind the seam (slow-loris cutoffs).
+
+        Raises :class:`asyncio.TimeoutError` exactly like the real one.
+        """
+        return await asyncio.wait_for(awaitable, timeout)
+
+
+class FakeServeClock(ServeClock):
+    """Manual-time clock for tests: sleeps advance time, never block.
+
+    ``wait_for`` keeps real awaiting semantics (the awaitable usually
+    completes immediately in tests) but never enforces the timeout —
+    timeout *behaviour* is tested by driving :meth:`advance` past
+    deadlines between supervisor polls instead.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list = []
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += float(seconds)
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += max(0.0, float(seconds))
+
+    async def aio_sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += max(0.0, float(seconds))
+        await asyncio.sleep(0)  # repro: allow(RPL106)
+
+    async def wait_for(
+        self, awaitable: Awaitable[T], timeout: Optional[float]
+    ) -> Any:
+        return await awaitable

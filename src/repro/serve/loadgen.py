@@ -1,0 +1,411 @@
+"""Load and fault generator: the server chaos-tested against itself.
+
+The repo's discipline is that every robustness claim gets an adversary
+(DESIGN.md §8); ``repro.serve``'s adversary is this module.  It drives
+a live server with the misbehaviour the service model promises to
+survive — concurrent valid submissions, duplicate floods aimed at the
+cache, malformed specs, slow-loris connections that never finish their
+request, and SIGKILLed workers — then checks the *acceptance property*:
+
+* every request ends in a **structured outcome** (an expected HTTP
+  status; no hangs, no connection left dangling);
+* duplicate submissions of one spec produce **byte-identical** result
+  payloads (the certified-cache guarantee, checked client-side from
+  the canonical result bytes and their digest);
+* the server stays live throughout (``/healthz`` keeps answering).
+
+Used three ways: the ``repro loadtest`` CLI, the chaos-acceptance
+test in ``tests/test_serve_chaos.py``, and ``benchmarks/bench_serve.py``
+(latency percentiles + cache hit/miss throughput).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.serve.clock import ServeClock
+
+#: Statuses that count as the server answering in a structured way.
+STRUCTURED = (200, 202, 400, 404, 408, 413, 429, 503)
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """What to throw at the server.
+
+    Attributes:
+        spec: Base job spec payload; distinct jobs vary ``base_seed``.
+        requests: Distinct valid submissions.
+        duplicates: Extra submissions of the *same* spec (flood).
+        malformed: Bad submissions (must all come back 400).
+        slow_loris: Connections that stall mid-request (408/close).
+        kill_workers: Times to SIGKILL a running worker pid.
+        concurrency: Client tasks in flight at once.
+        poll_interval: Job-completion polling cadence (seconds).
+        deadline: Wall-clock budget for the whole run (seconds).
+    """
+
+    spec: Mapping[str, Any] = field(
+        default_factory=lambda: {
+            "kind": "chaos",
+            "params": {"specs": ["none"], "seeds": 2, "iterations": 60},
+        }
+    )
+    requests: int = 3
+    duplicates: int = 5
+    malformed: int = 3
+    slow_loris: int = 2
+    kill_workers: int = 0
+    concurrency: int = 8
+    poll_interval: float = 0.1
+    deadline: float = 120.0
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one loadgen run against one server."""
+
+    statuses: Dict[int, int] = field(default_factory=dict)
+    anomalies: List[str] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    jobs_other: int = 0
+    cache_hits: int = 0
+    identical_fingerprints: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance property: structured outcomes, no anomalies."""
+        return not self.anomalies
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "anomalies": list(self.anomalies),
+            "requests": len(self.latencies),
+            "latency_p50_s": self.percentile(0.50),
+            "latency_p99_s": self.percentile(0.99),
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_other": self.jobs_other,
+            "cache_hits": self.cache_hits,
+            "identical_fingerprints": self.identical_fingerprints,
+        }
+
+    def render(self) -> str:
+        lines = ["loadgen report", "=============="]
+        for key, value in self.summary().items():
+            lines.append(f"  {key}: {value}")
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP client (stdlib asyncio, mirrors the server's dialect)
+# ----------------------------------------------------------------------
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Any] = None,
+    raw_body: Optional[bytes] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One ``Connection: close`` request; returns (status, headers, body)."""
+
+    async def _go() -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = raw_body
+            if payload is None and body is not None:
+                payload = json.dumps(body, sort_keys=True).encode("utf-8")
+            head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+            if payload is not None:
+                head.append(f"Content-Length: {len(payload)}")
+            head.append("Connection: close")
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            if payload is not None:
+                writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, value = line.decode("latin-1").split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+            # Read by Content-Length, not until EOF: forked job workers
+            # inherit in-flight connection fds, so EOF can lag a worker
+            # lifetime even though the response is already complete.
+            length = headers.get("content-length")
+            if length is not None:
+                data = await reader.readexactly(int(length))
+            else:
+                data = await reader.read()
+            return status, headers, data
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    return await asyncio.wait_for(_go(), timeout)
+
+
+def _with_seed(spec: Mapping[str, Any], offset: int) -> Dict[str, Any]:
+    """The base spec with a shifted ``base_seed`` (a distinct job)."""
+    payload = json.loads(json.dumps(dict(spec)))
+    params = dict(payload.get("params", {}))
+    params["base_seed"] = int(params.get("base_seed", 1)) + offset
+    payload["params"] = params
+    return payload
+
+
+MALFORMED_BODIES: Tuple[bytes, ...] = (
+    b"this is not json",
+    b'{"kind": "unknown-kind"}',
+    b'{"kind": "chaos", "params": {"bogus": 1}}',
+    b'{"kind": "chaos", "params": {"seeds": "many"}}',
+    b'[1, 2, 3]',
+)
+
+
+class LoadGenerator:
+    """Drives one server through a :class:`LoadPlan`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        plan: Optional[LoadPlan] = None,
+        clock: Optional[ServeClock] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.plan = plan if plan is not None else LoadPlan()
+        self.clock = clock if clock is not None else ServeClock()
+        self.report = LoadgenReport()
+        self._semaphore = asyncio.Semaphore(self.plan.concurrency)
+        self._job_ids: List[str] = []
+        self._kills_left = self.plan.kill_workers
+
+    # ------------------------------------------------------------------
+    def run(self) -> LoadgenReport:
+        """Synchronous entry point (runs its own event loop)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> LoadgenReport:
+        plan = self.plan
+        tasks: List[Any] = []
+        for index in range(plan.requests):
+            tasks.append(self._submit(_with_seed(plan.spec, index)))
+        for _ in range(plan.duplicates):
+            tasks.append(self._submit(_with_seed(plan.spec, 0)))
+        for index in range(plan.malformed):
+            tasks.append(
+                self._malformed(MALFORMED_BODIES[index % len(MALFORMED_BODIES)])
+            )
+        for _ in range(plan.slow_loris):
+            tasks.append(self._slow_loris())
+        if self._kills_left > 0:
+            tasks.append(self._killer())
+        await asyncio.gather(*tasks)
+        await self._await_jobs()
+        await self._certify()
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _note_status(self, status: int, elapsed: float) -> None:
+        self.report.statuses[status] = self.report.statuses.get(status, 0) + 1
+        self.report.latencies.append(elapsed)
+        if status not in STRUCTURED:
+            self.report.anomalies.append(f"unexpected HTTP status {status}")
+
+    async def _submit(self, payload: Dict[str, Any]) -> None:
+        async with self._semaphore:
+            start = self.clock.monotonic()
+            try:
+                status, _headers, data = await http_request(
+                    self.host, self.port, "POST", "/jobs", body=payload
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError) as error:
+                self.report.anomalies.append(f"submit failed: {error!r}")
+                return
+            self._note_status(status, self.clock.monotonic() - start)
+            if status in (200, 202):
+                try:
+                    job = json.loads(data.decode("utf-8"))["job"]
+                    self._job_ids.append(job["id"])
+                    if job.get("cached"):
+                        self.report.cache_hits += 1
+                except (ValueError, KeyError):
+                    self.report.anomalies.append("unparseable submit response")
+            elif status not in (429, 503):
+                self.report.anomalies.append(
+                    f"valid spec rejected with {status}"
+                )
+
+    async def _malformed(self, raw: bytes) -> None:
+        async with self._semaphore:
+            start = self.clock.monotonic()
+            try:
+                status, _headers, _data = await http_request(
+                    self.host, self.port, "POST", "/jobs", raw_body=raw
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError) as error:
+                self.report.anomalies.append(f"malformed probe died: {error!r}")
+                return
+            self._note_status(status, self.clock.monotonic() - start)
+            if status != 400:
+                self.report.anomalies.append(
+                    f"malformed spec answered {status}, want 400"
+                )
+
+    async def _slow_loris(self) -> None:
+        """Open a connection, dribble half a request, never finish."""
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except OSError as error:
+            self.report.anomalies.append(f"slow-loris connect: {error!r}")
+            return
+        try:
+            writer.write(b"POST /jobs HT")
+            await writer.drain()
+            # The server must cut us off (408 or close), not wait forever.
+            data = await self.clock.wait_for(reader.read(), 60.0)
+            if data and b" 408 " not in data.split(b"\r\n", 1)[0]:
+                self.report.anomalies.append(
+                    "slow-loris got a non-408 response"
+                )
+        except asyncio.TimeoutError:
+            self.report.anomalies.append("slow-loris connection never cut off")
+        except (ConnectionError, OSError):
+            pass  # hard close is an acceptable cutoff too
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _killer(self) -> None:
+        """SIGKILL running worker pids learned from ``/healthz``."""
+        while self._kills_left > 0:
+            await self.clock.aio_sleep(self.plan.poll_interval)
+            try:
+                status, _headers, data = await http_request(
+                    self.host, self.port, "GET", "/healthz"
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                continue
+            if status != 200:
+                continue
+            health = json.loads(data.decode("utf-8"))
+            workers = health.get("workers", [])
+            if not workers:
+                if not health.get("jobs", {}).get("queued") and not health.get(
+                    "jobs", {}
+                ).get("running"):
+                    return  # nothing left to kill
+                continue
+            pid = workers[0].get("pid")
+            if pid:
+                try:
+                    os.kill(int(pid), signal.SIGKILL)
+                    self._kills_left -= 1
+                except (OSError, ValueError):
+                    pass
+
+    async def _await_jobs(self) -> None:
+        """Poll until every submitted job reaches a terminal state."""
+        deadline = self.clock.monotonic() + self.plan.deadline
+        pending = set(self._job_ids)
+        while pending:
+            if self.clock.monotonic() > deadline:
+                self.report.anomalies.append(
+                    f"{len(pending)} job(s) never reached a terminal state"
+                )
+                return
+            done = set()
+            for job_id in pending:
+                try:
+                    status, _headers, data = await http_request(
+                        self.host, self.port, "GET", f"/jobs/{job_id}"
+                    )
+                except (asyncio.TimeoutError, ConnectionError, OSError):
+                    continue
+                if status != 200:
+                    self.report.anomalies.append(
+                        f"job {job_id} status answered {status}"
+                    )
+                    done.add(job_id)
+                    continue
+                job = json.loads(data.decode("utf-8"))["job"]
+                if job["state"] in ("done", "failed", "interrupted", "cancelled"):
+                    done.add(job_id)
+                    if job["state"] == "done":
+                        self.report.jobs_done += 1
+                    elif job["state"] == "failed":
+                        self.report.jobs_failed += 1
+                    else:
+                        self.report.jobs_other += 1
+            pending -= done
+            if pending:
+                await self.clock.aio_sleep(self.plan.poll_interval)
+
+    async def _certify(self) -> None:
+        """Client-side cache certification: every job sharing a
+        fingerprint must expose byte-identical result payloads whose
+        digest matches a recomputation from the canonical bytes."""
+        from repro.serve.specs import result_digest
+
+        by_fingerprint: Dict[str, List[Tuple[str, str, str]]] = {}
+        for job_id in self._job_ids:
+            try:
+                status, _headers, data = await http_request(
+                    self.host, self.port, "GET", f"/jobs/{job_id}"
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                continue
+            if status != 200:
+                continue
+            job = json.loads(data.decode("utf-8"))["job"]
+            if job["state"] != "done" or "result" not in job:
+                continue
+            canonical = json.dumps(
+                job["result"], sort_keys=True, separators=(",", ":")
+            )
+            digest = job.get("digest", "")
+            if result_digest(job["result"]) != digest:
+                self.report.anomalies.append(
+                    f"job {job_id}: digest does not certify the result bytes"
+                )
+            by_fingerprint.setdefault(job["fingerprint"], []).append(
+                (job_id, canonical, digest)
+            )
+        for fingerprint, entries in by_fingerprint.items():
+            bodies = {canonical for _id, canonical, _d in entries}
+            if len(bodies) != 1:
+                self.report.anomalies.append(
+                    f"fingerprint {fingerprint[:12]}: "
+                    f"{len(bodies)} distinct result payloads (want 1)"
+                )
+            else:
+                self.report.identical_fingerprints += 1

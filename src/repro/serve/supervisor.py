@@ -1,0 +1,582 @@
+"""Supervised job pool: admission control, retry ladder, drain.
+
+This is the robustness core of ``repro.serve``.  The HTTP layer above
+it is a thin translator; every guarantee the service makes lives here:
+
+* **Bounded admission.**  The queue holds at most
+  :attr:`ServerPolicy.max_queue` jobs.  A submission past that raises
+  :class:`AdmissionError` (HTTP 429 + ``Retry-After``) instead of
+  growing memory without bound — load is shed explicitly, never
+  absorbed silently.
+* **Coalescing.**  A submission whose fingerprint matches a queued or
+  running job attaches to it instead of running twice; a fingerprint
+  already in the :class:`~repro.serve.cache.ResultCache` is served
+  instantly with ``cached: true``.  Duplicate floods therefore cost
+  one run, total.
+* **Supervision.**  Each attempt runs in a worker *process*
+  (:mod:`repro.serve.worker`); one
+  :class:`~repro.durable.watchdog.EnsembleWatchdog` per job spans all
+  attempts, so the stall → reroute → abandon ladder and the wall-clock
+  deadline cover the job, not the attempt.  A stalled worker is killed
+  and rerouted (WD001); the spent budget abandons the job (WD002/
+  WD003) as a structured timeout failure.
+* **Retry ladder.**  Crashed attempts (missing result file — SIGKILL,
+  segfault, OOM) respawn under a server-wide budget that mirrors
+  ``run_with_recovery``'s lineage accounting, after a **seeded
+  deterministic** exponential backoff
+  (:func:`repro.experiments.ensemble.backoff_delay`, seeded from the
+  job fingerprint — no wall-clock entropy).  Deterministic errors
+  (``ReproError`` in the spec itself) fail immediately: the same spec
+  would fail the same way.
+* **Drain.**  :meth:`JobSupervisor.drain` stops admissions, cancels
+  queued jobs with a structured outcome, and SIGTERMs running workers,
+  whose :class:`~repro.durable.signals.GracefulShutdown` stops them at
+  the next cell boundary with the journal flushed — the job reports
+  ``interrupted`` with a journal path from which ``--resume``
+  reproduces the finished report byte-identically.
+
+All timing goes through the injectable
+:class:`~repro.serve.clock.ServeClock` (lint rule RPL106), which is
+what makes every one of these behaviours unit-testable without real
+sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.serve.cache import ResultCache
+from repro.serve.clock import ServeClock
+from repro.serve.specs import JobSpec, parse_job_spec
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+INTERRUPTED = "interrupted"
+CANCELLED = "cancelled"
+
+_TERMINAL = (DONE, FAILED, INTERRUPTED, CANCELLED)
+
+
+class AdmissionError(ReproError):
+    """Queue full — the HTTP layer maps this to 429 + Retry-After."""
+
+    def __init__(self, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"admission queue full; retry after {retry_after:g}s"
+        )
+
+
+class DrainingError(ReproError):
+    """Server is draining — the HTTP layer maps this to 503."""
+
+    def __init__(self) -> None:
+        super().__init__("server is draining; not accepting new jobs")
+
+
+@dataclass(frozen=True)
+class ServerPolicy:
+    """Service-level limits (all wall-clock values in seconds).
+
+    Attributes:
+        max_queue: Bound on jobs waiting for a worker (429 past it).
+        workers: Supervisor worker threads (= concurrent jobs).
+        job_deadline: Total wall-clock budget per job across attempts
+            (``None`` disables; maps to watchdog WD003).
+        stall_timeout: Heartbeat window — no progress-file change for
+            this long counts as a stall (``None`` disables; WD001).
+        max_reroutes: Stalls answered with kill+respawn before the next
+            stall abandons the job (WD002).
+        max_attempts: Ceiling on attempts per job (crash respawns).
+        respawn_budget: Server-wide crash respawn budget (lineage
+            accounting: every crash anywhere draws from it).
+        backoff_base: Base delay for the seeded exponential backoff
+            between crash retries.
+        poll_interval: Supervisor polling granularity.
+        retry_after: Hint returned with 429 rejections.
+        drain_grace: Seconds a SIGTERMed worker gets to reach a safe
+            point before SIGKILL.
+        read_timeout: HTTP request read budget (slow-loris cutoff).
+    """
+
+    max_queue: int = 8
+    workers: int = 2
+    job_deadline: Optional[float] = None
+    stall_timeout: Optional[float] = None
+    max_reroutes: int = 1
+    max_attempts: int = 3
+    respawn_budget: int = 8
+    backoff_base: float = 0.05
+    poll_interval: float = 0.05
+    retry_after: float = 1.0
+    drain_grace: float = 5.0
+    read_timeout: float = 5.0
+
+
+@dataclass
+class Job:
+    """One admitted submission and everything that happened to it."""
+
+    id: str
+    spec: JobSpec
+    index: int
+    state: str = QUEUED
+    cached: bool = False
+    attempts: int = 0
+    result: Optional[Dict[str, Any]] = None
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    journal_path: Optional[str] = None
+    progress_path: Optional[str] = None
+    worker_pid: Optional[int] = None
+    findings: List[str] = field(default_factory=list)
+
+    def view(self) -> Dict[str, Any]:
+        """JSON-safe status view (the ``GET /jobs/<id>`` body)."""
+        view: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "fingerprint": self.spec.fingerprint,
+            "state": self.state,
+            "cached": self.cached,
+            "attempts": self.attempts,
+        }
+        if self.digest is not None:
+            view["digest"] = self.digest
+        if self.result is not None:
+            view["result"] = self.result
+        if self.error is not None:
+            view["error"] = self.error
+        if self.journal_path is not None:
+            view["journal"] = self.journal_path
+        if self.worker_pid is not None:
+            view["worker_pid"] = self.worker_pid
+        if self.findings:
+            view["findings"] = list(self.findings)
+        return view
+
+
+class ProcessJobRunner:
+    """Runs one attempt in a child process under watchdog supervision.
+
+    Returns an outcome dict: ``{"status": "ok"|"error"|"interrupted"|
+    "crash"|"stalled"|"deadline", ...}``.  ``crash``/``stalled`` feed
+    the supervisor's retry ladder; the rest are final for the job.
+    """
+
+    def __init__(self, policy: ServerPolicy, clock: ServeClock) -> None:
+        self._policy = policy
+        self._clock = clock
+
+    def run(
+        self,
+        job: Job,
+        watchdog: Any,
+        should_stop: Callable[[], bool],
+    ) -> Dict[str, Any]:
+        import multiprocessing
+
+        from repro.durable.watchdog import ABANDON, REROUTE
+        from repro.serve.worker import job_worker_main
+
+        result_file = pathlib.Path(str(job.progress_path)).parent / (
+            f"result-{job.attempts}.json"
+        )
+        if result_file.exists():
+            result_file.unlink()
+        context = multiprocessing.get_context()
+        proc = context.Process(
+            target=job_worker_main,
+            args=(
+                job.spec.payload(),
+                job.journal_path,
+                str(result_file),
+                job.progress_path,
+            ),
+            daemon=False,
+        )
+        proc.start()
+        job.worker_pid = proc.pid
+        progress_file = pathlib.Path(str(job.progress_path))
+        last_progress = self._read_bytes(progress_file)
+        stopped = False
+        try:
+            while proc.is_alive():
+                if should_stop() and not stopped:
+                    stopped = True
+                    proc.terminate()  # SIGTERM -> GracefulShutdown
+                    proc.join(self._policy.drain_grace)
+                    if proc.is_alive():
+                        proc.kill()
+                    break
+                proc.join(self._policy.poll_interval)
+                current = self._read_bytes(progress_file)
+                if current != last_progress:
+                    last_progress = current
+                    watchdog.beat()
+                    continue
+                if not proc.is_alive():
+                    break
+                decision = watchdog.on_wait_elapsed(pending=1)
+                if decision == REROUTE:
+                    proc.kill()
+                    return {"status": "stalled"}
+                if decision == ABANDON:
+                    proc.kill()
+                    return {"status": "deadline"}
+            proc.join()
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        outcome = self._read_result(result_file)
+        if outcome is None:
+            return {"status": "crash", "exitcode": proc.exitcode}
+        return outcome
+
+    @staticmethod
+    def _read_bytes(path: pathlib.Path) -> bytes:
+        try:
+            return path.read_bytes()
+        except OSError:
+            return b""
+
+    @staticmethod
+    def _read_result(path: pathlib.Path) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+
+class JobSupervisor:
+    """Admission queue + worker threads + per-job escalation ladder."""
+
+    def __init__(
+        self,
+        policy: Optional[ServerPolicy] = None,
+        cache: Optional[ResultCache] = None,
+        workdir: Optional[pathlib.Path] = None,
+        clock: Optional[ServeClock] = None,
+        metrics: Optional[Any] = None,
+        runner: Optional[Any] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else ServerPolicy()
+        self.clock = clock if clock is not None else ServeClock()
+        self.workdir = pathlib.Path(workdir) if workdir else None
+        if self.workdir is not None:
+            self.workdir.mkdir(parents=True, exist_ok=True)
+        if cache is not None:
+            self.cache = cache
+        else:
+            cache_dir = (
+                self.workdir / "cache" if self.workdir is not None else None
+            )
+            self.cache = ResultCache(cache_dir)
+        self.runner = (
+            runner
+            if runner is not None
+            else ProcessJobRunner(self.policy, self.clock)
+        )
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}  # fingerprint -> active job
+        self._counter = 0
+        self._draining = False
+        self._respawns_left = self.policy.respawn_budget
+        self._threads: List[threading.Thread] = []
+        from repro.obs.registry import live_registry
+
+        registry = live_registry(metrics)
+        self._metrics = registry
+        if registry is not None:
+            kwargs = {"deterministic": False}
+            self._m = {
+                "submitted": registry.counter(
+                    "repro_serve_jobs_submitted_total",
+                    "job submissions admitted", **kwargs),
+                "rejected": registry.counter(
+                    "repro_serve_jobs_rejected_total",
+                    "submissions shed with 429", **kwargs),
+                "completed": registry.counter(
+                    "repro_serve_jobs_completed_total",
+                    "jobs finished ok", **kwargs),
+                "failed": registry.counter(
+                    "repro_serve_jobs_failed_total",
+                    "jobs failed terminally", **kwargs),
+                "cancelled": registry.counter(
+                    "repro_serve_jobs_cancelled_total",
+                    "queued jobs cancelled by drain", **kwargs),
+                "retries": registry.counter(
+                    "repro_serve_job_retries_total",
+                    "crash/stall respawns", **kwargs),
+                "cache_hits": registry.counter(
+                    "repro_serve_cache_hits_total",
+                    "submissions served from the certified cache", **kwargs),
+                "cache_mismatches": registry.gauge(
+                    "repro_serve_cache_mismatches",
+                    "write-once digest collisions (determinism alarms)",
+                    **kwargs),
+                "queued": registry.gauge(
+                    "repro_serve_queue_depth", "jobs waiting", **kwargs),
+                "running": registry.gauge(
+                    "repro_serve_jobs_running", "jobs executing", **kwargs),
+            }
+        else:
+            self._m = None
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, value: Optional[float] = None) -> None:
+        if self._m is None:
+            return
+        if value is None:
+            self._m[name].inc()
+        else:
+            self._m[name].set(value)
+
+    def _gauges(self) -> None:
+        if self._m is not None:
+            self._m["queued"].set(len(self._queue))
+            self._m["running"].set(
+                sum(1 for j in self._jobs.values() if j.state == RUNNING)
+            )
+            self._m["cache_mismatches"].set(self.cache.mismatches)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.policy.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, payload: Mapping[str, Any]) -> Job:
+        """Admit one submission (validation errors propagate as
+        :class:`~repro.errors.ConfigurationError` → HTTP 400)."""
+        spec = parse_job_spec(dict(payload))
+        with self._lock:
+            if self._draining:
+                raise DrainingError()
+            hit = self.cache.get(spec.fingerprint)
+            if hit is not None:
+                self._counter += 1
+                job = Job(
+                    id=f"job-{self._counter:04d}",
+                    spec=spec,
+                    index=self._counter,
+                    state=DONE,
+                    cached=True,
+                    result=hit["result"],
+                    digest=hit["digest"],
+                )
+                self._jobs[job.id] = job
+                self._count("cache_hits")
+                return job
+            existing = self._inflight.get(spec.fingerprint)
+            if existing is not None:
+                return existing
+            if len(self._queue) >= self.policy.max_queue:
+                self._count("rejected")
+                raise AdmissionError(self.policy.retry_after)
+            self._counter += 1
+            job = Job(
+                id=f"job-{self._counter:04d}", spec=spec, index=self._counter
+            )
+            if self.workdir is not None:
+                jobdir = self.workdir / "jobs" / job.id
+                jobdir.mkdir(parents=True, exist_ok=True)
+                job.progress_path = str(jobdir / "progress.json")
+                journal_dir = self.workdir / "journal"
+                journal_dir.mkdir(parents=True, exist_ok=True)
+                job.journal_path = str(
+                    journal_dir / f"{spec.fingerprint}.jsonl"
+                )
+            self._jobs[job.id] = job
+            self._inflight[spec.fingerprint] = job
+            self._queue.append(job)
+            self._count("submitted")
+            self._gauges()
+            self._wakeup.notify()
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def progress(self, job: Job) -> Dict[str, Any]:
+        """Latest worker progress snapshot (obs metrics included)."""
+        base = {"id": job.id, "state": job.state, "cells_completed": 0}
+        if job.progress_path is None:
+            return base
+        try:
+            snapshot = json.loads(
+                pathlib.Path(job.progress_path).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return base
+        base.update(snapshot)
+        return base
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+        return {
+            "queued": states.count(QUEUED),
+            "running": states.count(RUNNING),
+            "done": states.count(DONE),
+            "failed": states.count(FAILED),
+            "interrupted": states.count(INTERRUPTED),
+            "cancelled": states.count(CANCELLED),
+        }
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop admissions, cancel the queue, stop running workers at
+        their next safe point, and wait for the worker threads."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            while self._queue:
+                job = self._queue.popleft()
+                job.state = CANCELLED
+                job.error = "server draining; job cancelled before start"
+                self._inflight.pop(job.spec.fingerprint, None)
+                self._count("cancelled")
+            self._gauges()
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(self.policy.drain_grace + 10.0)
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._draining:
+                    self._wakeup.wait(0.2)
+                if self._draining and not self._queue:
+                    return
+                job = self._queue.popleft()
+                job.state = RUNNING
+                self._gauges()
+            try:
+                self._run_job(job)
+            except Exception as error:  # defensive: never kill the loop
+                job.state = FAILED
+                job.error = f"supervisor failure: {error!r}"
+                self._count("failed")
+            finally:
+                with self._lock:
+                    self._inflight.pop(job.spec.fingerprint, None)
+                    self._gauges()
+
+    def _run_job(self, job: Job) -> None:
+        from repro.durable.watchdog import EnsembleWatchdog, WatchdogPolicy
+        from repro.experiments.ensemble import backoff_delay
+
+        watchdog = EnsembleWatchdog(
+            WatchdogPolicy(
+                heartbeat_timeout=self.policy.stall_timeout,
+                deadline=self.policy.job_deadline,
+                max_reroutes=self.policy.max_reroutes,
+            ),
+            clock=self.clock.monotonic,
+            metrics=self._metrics,
+        )
+        watchdog.start()
+        backoff_seed = int(job.spec.fingerprint[:8], 16)
+        while True:
+            job.attempts += 1
+            outcome = self.runner.run(job, watchdog, self._should_stop)
+            job.findings.extend(str(f) for f in watchdog.findings)
+            watchdog.findings.clear()
+            status = outcome.get("status")
+            if status == "ok":
+                result = outcome["result"]
+                job.digest = self.cache.put(job.spec.fingerprint, result)
+                job.result = result
+                job.state = DONE
+                self._count("completed")
+                return
+            if status == "interrupted":
+                job.state = INTERRUPTED
+                job.error = outcome.get("detail", "interrupted")
+                job.journal_path = outcome.get("journal", job.journal_path)
+                return
+            if status == "error":
+                job.state = FAILED
+                job.error = (
+                    f"{outcome.get('category', 'ReproError')}: "
+                    f"{outcome.get('detail', '')}"
+                )
+                self._count("failed")
+                return
+            if status == "deadline":
+                job.state = FAILED
+                job.error = (
+                    "job exceeded its wall-clock deadline "
+                    "(watchdog WD002/WD003); journal kept for --resume"
+                )
+                self._count("failed")
+                return
+            if self._should_stop():
+                # Crash observed while draining: keep the journal.
+                job.state = INTERRUPTED
+                job.error = "server draining; attempt stopped"
+                return
+            # crash or stall: the retry ladder.
+            with self._lock:
+                self._respawns_left -= 1
+                budget_left = self._respawns_left
+            retryable = (
+                job.attempts < self.policy.max_attempts and budget_left >= 0
+            )
+            if not retryable:
+                job.state = FAILED
+                reason = (
+                    "respawn budget exhausted"
+                    if budget_left < 0
+                    else f"failed after {job.attempts} attempt(s)"
+                )
+                job.error = f"worker {status} ({reason}); journal kept"
+                self._count("failed")
+                return
+            self._count("retries")
+            self.clock.sleep(
+                backoff_delay(
+                    self.policy.backoff_base,
+                    job.attempts,
+                    chunk_index=job.index,
+                    seed=backoff_seed,
+                )
+            )
+
+    def _should_stop(self) -> bool:
+        with self._lock:
+            return self._draining

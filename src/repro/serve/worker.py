@@ -1,0 +1,113 @@
+"""Child-process entry point for one supervised job.
+
+The supervisor launches each attempt of a job as a separate OS process
+running :func:`job_worker_main`.  The process boundary is the fault
+isolation the service model needs: a worker that segfaults, gets
+SIGKILLed by the chaos harness, or hits a deadline can be discarded
+without taking the server down, and everything it had finished lives in
+the job's journal, so the next attempt resumes instead of restarting.
+
+Protocol with the supervisor (all files written via
+:func:`~repro.durable.atomic_io.atomic_write`, so they are whole or
+absent — never torn):
+
+* ``result_path``: final outcome, ``{"status": "ok"|"interrupted"|
+  "error", ...}``.  A *missing* result file after process exit means
+  the worker crashed — the supervisor's retry ladder takes over.
+* ``progress_path``: rewritten after every completed grid cell with
+  ``{"cells_completed", "metrics"}``.  Doubles as the supervisor's
+  heartbeat: a changing progress file beats the job's watchdog.
+
+Exit codes: ``0`` ok, ``2`` deterministic error (no retry — the same
+spec would fail the same way), ``3`` interrupted at a safe point
+(journal is resumable), anything else (or a missing result file) is a
+crash and re-enters the retry ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import traceback
+from typing import Any, Mapping, Optional
+
+
+def _write_json(path: pathlib.Path, payload: Mapping[str, Any]) -> None:
+    from repro.durable.atomic_io import atomic_write
+
+    text = json.dumps(dict(payload), sort_keys=True, separators=(",", ":"))
+    atomic_write(path, text.encode("utf-8"))
+
+
+def job_worker_main(
+    payload: Mapping[str, Any],
+    journal_path: Optional[str],
+    result_path: str,
+    progress_path: str,
+) -> None:
+    """Run one job spec payload to completion inside this process."""
+    from repro.durable.signals import GracefulShutdown
+    from repro.errors import InterruptedRunError, ReproError
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.specs import journal_fingerprint, parse_job_spec
+
+    result_file = pathlib.Path(result_path)
+    progress_file = pathlib.Path(progress_path)
+    metrics = MetricsRegistry()
+
+    def on_progress(cells: int) -> None:
+        _write_json(
+            progress_file,
+            {
+                "cells_completed": cells,
+                "metrics": metrics.snapshot(deterministic_only=False),
+            },
+        )
+
+    journal = None
+    try:
+        spec = parse_job_spec(dict(payload))
+        if journal_path is not None:
+            from repro.durable.journal import RunJournal
+
+            journal = RunJournal.open(
+                journal_path, journal_fingerprint(spec), resume=True
+            )
+        from repro.serve.specs import execute_spec
+
+        with GracefulShutdown(install=True) as shutdown:
+            result = execute_spec(
+                payload,
+                journal=journal,
+                shutdown=shutdown,
+                metrics=metrics,
+                progress=on_progress,
+            )
+        _write_json(result_file, {"status": "ok", "result": result})
+    except InterruptedRunError as error:
+        _write_json(
+            result_file,
+            {
+                "status": "interrupted",
+                "detail": str(error),
+                "journal": journal_path,
+            },
+        )
+        raise SystemExit(3)
+    except ReproError as error:
+        _write_json(
+            result_file,
+            {
+                "status": "error",
+                "category": type(error).__name__,
+                "detail": str(error),
+            },
+        )
+        raise SystemExit(2)
+    except Exception:  # crash: no result file -> supervisor retries
+        traceback.print_exc(file=sys.stderr)
+        raise SystemExit(1)
+    finally:
+        if journal is not None:
+            journal.close()

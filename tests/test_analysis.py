@@ -380,6 +380,36 @@ def poll(queue):
             break
 '''
 
+SERVE_TIMING_FIXTURE = '''
+import asyncio
+import time
+
+async def handler(policy):
+    start = time.monotonic()
+    time.sleep(0.1)
+    now = time.time()
+    await asyncio.sleep(0.5)
+    await asyncio.wait_for(work(), timeout=2.0)
+'''
+
+SERVE_TIMING_INJECTED_FIXTURE = '''
+import asyncio
+
+async def handler(clock, policy):
+    start = clock.monotonic()
+    await clock.aio_sleep(policy.poll_interval)
+    # Non-literal delays are the policy's business, not RPL106's.
+    await asyncio.sleep(policy.poll_interval)
+    await asyncio.wait_for(work(), timeout=policy.read_timeout)
+'''
+
+SERVE_TIMING_PRAGMA_FIXTURE = '''
+import time
+
+def tick():
+    return time.monotonic()  # repro: allow(RPD201, RPL106)
+'''
+
 
 class TestLint:
     def test_wall_clock_is_flagged(self):
@@ -459,6 +489,31 @@ class TestLint:
     def test_non_program_loops_are_not_flagged(self):
         findings = lint_source(UNBOUNDED_DRIVER_FIXTURE, path="fixture.py")
         assert not [f for f in findings if f.rule == "RPL105"]
+
+    def test_serve_timing_calls_are_flagged_under_serve(self):
+        findings = lint_source(
+            SERVE_TIMING_FIXTURE, path="src/repro/serve/handler.py"
+        )
+        hits = [f for f in findings if f.rule == "RPL106"]
+        # time.monotonic, time.sleep, time.time, asyncio.sleep(0.5)
+        # and asyncio.wait_for(..., timeout=2.0): all five.
+        assert len(hits) == 5
+
+    def test_serve_timing_outside_serve_is_silent(self):
+        findings = lint_source(SERVE_TIMING_FIXTURE, path="src/other/mod.py")
+        assert not [f for f in findings if f.rule == "RPL106"]
+
+    def test_serve_injected_clock_and_policy_delays_pass(self):
+        findings = lint_source(
+            SERVE_TIMING_INJECTED_FIXTURE, path="src/repro/serve/handler.py"
+        )
+        assert not [f for f in findings if f.rule == "RPL106"]
+
+    def test_serve_timing_pragma_suppresses(self):
+        findings = lint_source(
+            SERVE_TIMING_PRAGMA_FIXTURE, path="src/repro/serve/clockish.py"
+        )
+        assert not [f for f in findings if f.rule in ("RPL106", "RPD201")]
 
     def test_repo_sources_are_clean(self):
         findings = lint_paths(["src/repro"])

@@ -331,3 +331,98 @@ class TestCliJournalFlags:
         assert (out_dir / "chaos_report.json").read_bytes() == (
             ref_dir / "chaos_report.json"
         ).read_bytes()
+
+
+class TestTornTailEveryOffset:
+    """Satellite: the serve layer's crash paths (SIGKILLed workers) can
+    tear the journal at *any* byte.  Property: truncating the final
+    record at every byte offset yields exactly the documented
+    classification — a clean shorter journal (cut at a record boundary
+    or a complete-but-unterminated line) or one DUR001 warning (a real
+    torn tail) — never corruption errors, and resuming from the torn
+    journal reproduces the uninterrupted report byte-identically across
+    --jobs 1/4."""
+
+    def _full_journal(self, tmp_path):
+        config = _campaign_config()
+        fingerprint = campaign_fingerprint(config)
+        path = tmp_path / "full.jsonl"
+        journal = RunJournal.open(path, fingerprint)
+        run_campaign(config, journal=journal)
+        journal.close()
+        return path.read_bytes(), fingerprint
+
+    def test_classification_at_every_byte_offset(self, tmp_path):
+        data, fingerprint = self._full_journal(tmp_path)
+        assert data.endswith(b"\n")
+        body = data[:-1].split(b"\n")
+        last = body[-1] + b"\n"
+        prefix = data[: len(data) - len(last)]
+        torn_path = tmp_path / "torn.jsonl"
+        for cut in range(len(last)):
+            torn_path.write_bytes(prefix + last[:cut])
+            resumed = RunJournal.open(torn_path, fingerprint, resume=True)
+            rules = [f.rule for f in resumed.findings]
+            resumed.close()
+            if cut == 0 or cut == len(last) - 1:
+                # Record boundary, or a complete JSON line missing only
+                # its newline: nothing was torn mid-record.
+                assert rules == [], f"offset {cut}: {rules}"
+            else:
+                assert rules == ["DUR001"], f"offset {cut}: {rules}"
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_resume_from_torn_tail_byte_identical(self, tmp_path, jobs):
+        reference, _ = _campaign_reference()
+        data, fingerprint = self._full_journal(tmp_path)
+        body = data[:-1].split(b"\n")
+        last = body[-1] + b"\n"
+        prefix = data[: len(data) - len(last)]
+        # Representative offsets spanning every classification class:
+        # boundary cut, 1-byte tear, mid-record tear, all-but-newline.
+        for cut in (0, 1, len(last) // 2, len(last) - 1):
+            torn_path = tmp_path / f"torn-{jobs}-{cut}.jsonl"
+            torn_path.write_bytes(prefix + last[:cut])
+            journal = RunJournal.open(torn_path, fingerprint, resume=True)
+            config = _campaign_config(jobs)
+            report = run_campaign(config, journal=journal)
+            journal.close()
+            assert report.to_json() == reference, f"offset {cut}"
+
+    def test_trace_truncated_at_every_byte_offset(self, tmp_path):
+        """DUR002 twin for metric traces: a torn final line is recovered
+        at every offset; complete records always survive intact."""
+        from repro.metrics.serialize import dump_records, load_records
+        from repro.runtime.events import IterationRecord
+
+        records = [
+            IterationRecord(
+                time=10 * i, thread_id=i % 2, index=i, epoch=0,
+                start_time=10 * i, read_start_time=10 * i,
+                read_end_time=10 * i + 1, first_update_time=10 * i + 2,
+                end_time=10 * i + 3, step_size=0.05,
+            )
+            for i in range(3)
+        ]
+        full = tmp_path / "trace.jsonl"
+        dump_records(records, full)
+        data = full.read_bytes()
+        body = data[:-1].split(b"\n")
+        last = body[-1] + b"\n"
+        prefix = data[: len(data) - len(last)]
+        torn_path = tmp_path / "torn-trace.jsonl"
+        for cut in range(len(last)):
+            torn_path.write_bytes(prefix + last[:cut])
+            findings = []
+            recovered = load_records(torn_path, findings=findings)
+            rules = [f.rule for f in findings]
+            if cut == 0 or cut == len(last) - 1:
+                expect = len(records) - (1 if cut == 0 else 0)
+                assert len(recovered) == expect, f"offset {cut}"
+                assert rules == [], f"offset {cut}: {rules}"
+            else:
+                assert len(recovered) == len(records) - 1, f"offset {cut}"
+                assert rules == ["DUR002"], f"offset {cut}: {rules}"
+            # Whatever survived is the exact uncorrupted prefix.
+            for got, want in zip(recovered, records):
+                assert got == want

@@ -250,3 +250,62 @@ class TestDriverDeterminism:
         assert pickle.dumps(parallel.series) == pickle.dumps(serial.series)
         assert pickle.dumps(parallel.table.rows) == pickle.dumps(serial.table.rows)
         assert parallel.passed == serial.passed
+
+
+class TestSeededBackoffJitter:
+    """Satellite: chunk-retry backoff jitter is seeded and deterministic
+    (no ``random``/wall-clock entropy), and enabling it does not disturb
+    result byte-identity across --jobs."""
+
+    def test_no_seed_is_pure_exponential(self):
+        assert ensemble.backoff_delay(0.5, 1) == 0.5
+        assert ensemble.backoff_delay(0.5, 2) == 1.0
+        assert ensemble.backoff_delay(0.5, 3) == 2.0
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = ensemble.backoff_delay(0.5, 2, chunk_index=3, seed=42)
+        b = ensemble.backoff_delay(0.5, 2, chunk_index=3, seed=42)
+        assert a == b
+
+    def test_jitter_varies_by_key(self):
+        base = ensemble.backoff_delay(0.5, 2, chunk_index=3, seed=42)
+        assert ensemble.backoff_delay(0.5, 2, chunk_index=4, seed=42) != base
+        assert ensemble.backoff_delay(0.5, 3, chunk_index=3, seed=42) != base
+        assert ensemble.backoff_delay(0.5, 2, chunk_index=3, seed=43) != base
+
+    def test_jitter_stays_within_half_to_three_halves(self):
+        for attempt in (1, 2, 3):
+            for chunk in range(8):
+                raw = 0.25 * 2 ** (attempt - 1)
+                delay = ensemble.backoff_delay(
+                    0.25, attempt, chunk_index=chunk, seed=7
+                )
+                assert 0.5 * raw <= delay < 1.5 * raw
+
+    def test_zero_base_never_jitters(self):
+        assert ensemble.backoff_delay(0.0, 3, chunk_index=1, seed=9) == 0.0
+
+    def test_retry_sleeps_use_the_seeded_delay(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        seeds = list(range(8))
+        pool = _ScriptedPool([BrokenProcessPool("worker died")])
+        monkeypatch.setattr(ensemble, "ProcessPoolExecutor", pool)
+        monkeypatch.setattr(ensemble, "wait", _fake_wait)
+        slept = []
+        monkeypatch.setattr(ensemble.time, "sleep", slept.append)
+        result = run_ensemble(
+            _square, seeds, jobs=2, chunk_retries=1,
+            backoff_base=0.25, backoff_seed=11,
+        )
+        assert result == [s * s for s in seeds]
+        # Chunk 0 failed once -> exactly one sleep, the seeded jittered
+        # delay for (chunk 0, attempt 1) -- reproducible by key.
+        assert slept == [
+            ensemble.backoff_delay(0.25, 1, chunk_index=0, seed=11)
+        ]
+
+    def test_jobs_byte_identity_with_jitter_enabled(self):
+        serial = run_ensemble(_square, list(range(12)), jobs=1, backoff_seed=5)
+        pooled = run_ensemble(_square, list(range(12)), jobs=4, backoff_seed=5)
+        assert pickle.dumps(pooled) == pickle.dumps(serial)
