@@ -75,6 +75,13 @@ RULES: Dict[str, str] = {
         "deadlines, backoff and slow-loris cutoffs are testable with a "
         "fake clock"
     ),
+    "RPL107": (
+        "interpolated span name (f-string, concatenation, or variable "
+        "first argument to trace_span/causal_span or a recorder's "
+        "span/event/record): span names are the cardinality axis of "
+        "every trace viewer — use a dotted lowercase literal like "
+        "'serve.attempt' and put variable data in key=/args"
+    ),
     "RPD201": (
         "wall-clock read (time.time/perf_counter/datetime.now ...): "
         "feeds nondeterminism into simulated traces"
@@ -155,6 +162,19 @@ _DIRECT_MUTATORS = {"load", "poke", "store"}
 #: allow(RPL106)`` pragmas.
 _SERVE_TIMING_SUFFIXES = ("time.time", "time.monotonic", "time.sleep")
 _SERVE_LITERAL_SLEEPS = ("asyncio.sleep", "asyncio.wait_for")
+
+#: RPL107 (span-name hygiene): span names must match this — dotted
+#: lowercase literals with at least two components.
+_SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Free functions whose first argument is a span name.
+_SPAN_CALL_TAILS = ("trace_span", "causal_span")
+
+#: Methods whose first argument is a span name, when called on a
+#: receiver that looks like a span recorder (``recorder.span(...)``,
+#: ``self.causal.record(...)``).
+_SPAN_METHODS = ("span", "event", "record")
+_SPAN_RECEIVER_RE = re.compile(r"(recorder|causal)", re.IGNORECASE)
 
 #: Identifier fragments that signal a bounded-attempt guard inside a
 #: retry loop (``attempts``, ``max_iterations``, ``budget`` ...).  A
@@ -366,7 +386,56 @@ class _Linter(ast.NodeVisitor):
             self._check_wall_clock(node, name)
             self._check_global_random(node, name)
             self._check_serve_timing(node, name)
+            self._check_span_name(node, name)
         self.generic_visit(node)
+
+    def _check_span_name(self, node: ast.Call, name: str) -> None:
+        """RPL107: span names are dotted lowercase literals, never
+        interpolated — per-value names explode trace-viewer
+        cardinality; variable data belongs in ``key=``/args."""
+        parts = name.split(".")
+        tail = parts[-1]
+        if tail in _SPAN_CALL_TAILS:
+            pass
+        elif (
+            tail in _SPAN_METHODS
+            and len(parts) > 1
+            and _SPAN_RECEIVER_RE.search(".".join(parts[:-1]))
+        ):
+            pass
+        else:
+            return
+        argument: Optional[ast.expr] = node.args[0] if node.args else None
+        if argument is None:
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    argument = keyword.value
+                    break
+        if argument is None:
+            return
+        if isinstance(argument, ast.Constant):
+            if isinstance(argument.value, str) and not _SPAN_NAME_RE.match(
+                argument.value
+            ):
+                self._flag(
+                    "RPL107",
+                    node.lineno,
+                    f"span name {argument.value!r} is not a dotted "
+                    f"lowercase literal (want e.g. 'serve.attempt')",
+                )
+            return
+        kind = (
+            "an f-string"
+            if isinstance(argument, ast.JoinedStr)
+            else "a dynamic expression"
+        )
+        self._flag(
+            "RPL107",
+            node.lineno,
+            f"span name passed to {tail}() is {kind}: use a dotted "
+            f"lowercase literal and carry variable data in key=/args "
+            f"(cardinality hazard)",
+        )
 
     def _check_serve_timing(self, node: ast.Call, name: str) -> None:
         """RPL106: inside ``repro/serve/``, timing never bypasses the

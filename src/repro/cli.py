@@ -1033,6 +1033,105 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Stitch causal span spills into one Chrome/Perfetto trace file.
+
+    ``path`` may be a single ``*.spans.jsonl`` spill, a directory (a
+    serve workdir or one job's directory — spills are found
+    recursively), or a job journal file (its serve workdir is scanned).
+    Exit codes: 0 wrote a trace, 1 no spans found, 2 bad path.
+    """
+    from repro.obs.causal import (
+        SPILL_SUFFIX,
+        find_spills,
+        read_spills,
+        stitch_records,
+        write_stitched_trace,
+    )
+
+    root = pathlib.Path(args.path)
+    if not root.exists():
+        print(f"no such path: {root}", file=sys.stderr)
+        return 2
+    if root.is_file():
+        if root.name.endswith(SPILL_SUFFIX):
+            spills = [root]
+        else:
+            # A journal (workdir/journal/<fp>.jsonl): scan its workdir.
+            spills = find_spills(root.parent.parent)
+    else:
+        spills = find_spills(root)
+    records = read_spills(spills)
+    if args.trace_id is not None:
+        records = [r for r in records if r.get("trace") == args.trace_id]
+    if not records:
+        print(
+            f"no span records under {root} "
+            f"(looked at {len(spills)} spill file(s))",
+            file=sys.stderr,
+        )
+        return 1
+    payload = stitch_records(records, mode=args.mode)
+    out = pathlib.Path(args.out)
+    write_stitched_trace(out, payload)
+    traces = sorted({str(r.get("trace")) for r in records})
+    lanes = sorted(
+        {(str(r.get("role", "?")), int(r.get("attempt", 0) or 0)) for r in records}
+    )
+    flows = sum(1 for r in records if r.get("flow"))
+    print(
+        f"stitched {len(records)} span(s) from {len(spills)} spill(s) "
+        f"across {len(lanes)} lane(s), {flows} flow link(s), "
+        f"{len(traces)} trace(s) -> {out} [{args.mode}]"
+    )
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Perf-trend observatory over ``benchmarks/results/BENCH_*.json``.
+
+    Default: render the ledger (with per-metric deltas).  ``--update``
+    ingests changed bench files first.  ``--check`` runs the regression
+    gate: exit 1 if any throughput metric dropped more than
+    ``--threshold`` against its ledger baseline.
+    """
+    from repro.obs.trend import (
+        check_regressions,
+        ingest,
+        load_ledger,
+        render_trend,
+    )
+
+    results_dir = pathlib.Path(args.results)
+    if not results_dir.is_dir():
+        print(f"no such results directory: {results_dir}", file=sys.stderr)
+        return 2
+    ledger_path = (
+        pathlib.Path(args.ledger)
+        if args.ledger is not None
+        else results_dir / "TREND.jsonl"
+    )
+    if args.update:
+        added, ledger = ingest(results_dir, ledger_path)
+        print(f"ingested {added} new ledger entr(ies) -> {ledger_path}")
+    else:
+        ledger = load_ledger(ledger_path)
+    print(render_trend(ledger), end="")
+    if args.check:
+        regressions = check_regressions(
+            results_dir, ledger_path, threshold=args.threshold
+        )
+        if regressions:
+            for message in regressions:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            return 1
+        print(
+            f"trend gate ok: no throughput metric down more than "
+            f"{args.threshold:.0%} vs ledger baseline"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -1559,6 +1658,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write loadtest_report.json to",
     )
     loadtest_parser.set_defaults(func=cmd_loadtest)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="stitch causal span spills (serve workdir, job dir, spill "
+        "file, or journal) into one Chrome/Perfetto trace",
+    )
+    trace_parser.add_argument(
+        "path",
+        help="spill file (*.spans.jsonl), serve workdir/job directory, "
+        "or job journal",
+    )
+    trace_parser.add_argument(
+        "--mode", choices=("wall", "logical"), default="wall",
+        help="wall (default): causal timeline with flow arrows; "
+        "logical: deterministic projection (byte-comparable across "
+        "--jobs values and journal resumes)",
+    )
+    trace_parser.add_argument(
+        "--trace-id", default=None,
+        help="only stitch records of this trace id",
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json",
+        help="output file (default: trace.json)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    trend_parser = subparsers.add_parser(
+        "trend",
+        help="perf-trend observatory: append-only ledger + regression "
+        "gate over benchmarks/results/BENCH_*.json",
+    )
+    trend_parser.add_argument(
+        "--results", default="benchmarks/results",
+        help="bench results directory (default: benchmarks/results)",
+    )
+    trend_parser.add_argument(
+        "--ledger", default=None,
+        help="ledger file (default: <results>/TREND.jsonl)",
+    )
+    trend_parser.add_argument(
+        "--update", action="store_true",
+        help="ingest changed BENCH_*.json files into the ledger first",
+    )
+    trend_parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any throughput metric regressed more "
+        "than --threshold vs its ledger baseline",
+    )
+    trend_parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative regression tolerance for --check (default 0.2)",
+    )
+    trend_parser.set_defaults(func=cmd_trend)
 
     report_parser = subparsers.add_parser(
         "report", help="summarize verdicts from a directory of artifacts"

@@ -379,11 +379,29 @@ def run_ensemble(
         fallbacks or how many prior interrupted runs the journal
         already covers.
     """
+    from repro.obs.causal import get_causal_recorder
     from repro.obs.registry import live_registry
 
     seeds = list(seeds)
     jobs = resolve_jobs(jobs)
     registry = live_registry(metrics)
+    # Causal tracing (serve tier): per-seed records are deterministic
+    # (pure functions of (namespace, seed) with content-derived ids, so
+    # the logical stitch is byte-identical across --jobs values and
+    # journal resumes); chunk records are harness weather, linked to
+    # the enclosing span by a flow arrow.
+    causal = get_causal_recorder()
+    causal_anchor = causal.current_span() if causal is not None else None
+
+    def note_causal(seed: int) -> None:
+        if causal is not None:
+            causal.event(
+                "ensemble.seed",
+                key=f"{namespace}|{seed}",
+                det=True,
+                namespace=namespace,
+                seed=seed,
+            )
     m_completed = m_skipped = None
     if registry is not None:
         m_completed = registry.counter(
@@ -402,6 +420,11 @@ def run_ensemble(
         for seed, payload in journal.completed(namespace).items():
             if seed in wanted:
                 done[seed] = decode(payload) if decode is not None else payload
+                # Re-emit the restored seed's causal record: identical
+                # id and args as the attempt that computed it, so the
+                # logical stitch of a resumed job collapses to the
+                # uninterrupted run's bytes.
+                note_causal(seed)
                 if m_skipped is not None:
                     m_skipped.inc()
 
@@ -413,6 +436,7 @@ def run_ensemble(
             journal.record(
                 namespace, seed, encode(result) if encode is not None else result
             )
+        note_causal(seed)
         if m_completed is not None:
             m_completed.inc()
         if progress is not None:
@@ -425,6 +449,14 @@ def run_ensemble(
             if shutdown is not None:
                 shutdown.check()
             note(seed, run_one(seed))
+        if causal is not None and pending:
+            causal.event(
+                "ensemble.chunk",
+                key=f"{namespace}|serial",
+                flow=causal_anchor,
+                namespace=namespace,
+                seeds=len(pending),
+            )
         return [done[seed] for seed in seeds]
 
     chunks = seed_chunks(pending, jobs)
@@ -432,6 +464,15 @@ def run_ensemble(
     def on_chunk(index: int, part: List[T]) -> None:
         for seed, result in zip(chunks[index], part):
             note(seed, result)
+        if causal is not None:
+            causal.event(
+                "ensemble.chunk",
+                key=f"{namespace}|chunk-{index}",
+                flow=causal_anchor,
+                namespace=namespace,
+                chunk=index,
+                seeds=len(part),
+            )
 
     parts = _run_chunks_pooled(
         run_one,

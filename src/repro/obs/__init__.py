@@ -9,6 +9,23 @@ The package splits telemetry along the repo's determinism boundary:
   the live ``repro top`` view and the Chrome-trace dump only.
 """
 
+from repro.obs.causal import (
+    CausalRecorder,
+    FlightRecorder,
+    TraceContext,
+    find_spills,
+    flight_note,
+    get_causal_recorder,
+    get_flight_recorder,
+    install_causal_recorder,
+    install_flight_recorder,
+    mint_trace_id,
+    read_spills,
+    span_id,
+    stitch_records,
+    stitch_spills,
+    write_stitched_trace,
+)
 from repro.obs.paper import (
     PaperTracker,
     merge_paper_metrics,
@@ -43,7 +60,9 @@ from repro.obs.top import TopView, render_metrics_block, render_snapshot_lines
 __all__ = [
     "NULL",
     "TAU_BUCKETS",
+    "CausalRecorder",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -52,7 +71,20 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TopView",
+    "TraceContext",
+    "find_spills",
+    "flight_note",
+    "get_causal_recorder",
+    "get_flight_recorder",
     "get_span_recorder",
+    "install_causal_recorder",
+    "install_flight_recorder",
+    "mint_trace_id",
+    "read_spills",
+    "span_id",
+    "stitch_records",
+    "stitch_spills",
+    "write_stitched_trace",
     "live_registry",
     "load_snapshot_jsonl",
     "merge_paper_metrics",

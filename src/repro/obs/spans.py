@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -133,11 +133,26 @@ def get_span_recorder() -> Optional[SpanRecorder]:
 
 @contextmanager
 def trace_span(name: str, **args: object):
-    """Span the enclosed block on the active recorder (no-op without
-    one) — the one-liner instrumented drivers use."""
+    """Span the enclosed block on the active recorder(s) — the
+    one-liner instrumented drivers use.
+
+    Feeds both the in-process :class:`SpanRecorder` and the
+    cross-process :class:`~repro.obs.causal.CausalRecorder` when either
+    is installed (a serve worker installs the latter, so driver spans
+    like ``campaign.spec`` land in the job's causal timeline with no
+    driver changes); a no-op when neither is.
+    """
+    from repro.obs.causal import get_causal_recorder
+
     recorder = _ACTIVE
-    if recorder is None:
+    causal = get_causal_recorder()
+    if recorder is None and causal is None:
         yield None
         return
-    with recorder.span(name, **args) as span:
+    with ExitStack() as stack:
+        if causal is not None:
+            stack.enter_context(causal.span(name, **args))  # repro: allow(RPL107)
+        span = None
+        if recorder is not None:
+            span = stack.enter_context(recorder.span(name, **args))  # repro: allow(RPL107)
         yield span

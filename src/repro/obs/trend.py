@@ -1,0 +1,258 @@
+"""Perf-trend observatory: an append-only ledger over BENCH_*.json.
+
+The benchmark JSONs under ``benchmarks/results/`` are snapshots — each
+PR overwrites them in place, so the repo knows how fast it *is* but not
+whether it is getting faster.  ``python -m repro trend`` closes that
+gap with three small pieces:
+
+* **Ledger.**  ``TREND.jsonl`` next to the bench files, one line per
+  observed bench state: ``{"bench", "digest", "source", "metrics"}``.
+  The digest is a sha256 over the bench payload minus its volatile
+  ``unix_time`` stamp, which makes ingestion idempotent — re-running
+  ``repro trend --update`` against unchanged bench files appends
+  nothing.  Lines are only ever appended (durable
+  :func:`~repro.durable.atomic_io.append_line`), so the ledger *is*
+  the trajectory.
+* **Deltas.**  :func:`trend_rows` renders every bench's latest metrics
+  with the relative change against the previous ledger entry.
+* **Gate.**  :func:`check_regressions` compares the *current* bench
+  files against the last ledger baseline and flags every
+  higher-is-better metric (``*_per_sec``, ``*speedup*``,
+  ``*throughput*``) that dropped more than the threshold (default
+  20%) — the CI ``trend`` step fails on any hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.durable.atomic_io import append_line
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bench files the observatory ingests.
+BENCH_GLOB = "BENCH_*.json"
+
+#: Default ledger file name (lives next to the bench files).
+LEDGER_NAME = "TREND.jsonl"
+
+#: Top-level keys that are wall-clock stamps, not metrics.
+_VOLATILE_KEYS = {"unix_time"}
+
+#: Metric-name fragments that mean "higher is better" for the gate.
+_HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput")
+
+
+def flatten_metrics(
+    payload: Mapping[str, Any], prefix: str = ""
+) -> Dict[str, float]:
+    """Dotted-key flattening of every numeric scalar leaf (bools and
+    the volatile stamp keys excluded)."""
+    flat: Dict[str, float] = {}
+    for key in sorted(payload):
+        if not prefix and key in _VOLATILE_KEYS:
+            continue
+        value = payload[key]
+        dotted = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+        elif isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, prefix=dotted))
+    return flat
+
+
+def bench_digest(payload: Mapping[str, Any]) -> str:
+    """Content digest of a bench payload minus its wall-clock stamp."""
+    stable = {k: v for k, v in payload.items() if k not in _VOLATILE_KEYS}
+    canonical = json.dumps(stable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def load_bench_files(
+    results_dir: PathLike,
+) -> List[Tuple[str, pathlib.Path, Dict[str, Any]]]:
+    """``(bench_name, path, payload)`` for every readable bench file."""
+    benches = []
+    for path in sorted(pathlib.Path(results_dir).glob(BENCH_GLOB)):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            benches.append((path.stem, path, payload))
+    return benches
+
+
+def load_ledger(path: PathLike) -> List[Dict[str, Any]]:
+    """Read the ledger, tolerating a torn final line and absence."""
+    entries: List[Dict[str, Any]] = []
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return entries
+    for raw in text.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and "bench" in entry:
+            entries.append(entry)
+    return entries
+
+
+def ingest(
+    results_dir: PathLike, ledger_path: Optional[PathLike] = None
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """Append one ledger entry per bench whose content changed.
+
+    Returns ``(entries_appended, full_ledger_after)``.  Idempotent:
+    a bench whose digest matches its latest ledger entry is skipped.
+    """
+    results_dir = pathlib.Path(results_dir)
+    ledger_path = (
+        pathlib.Path(ledger_path)
+        if ledger_path is not None
+        else results_dir / LEDGER_NAME
+    )
+    ledger = load_ledger(ledger_path)
+    latest_digest = {
+        entry["bench"]: entry.get("digest") for entry in ledger
+    }
+    fresh: List[Dict[str, Any]] = []
+    for bench, path, payload in load_bench_files(results_dir):
+        digest = bench_digest(payload)
+        if latest_digest.get(bench) == digest:
+            continue
+        fresh.append(
+            {
+                "bench": bench,
+                "digest": digest,
+                "source": path.name,
+                "metrics": flatten_metrics(payload),
+            }
+        )
+    if fresh:
+        ledger_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(ledger_path, "a", encoding="utf-8") as handle:
+            for entry in fresh:
+                append_line(handle, json.dumps(entry, sort_keys=True))
+        ledger.extend(fresh)
+    return len(fresh), ledger
+
+
+def _by_bench(
+    ledger: List[Dict[str, Any]],
+) -> Dict[str, List[Dict[str, Any]]]:
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in ledger:
+        grouped.setdefault(str(entry["bench"]), []).append(entry)
+    return grouped
+
+
+def trend_rows(
+    ledger: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """One row per (bench, metric): latest value, previous value, and
+    relative delta — the table ``repro trend`` renders."""
+    rows: List[Dict[str, Any]] = []
+    for bench, entries in sorted(_by_bench(ledger).items()):
+        latest = entries[-1].get("metrics", {})
+        previous = entries[-2].get("metrics", {}) if len(entries) > 1 else {}
+        for metric in sorted(latest):
+            value = latest[metric]
+            row: Dict[str, Any] = {
+                "bench": bench,
+                "metric": metric,
+                "value": value,
+                "entries": len(entries),
+            }
+            if metric in previous:
+                base = previous[metric]
+                row["previous"] = base
+                if base:
+                    row["delta"] = round((value - base) / abs(base), 4)
+            rows.append(row)
+    return rows
+
+
+def render_trend(ledger: List[Dict[str, Any]]) -> str:
+    """Human-readable trend table (latest entry per bench + deltas)."""
+    lines: List[str] = []
+    rows = trend_rows(ledger)
+    if not rows:
+        return "trend ledger is empty — run `repro trend --update`\n"
+    width = max(len(f"{row['bench']}.{row['metric']}") for row in rows)
+    current = None
+    for row in rows:
+        if row["bench"] != current:
+            current = row["bench"]
+            lines.append(f"{current}  (entries: {row['entries']})")
+        label = f"{row['bench']}.{row['metric']}".ljust(width)
+        delta = ""
+        if "delta" in row:
+            delta = f"  {row['delta']:+.1%} vs previous"
+        lines.append(f"  {label}  {row['value']:>14g}{delta}")
+    return "\n".join(lines) + "\n"
+
+
+def is_throughput_metric(name: str) -> bool:
+    lowered = name.lower()
+    return any(tag in lowered for tag in _HIGHER_IS_BETTER)
+
+
+def check_regressions(
+    results_dir: PathLike,
+    ledger_path: Optional[PathLike] = None,
+    threshold: float = 0.2,
+) -> List[str]:
+    """Compare current bench files against their ledger baselines.
+
+    The baseline for a bench is its most recent ledger entry whose
+    digest differs from the current file (so a freshly ingested,
+    unchanged state compares against the *previous* observation, not
+    itself).  Returns one message per higher-is-better metric that
+    dropped more than ``threshold``; empty means the gate passes.
+    """
+    results_dir = pathlib.Path(results_dir)
+    ledger_path = (
+        pathlib.Path(ledger_path)
+        if ledger_path is not None
+        else results_dir / LEDGER_NAME
+    )
+    grouped = _by_bench(load_ledger(ledger_path))
+    regressions: List[str] = []
+    for bench, _path, payload in load_bench_files(results_dir):
+        digest = bench_digest(payload)
+        history = grouped.get(bench, [])
+        baseline: Optional[Dict[str, Any]] = None
+        for entry in reversed(history):
+            if entry.get("digest") != digest:
+                baseline = entry
+                break
+        if baseline is None:
+            continue  # nothing older to regress against
+        current = flatten_metrics(payload)
+        base_metrics = baseline.get("metrics", {})
+        for metric in sorted(current):
+            if not is_throughput_metric(metric):
+                continue
+            base = base_metrics.get(metric)
+            if not base or base <= 0:
+                continue
+            floor = base * (1.0 - threshold)
+            if current[metric] < floor:
+                drop = (base - current[metric]) / base
+                regressions.append(
+                    f"{bench}.{metric}: {current[metric]:g} is "
+                    f"{drop:.1%} below baseline {base:g} "
+                    f"(threshold {threshold:.0%})"
+                )
+    return regressions

@@ -125,8 +125,10 @@ async def http_request(
     body: Optional[Any] = None,
     raw_body: Optional[bytes] = None,
     timeout: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], bytes]:
     """One ``Connection: close`` request; returns (status, headers, body)."""
+    extra_headers = dict(headers or {})
 
     async def _go() -> Tuple[int, Dict[str, str], bytes]:
         reader, writer = await asyncio.open_connection(host, port)
@@ -135,6 +137,8 @@ async def http_request(
             if payload is None and body is not None:
                 payload = json.dumps(body, sort_keys=True).encode("utf-8")
             head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+            for name, value in extra_headers.items():
+                head.append(f"{name}: {value}")
             if payload is not None:
                 head.append(f"Content-Length: {len(payload)}")
             head.append("Connection: close")

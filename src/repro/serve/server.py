@@ -18,9 +18,16 @@ POST      ``/jobs``                               200 cache hit /
 GET       ``/jobs``                               job list
 GET       ``/jobs/<id>``                          job status + result
 GET       ``/jobs/<id>/progress``                 worker obs snapshot
+                                                  (``?wait=<s>`` holds
+                                                  the reply until
+                                                  progress advances)
+GET       ``/jobs/<id>/trace``                    stitched causal trace
 GET       ``/healthz``                            ok|draining + counts
 GET       ``/metrics``                            Prometheus text
 ========  ======================================  ====================
+
+``POST /jobs`` honors an ``X-Repro-Trace-Id`` header (8-64 hex chars);
+absent one, the job's trace id is minted from its fingerprint.
 
 Requests that trickle in slower than the policy's ``read_timeout``
 (slow-loris) are answered 408 and closed — one stuck client never
@@ -37,11 +44,29 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.serve.clock import ServeClock
 from repro.serve.supervisor import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    INTERRUPTED,
     RUNNING,
     AdmissionError,
     DrainingError,
     JobSupervisor,
 )
+
+_TERMINAL_STATES = (DONE, FAILED, INTERRUPTED, CANCELLED)
+
+
+def _parse_query(query: str) -> Dict[str, str]:
+    """Minimal query-string parse (last value wins; no unquoting needed
+    for the numeric parameters this server accepts)."""
+    params: Dict[str, str] = {}
+    for piece in query.split("&"):
+        if not piece:
+            continue
+        name, _, value = piece.partition("=")
+        params[name] = value
+    return params
 
 _REASONS = {
     200: "OK",
@@ -144,8 +169,12 @@ class JobServer:
             except _BadRequest as error:
                 await self._respond(writer, error.status, {"error": str(error)})
                 return
-            method, path, body = request
-            status, payload, headers, raw = self._route(method, path, body)
+            method, path, body, req_headers = request
+            path, _, query = path.partition("?")
+            response = await self._route_async(
+                method, path, query, body, req_headers, start
+            )
+            status, payload, headers, raw = response
             await self._respond(writer, status, payload, headers, raw)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
@@ -167,7 +196,7 @@ class JobServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Optional[Dict[str, Any]]]:
+    ) -> Tuple[str, str, Optional[Dict[str, Any]], Dict[str, str]]:
         line = await reader.readline()
         if not line:
             raise _BadRequest(400, "empty request")
@@ -175,7 +204,7 @@ class JobServer:
             method, path, _version = line.decode("latin-1").split(None, 2)
         except ValueError:
             raise _BadRequest(400, "malformed request line") from None
-        content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
@@ -184,11 +213,13 @@ class JobServer:
                 name, value = header.decode("latin-1").split(":", 1)
             except ValueError:
                 raise _BadRequest(400, "malformed header") from None
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _BadRequest(400, "bad Content-Length") from None
+            headers[name.strip().lower()] = value.strip()
+        content_length = 0
+        if "content-length" in headers:
+            try:
+                content_length = int(headers["content-length"])
+            except ValueError:
+                raise _BadRequest(400, "bad Content-Length") from None
         if content_length > MAX_BODY:
             raise _BadRequest(413, "request body too large")
         body: Optional[Dict[str, Any]] = None
@@ -198,18 +229,90 @@ class JobServer:
                 body = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 raise _BadRequest(400, "request body is not valid JSON") from None
-        return method.upper(), path, body
+        return method.upper(), path, body, headers
 
     # ------------------------------------------------------------------
+    async def _route_async(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: Optional[Dict[str, Any]],
+        req_headers: Dict[str, str],
+        start: float,
+    ) -> Tuple[int, Optional[Dict[str, Any]], Dict[str, str], Optional[bytes]]:
+        """Async routing shim: long-polls park here; everything else is
+        the synchronous :meth:`_route` table."""
+        if method == "GET" and path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            if parts[1:] == ["progress"] and query:
+                params = _parse_query(query)
+                if "wait" in params:
+                    job = self.supervisor.get(parts[0])
+                    if job is None:
+                        return (
+                            404,
+                            {"error": f"no such job {parts[0]!r}"},
+                            {},
+                            None,
+                        )
+                    return await self._progress_wait(job, params)
+        return self._route(method, path, body, req_headers, start)
+
+    async def _progress_wait(
+        self, job: Any, params: Dict[str, str]
+    ) -> Tuple[int, Optional[Dict[str, Any]], Dict[str, str], Optional[bytes]]:
+        """``?wait=<seconds>`` long-poll: hold the request until the
+        job's progress advances past ``since`` (default: its value at
+        arrival), the job reaches a terminal state, or the clamped wait
+        elapses — then answer with the normal progress body."""
+        try:
+            wait = float(params["wait"])
+            since = int(params["since"]) if "since" in params else None
+        except ValueError:
+            return (
+                400,
+                {"error": "wait/since must be numeric"},
+                {},
+                None,
+            )
+        wait = max(0.0, min(wait, self.supervisor.policy.long_poll_max))
+        deadline = self.clock.monotonic() + wait
+        snapshot = self.supervisor.progress(job)
+        baseline = (
+            since
+            if since is not None
+            else int(snapshot.get("cells_completed", 0) or 0)
+        )
+        while True:
+            snapshot = self.supervisor.progress(job)
+            cells = int(snapshot.get("cells_completed", 0) or 0)
+            if (
+                job.state in _TERMINAL_STATES
+                or cells > baseline
+                or self.clock.monotonic() >= deadline
+            ):
+                snapshot["state"] = job.state
+                return 200, snapshot, {}, None
+            await self.clock.aio_sleep(self.supervisor.policy.poll_interval)
+
     def _route(
-        self, method: str, path: str, body: Optional[Dict[str, Any]]
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        req_headers: Optional[Dict[str, str]] = None,
+        start: Optional[float] = None,
     ) -> Tuple[int, Optional[Dict[str, Any]], Dict[str, str], Optional[bytes]]:
         headers: Dict[str, str] = {}
+        req_headers = req_headers or {}
         if path == "/jobs" and method == "POST":
             if body is None:
                 return 400, {"error": "POST /jobs requires a JSON body"}, headers, None
             try:
-                job = self.supervisor.submit(body)
+                job = self.supervisor.submit(
+                    body, trace_id=req_headers.get("x-repro-trace-id")
+                )
             except AdmissionError as error:
                 headers["Retry-After"] = f"{error.retry_after:g}"
                 return 429, {"error": str(error)}, headers, None
@@ -218,6 +321,21 @@ class JobServer:
             except ConfigurationError as error:
                 return 400, {"error": str(error)}, headers, None
             status = 200 if job.cached else 202
+            recorder = self.supervisor.causal
+            if recorder is not None and job.trace_id is not None:
+                # The request span is the root of the job's causal
+                # timeline; admission/attempts flow from it by id.
+                recorder.record(
+                    "serve.request",
+                    trace=job.trace_id,
+                    role="server",
+                    t0=start if start is not None else None,
+                    t1=self.clock.monotonic(),
+                    method=method,
+                    path=path,
+                    status=status,
+                    job=job.id,
+                )
             return status, {"job": job.view()}, headers, None
         if path == "/jobs" and method == "GET":
             return (
@@ -237,6 +355,16 @@ class JobServer:
                 return 200, {"job": job.view()}, headers, None
             if parts[1:] == ["progress"]:
                 return 200, self.supervisor.progress(job), headers, None
+            if parts[1:] == ["trace"]:
+                stitched = self.supervisor.trace_view(job)
+                if stitched is None:
+                    return (
+                        404,
+                        {"error": "tracing disabled (no workdir)"},
+                        headers,
+                        None,
+                    )
+                return 200, stitched, headers, None
             return 404, {"error": f"no such endpoint {path!r}"}, headers, None
         if path == "/healthz" and method == "GET":
             counts = self.supervisor.counts()
@@ -262,7 +390,11 @@ class JobServer:
             if self._registry is None:
                 return 404, {"error": "metrics registry disabled"}, headers, None
             text = self._registry.render_prometheus()
-            headers["Content-Type"] = "text/plain; version=0.0.4"
+            if not text.endswith("\n"):
+                text += "\n"  # scrapers require a trailing newline
+            headers["Content-Type"] = (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
             return 200, None, headers, text.encode("utf-8")
         return 404, {"error": f"no such endpoint {method} {path}"}, headers, None
 

@@ -414,6 +414,8 @@ def execute_spec(
     ``progress`` fires with a running completed-cell count — the
     supervisor's heartbeat and the ``/jobs/<id>/progress`` feed.
     """
+    from repro.obs.spans import trace_span
+
     spec = parse_job_spec(dict(payload))
     cells = [0]
 
@@ -422,6 +424,17 @@ def execute_spec(
         if progress is not None:
             progress(cells[0])
 
+    with trace_span("spec.execute", kind=spec.kind):
+        return _dispatch_spec(spec, journal, shutdown, metrics, on_cell)
+
+
+def _dispatch_spec(
+    spec: JobSpec,
+    journal: Optional[Any],
+    shutdown: Optional[Any],
+    metrics: Optional[Any],
+    on_cell: Callable[[Any, Any], None],
+) -> Dict[str, Any]:
     if spec.kind == "experiment":
         registry = _experiment_registry()
         module, config_cls = registry[spec.params["id"]]

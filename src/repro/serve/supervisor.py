@@ -50,7 +50,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.causal import (
+    TRACE_ID_RE,
+    CausalRecorder,
+    FlightRecorder,
+    find_spills,
+    mint_trace_id,
+    span_id,
+    stitch_spills,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.clock import ServeClock
 from repro.serve.specs import JobSpec, parse_job_spec
@@ -106,6 +115,8 @@ class ServerPolicy:
         drain_grace: Seconds a SIGTERMed worker gets to reach a safe
             point before SIGKILL.
         read_timeout: HTTP request read budget (slow-loris cutoff).
+        long_poll_max: Ceiling on ``GET /jobs/<id>/progress?wait=``
+            long-poll holds (requests asking for more are clamped).
     """
 
     max_queue: int = 8
@@ -120,6 +131,7 @@ class ServerPolicy:
     retry_after: float = 1.0
     drain_grace: float = 5.0
     read_timeout: float = 5.0
+    long_poll_max: float = 10.0
 
 
 @dataclass
@@ -138,6 +150,7 @@ class Job:
     journal_path: Optional[str] = None
     progress_path: Optional[str] = None
     worker_pid: Optional[int] = None
+    trace_id: Optional[str] = None
     findings: List[str] = field(default_factory=list)
 
     def view(self) -> Dict[str, Any]:
@@ -160,6 +173,8 @@ class Job:
             view["journal"] = self.journal_path
         if self.worker_pid is not None:
             view["worker_pid"] = self.worker_pid
+        if self.trace_id is not None:
+            view["trace"] = self.trace_id
         if self.findings:
             view["findings"] = list(self.findings)
         return view
@@ -188,11 +203,27 @@ class ProcessJobRunner:
         from repro.durable.watchdog import ABANDON, REROUTE
         from repro.serve.worker import job_worker_main
 
-        result_file = pathlib.Path(str(job.progress_path)).parent / (
-            f"result-{job.attempts}.json"
-        )
+        jobdir = pathlib.Path(str(job.progress_path)).parent
+        result_file = jobdir / f"result-{job.attempts}.json"
         if result_file.exists():
             result_file.unlink()
+        # Trace context rides as an explicit Process arg (not the
+        # environment) so concurrent jobs can never race each other's
+        # context; ids are derivable on both sides of the fork.
+        trace = None
+        if job.trace_id is not None:
+            trace = {
+                "trace": job.trace_id,
+                "role": "worker",
+                "attempt": job.attempts,
+                "parent": span_id(
+                    job.trace_id, "serve.attempt", f"attempt-{job.attempts}"
+                ),
+                "spill": str(jobdir / f"attempt-{job.attempts}.spans.jsonl"),
+                "flight": str(
+                    jobdir / f"flight-worker-attempt-{job.attempts}.json"
+                ),
+            }
         context = multiprocessing.get_context()
         proc = context.Process(
             target=job_worker_main,
@@ -201,6 +232,7 @@ class ProcessJobRunner:
                 job.journal_path,
                 str(result_file),
                 job.progress_path,
+                trace,
             ),
             daemon=False,
         )
@@ -287,6 +319,18 @@ class JobSupervisor:
             if runner is not None
             else ProcessJobRunner(self.policy, self.clock)
         )
+        # Causal tracing + flight recorder for the supervisor/server
+        # process.  Both need a workdir (spill and dump files); without
+        # one they stay None and every hook below is a no-op.
+        self.causal: Optional[CausalRecorder] = None
+        self.flight: Optional[FlightRecorder] = None
+        if self.workdir is not None:
+            self.causal = CausalRecorder(
+                self.workdir / "trace" / "supervisor.spans.jsonl",
+                role="supervisor",
+                clock=self.clock.monotonic,
+            )
+            self.flight = FlightRecorder(context={"role": "supervisor"})
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: Deque[Job] = deque()
@@ -367,10 +411,25 @@ class JobSupervisor:
             thread.start()
             self._threads.append(thread)
 
-    def submit(self, payload: Mapping[str, Any]) -> Job:
+    def submit(
+        self, payload: Mapping[str, Any], trace_id: Optional[str] = None
+    ) -> Job:
         """Admit one submission (validation errors propagate as
-        :class:`~repro.errors.ConfigurationError` → HTTP 400)."""
+        :class:`~repro.errors.ConfigurationError` → HTTP 400).
+
+        ``trace_id`` is an externally supplied correlation id (the
+        ``X-Repro-Trace-Id`` header); absent one, the job's trace id is
+        minted deterministically from its fingerprint.
+        """
         spec = parse_job_spec(dict(payload))
+        if trace_id is not None and not TRACE_ID_RE.match(trace_id):
+            raise ConfigurationError(
+                f"invalid trace id {trace_id!r}: want 8-64 lowercase hex "
+                f"characters"
+            )
+        tid = trace_id if trace_id is not None else mint_trace_id(
+            spec.fingerprint
+        )
         with self._lock:
             if self._draining:
                 raise DrainingError()
@@ -385,6 +444,7 @@ class JobSupervisor:
                     cached=True,
                     result=hit["result"],
                     digest=hit["digest"],
+                    trace_id=tid,
                 )
                 self._jobs[job.id] = job
                 self._count("cache_hits")
@@ -397,7 +457,10 @@ class JobSupervisor:
                 raise AdmissionError(self.policy.retry_after)
             self._counter += 1
             job = Job(
-                id=f"job-{self._counter:04d}", spec=spec, index=self._counter
+                id=f"job-{self._counter:04d}",
+                spec=spec,
+                index=self._counter,
+                trace_id=tid,
             )
             if self.workdir is not None:
                 jobdir = self.workdir / "jobs" / job.id
@@ -408,13 +471,26 @@ class JobSupervisor:
                 job.journal_path = str(
                     journal_dir / f"{spec.fingerprint}.jsonl"
                 )
+            queue_depth = len(self._queue)
             self._jobs[job.id] = job
             self._inflight[spec.fingerprint] = job
             self._queue.append(job)
             self._count("submitted")
             self._gauges()
             self._wakeup.notify()
-            return job
+        if self.causal is not None:
+            now = self.clock.monotonic()
+            self.causal.record(
+                "serve.admission",
+                trace=tid,
+                parent=span_id(tid, "serve.request"),
+                flow=span_id(tid, "serve.request"),
+                t0=now,
+                t1=now,
+                job=job.id,
+                queue=queue_depth,
+            )
+        return job
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -437,6 +513,23 @@ class JobSupervisor:
             return base
         base.update(snapshot)
         return base
+
+    def trace_view(self, job: Job) -> Optional[Dict[str, Any]]:
+        """Stitch every spill touching ``job`` into one Chrome/Perfetto
+        ``traceEvents`` payload (the ``GET /jobs/<id>/trace`` body).
+
+        Merges the server/supervisor spill with the job's per-attempt
+        worker spills and filters by the job's trace id, so a retried
+        job comes back as one causal timeline.  ``None`` when tracing
+        is off (no workdir or no trace id).
+        """
+        if job.trace_id is None or self.workdir is None:
+            return None
+        paths = list(find_spills(self.workdir / "trace"))
+        if job.progress_path is not None:
+            jobdir = pathlib.Path(str(job.progress_path)).parent
+            paths.extend(find_spills(jobdir))
+        return stitch_spills(paths, mode="wall", trace_id=job.trace_id)
 
     def counts(self) -> Dict[str, int]:
         with self._lock:
@@ -511,15 +604,60 @@ class JobSupervisor:
         )
         watchdog.start()
         backoff_seed = int(job.spec.fingerprint[:8], 16)
+        tid = job.trace_id
+        admission = span_id(tid, "serve.admission") if tid else None
         while True:
             job.attempts += 1
+            t0 = self.clock.monotonic()
             outcome = self.runner.run(job, watchdog, self._should_stop)
+            t1 = self.clock.monotonic()
             job.findings.extend(str(f) for f in watchdog.findings)
             watchdog.findings.clear()
             status = outcome.get("status")
+            if self.causal is not None and tid is not None:
+                # Attempt N flows from attempt N-1 (retries chain into
+                # one causal timeline); the first flows from admission.
+                flow = (
+                    admission
+                    if job.attempts == 1
+                    else span_id(
+                        tid, "serve.attempt", f"attempt-{job.attempts - 1}"
+                    )
+                )
+                self.causal.record(
+                    "serve.attempt",
+                    key=f"attempt-{job.attempts}",
+                    trace=tid,
+                    parent=admission,
+                    flow=flow,
+                    t0=t0,
+                    t1=t1,
+                    job=job.id,
+                    attempt=job.attempts,
+                    status=status,
+                )
+            if self.flight is not None:
+                self.flight.record(
+                    "health",
+                    "serve.attempt",
+                    job=job.id,
+                    attempt=job.attempts,
+                    status=status,
+                )
             if status == "ok":
                 result = outcome["result"]
+                mismatches_before = self.cache.mismatches
                 job.digest = self.cache.put(job.spec.fingerprint, result)
+                if (
+                    self.flight is not None
+                    and self.cache.mismatches > mismatches_before
+                ):
+                    # Determinism alarm: the same fingerprint produced
+                    # different bytes than the cached run.
+                    self.flight.record(
+                        "alarm", "cache.mismatch", job=job.id
+                    )
+                    self._dump_flight(job, "digest-mismatch")
                 job.result = result
                 job.state = DONE
                 self._count("completed")
@@ -566,16 +704,45 @@ class JobSupervisor:
                 )
                 job.error = f"worker {status} ({reason}); journal kept"
                 self._count("failed")
+                self._dump_flight(job, f"{status}-ladder-exhausted")
                 return
             self._count("retries")
-            self.clock.sleep(
-                backoff_delay(
-                    self.policy.backoff_base,
-                    job.attempts,
-                    chunk_index=job.index,
-                    seed=backoff_seed,
-                )
+            delay = backoff_delay(
+                self.policy.backoff_base,
+                job.attempts,
+                chunk_index=job.index,
+                seed=backoff_seed,
             )
+            if self.flight is not None:
+                # The backoff delay is seeded from the fingerprint, so
+                # this event (and the dump below) is deterministic
+                # given the job's seed, SIGKILL timing notwithstanding.
+                self.flight.record(
+                    "health",
+                    "serve.retry",
+                    job=job.id,
+                    attempt=job.attempts,
+                    status=status,
+                    delay=round(delay, 6),
+                )
+            reason = (
+                "stall-reroute" if status == "stalled" else "retry-escalation"
+            )
+            self._dump_flight(job, reason)
+            self.clock.sleep(delay)
+
+    def _dump_flight(self, job: Job, reason: str) -> None:
+        """Auto-dump the flight recorder next to the job's artifacts."""
+        if self.flight is None or job.progress_path is None:
+            return
+        jobdir = pathlib.Path(str(job.progress_path)).parent
+        try:
+            self.flight.dump(
+                jobdir / f"flight-supervisor-attempt-{job.attempts}.json",
+                reason,
+            )
+        except OSError:
+            pass  # a failed dump must never take down the ladder
 
     def _should_stop(self) -> bool:
         with self._lock:

@@ -17,6 +17,13 @@ absent — never torn):
 * ``progress_path``: rewritten after every completed grid cell with
   ``{"cells_completed", "metrics"}``.  Doubles as the supervisor's
   heartbeat: a changing progress file beats the job's watchdog.
+* ``trace``: optional :class:`~repro.obs.causal.TraceContext` payload
+  (also honored from the ``REPRO_TRACE_CONTEXT`` env var).  When
+  present the worker appends its spans to the attempt's spill file —
+  the ``worker.run`` span flows from the supervisor's attempt span,
+  and ``run_ensemble`` emits per-seed/per-chunk records under it — and
+  arms a :class:`~repro.obs.causal.FlightRecorder` that dumps the last
+  N events on an in-process crash.
 
 Exit codes: ``0`` ok, ``2`` deterministic error (no retry — the same
 spec would fail the same way), ``3`` interrupted at a safe point
@@ -30,6 +37,7 @@ import json
 import pathlib
 import sys
 import traceback
+from contextlib import nullcontext
 from typing import Any, Mapping, Optional
 
 
@@ -45,18 +53,60 @@ def job_worker_main(
     journal_path: Optional[str],
     result_path: str,
     progress_path: str,
+    trace: Optional[Mapping[str, Any]] = None,
 ) -> None:
     """Run one job spec payload to completion inside this process."""
     from repro.durable.signals import GracefulShutdown
     from repro.errors import InterruptedRunError, ReproError
+    from repro.obs.causal import (
+        CausalRecorder,
+        FlightRecorder,
+        TraceContext,
+        install_causal_recorder,
+        install_flight_recorder,
+    )
     from repro.obs.registry import MetricsRegistry
+    from repro.serve.clock import ServeClock
     from repro.serve.specs import journal_fingerprint, parse_job_spec
 
     result_file = pathlib.Path(result_path)
     progress_file = pathlib.Path(progress_path)
     metrics = MetricsRegistry()
 
+    context = TraceContext.from_payload(trace)
+    if context is None:
+        context = TraceContext.from_env()
+    causal = None
+    flight = None
+    if context is not None:
+        flight = FlightRecorder(
+            context={
+                "trace": context.trace_id,
+                "role": context.role,
+                "attempt": context.attempt,
+            }
+        )
+        install_flight_recorder(flight)
+        if context.spill is not None:
+            causal = CausalRecorder(
+                context.spill,
+                role=context.role,
+                trace_id=context.trace_id,
+                attempt=context.attempt,
+                parent_id=context.parent_id,
+                clock=ServeClock().monotonic,
+                flight=flight,
+            )
+            install_causal_recorder(causal)
+        flight.record(
+            "health", "worker.start", attempt=context.attempt
+        )
+
     def on_progress(cells: int) -> None:
+        if flight is not None:
+            flight.record(
+                "metric", "worker.progress", volatile=True, cells=cells
+            )
         _write_json(
             progress_file,
             {
@@ -65,6 +115,22 @@ def job_worker_main(
             },
         )
 
+    def dump_flight(reason: str) -> None:
+        if flight is not None and context is not None and context.flight:
+            try:
+                flight.dump(context.flight, reason)
+            except OSError:
+                pass  # a failed dump must never mask the real outcome
+
+    run_span = (
+        causal.span(
+            "worker.run",
+            key=f"attempt-{context.attempt}",
+            flow=context.parent_id,
+        )
+        if causal is not None and context is not None
+        else nullcontext()
+    )
     journal = None
     try:
         spec = parse_job_spec(dict(payload))
@@ -77,15 +143,18 @@ def job_worker_main(
         from repro.serve.specs import execute_spec
 
         with GracefulShutdown(install=True) as shutdown:
-            result = execute_spec(
-                payload,
-                journal=journal,
-                shutdown=shutdown,
-                metrics=metrics,
-                progress=on_progress,
-            )
+            with run_span:
+                result = execute_spec(
+                    payload,
+                    journal=journal,
+                    shutdown=shutdown,
+                    metrics=metrics,
+                    progress=on_progress,
+                )
         _write_json(result_file, {"status": "ok", "result": result})
     except InterruptedRunError as error:
+        if flight is not None:
+            flight.record("health", "worker.interrupted")
         _write_json(
             result_file,
             {
@@ -96,6 +165,11 @@ def job_worker_main(
         )
         raise SystemExit(3)
     except ReproError as error:
+        if flight is not None:
+            flight.record(
+                "health", "worker.error", category=type(error).__name__
+            )
+        dump_flight("error")
         _write_json(
             result_file,
             {
@@ -105,9 +179,16 @@ def job_worker_main(
             },
         )
         raise SystemExit(2)
-    except Exception:  # crash: no result file -> supervisor retries
+    except Exception as error:  # crash: no result file -> supervisor retries
+        if flight is not None:
+            flight.record(
+                "health", "worker.crash", category=type(error).__name__
+            )
+        dump_flight("crash")
         traceback.print_exc(file=sys.stderr)
         raise SystemExit(1)
     finally:
         if journal is not None:
             journal.close()
+        if causal is not None:
+            causal.close()

@@ -410,6 +410,29 @@ def tick():
     return time.monotonic()  # repro: allow(RPD201, RPL106)
 '''
 
+SPAN_NAME_FIXTURE = '''
+from repro.obs.spans import trace_span
+
+def instrumented(recorder, causal, spec):
+    with trace_span("campaign.spec", spec=spec.name):
+        pass
+    with trace_span(f"campaign.{spec.name}"):
+        pass
+    with trace_span("campaign-" + spec.name):
+        pass
+    with trace_span("Campaign"):
+        pass
+    recorder.span("worker.run", key="attempt-1")
+    causal.event(spec.name, det=True)
+    unrelated.span(f"not.{spec.name}")
+'''
+
+SPAN_NAME_PRAGMA_FIXTURE = '''
+def forwarder(causal, name, args):
+    with causal.span(name, **args):  # repro: allow(RPL107)
+        pass
+'''
+
 
 class TestLint:
     def test_wall_clock_is_flagged(self):
@@ -514,6 +537,21 @@ class TestLint:
             SERVE_TIMING_PRAGMA_FIXTURE, path="src/repro/serve/clockish.py"
         )
         assert not [f for f in findings if f.rule in ("RPL106", "RPD201")]
+
+    def test_span_name_literals_pass_dynamic_names_flagged(self):
+        findings = lint_source(SPAN_NAME_FIXTURE, path="fixture.py")
+        hits = [f for f in findings if f.rule == "RPL107"]
+        # The f-string, the concatenation, the non-dotted "Campaign"
+        # literal, and causal.event(spec.name); the two good dotted
+        # literals and the unrelated receiver stay silent.
+        assert len(hits) == 4
+        assert any("f-string" in f.message for f in hits)
+        assert any("dynamic expression" in f.message for f in hits)
+        assert any("dotted lowercase" in f.message for f in hits)
+
+    def test_span_name_pragma_suppresses(self):
+        findings = lint_source(SPAN_NAME_PRAGMA_FIXTURE, path="fixture.py")
+        assert not [f for f in findings if f.rule == "RPL107"]
 
     def test_repo_sources_are_clean(self):
         findings = lint_paths(["src/repro"])

@@ -186,3 +186,61 @@ class TestObsViewer:
         bad = tmp_path / "bad.jsonl"
         bad.write_text("not json\n")
         assert main(["obs", str(bad)]) == 2
+
+
+class TestTraceCli:
+    def _spill(self, tmp_path):
+        from repro.obs.causal import SPILL_SUFFIX, CausalRecorder
+
+        rec = CausalRecorder(
+            tmp_path / "spills" / f"a{SPILL_SUFFIX}",
+            role="worker", trace_id="t1",
+        )
+        rec.record("worker.run", key="attempt-1", t0=1.0, t1=2.0)
+        rec.record("ensemble.seed", key="ns|1", det=True, seed=1)
+        rec.close()
+        return tmp_path / "spills"
+
+    def test_stitch_directory_both_modes(self, tmp_path, capsys):
+        spills = self._spill(tmp_path)
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(spills), "--out", str(out)]) == 0
+        assert "stitched 2 span(s)" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+        assert main(
+            ["trace", str(spills), "--mode", "logical",
+             "--out", str(out)]
+        ) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert [e["name"] for e in events] == ["ensemble.seed"]
+
+    def test_missing_path_and_empty_stitch_exit_codes(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope")]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(
+            ["trace", str(empty), "--out", str(tmp_path / "t.json")]
+        ) == 1
+
+
+class TestTrendCli:
+    def test_update_then_check(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_zoo.json").write_text(
+            json.dumps({"steps_per_sec": 1000.0, "unix_time": 1.0})
+        )
+        assert main(["trend", "--results", str(results), "--update"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 1 new ledger entr" in out
+        assert "BENCH_zoo" in out
+        # A 50% throughput drop fails --check with a REGRESSION line.
+        (results / "BENCH_zoo.json").write_text(
+            json.dumps({"steps_per_sec": 500.0, "unix_time": 2.0})
+        )
+        assert main(["trend", "--results", str(results), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err and "steps_per_sec" in err
+
+    def test_missing_results_dir_exit_2(self, tmp_path):
+        assert main(["trend", "--results", str(tmp_path / "nope")]) == 2

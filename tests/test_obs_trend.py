@@ -1,0 +1,136 @@
+"""Perf-trend observatory tests: metric flattening, content digests,
+idempotent ledger ingestion, delta rows, and the CI regression gate."""
+
+import json
+
+from repro.obs.trend import (
+    LEDGER_NAME,
+    bench_digest,
+    check_regressions,
+    flatten_metrics,
+    ingest,
+    is_throughput_metric,
+    load_ledger,
+    render_trend,
+    trend_rows,
+)
+
+BENCH = {
+    "unix_time": 1754000000.0,
+    "steps_per_sec": 1000.0,
+    "passed": True,
+    "cache": {"hit_speedup_x": 10.0, "entries": 3},
+    "label": "quick",
+}
+
+
+def _write_bench(results_dir, name, payload):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"BENCH_{name}.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+
+
+class TestFlattenAndDigest:
+    def test_flatten_dotted_numeric_leaves_only(self):
+        flat = flatten_metrics(BENCH)
+        assert flat == {
+            "steps_per_sec": 1000.0,
+            "cache.hit_speedup_x": 10.0,
+            "cache.entries": 3.0,
+        }
+        # Bools, strings, and the volatile stamp never become metrics.
+        assert "passed" not in flat and "unix_time" not in flat
+
+    def test_digest_ignores_unix_time_only(self):
+        restamped = dict(BENCH, unix_time=9999.0)
+        assert bench_digest(restamped) == bench_digest(BENCH)
+        changed = dict(BENCH, steps_per_sec=999.0)
+        assert bench_digest(changed) != bench_digest(BENCH)
+
+    def test_throughput_metric_detection(self):
+        assert is_throughput_metric("zoo.steps_per_sec")
+        assert is_throughput_metric("cache.hit_speedup_x")
+        assert is_throughput_metric("mixed.THROUGHPUT")
+        assert not is_throughput_metric("latency_p99_s")
+
+
+class TestIngest:
+    def test_ingest_is_idempotent(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        added, ledger = ingest(tmp_path)
+        assert added == 1 and len(ledger) == 1
+        assert ledger[0]["bench"] == "BENCH_zoo"
+        assert ledger[0]["source"] == "BENCH_zoo.json"
+        assert ledger[0]["metrics"]["steps_per_sec"] == 1000.0
+        # Unchanged content (even restamped) appends nothing.
+        _write_bench(tmp_path, "zoo", dict(BENCH, unix_time=1.0))
+        added2, ledger2 = ingest(tmp_path)
+        assert added2 == 0 and len(ledger2) == 1
+        # Changed content appends a second entry; history is kept.
+        _write_bench(tmp_path, "zoo", dict(BENCH, steps_per_sec=1200.0))
+        added3, ledger3 = ingest(tmp_path)
+        assert added3 == 1 and len(ledger3) == 2
+        on_disk = load_ledger(tmp_path / LEDGER_NAME)
+        assert [e["metrics"]["steps_per_sec"] for e in on_disk] == [
+            1000.0, 1200.0,
+        ]
+
+    def test_unreadable_bench_skipped(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        added, ledger = ingest(tmp_path)
+        assert added == 1
+        assert [e["bench"] for e in ledger] == ["BENCH_zoo"]
+
+
+class TestRows:
+    def test_rows_carry_deltas_against_previous_entry(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        ingest(tmp_path)
+        _write_bench(tmp_path, "zoo", dict(BENCH, steps_per_sec=1100.0))
+        _added, ledger = ingest(tmp_path)
+        rows = {r["metric"]: r for r in trend_rows(ledger)}
+        assert rows["steps_per_sec"]["value"] == 1100.0
+        assert rows["steps_per_sec"]["previous"] == 1000.0
+        assert rows["steps_per_sec"]["delta"] == 0.1
+        rendered = render_trend(ledger)
+        assert "BENCH_zoo" in rendered and "+10.0% vs previous" in rendered
+
+    def test_empty_ledger_renders_hint(self):
+        assert "--update" in render_trend([])
+
+
+class TestGate:
+    def test_regression_flagged_above_threshold(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        ingest(tmp_path)
+        # 30% throughput drop: the 20% gate must fire, and only for the
+        # higher-is-better metrics.
+        _write_bench(
+            tmp_path, "zoo",
+            dict(BENCH, steps_per_sec=700.0, cache={"hit_speedup_x": 9.0}),
+        )
+        messages = check_regressions(tmp_path)
+        assert len(messages) == 1
+        assert "steps_per_sec" in messages[0] and "30.0%" in messages[0]
+
+    def test_small_drop_passes(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        ingest(tmp_path)
+        _write_bench(tmp_path, "zoo", dict(BENCH, steps_per_sec=900.0))
+        assert check_regressions(tmp_path) == []
+
+    def test_baseline_skips_own_digest(self, tmp_path):
+        """A freshly ingested current state compares against the
+        previous observation, not against itself."""
+        _write_bench(tmp_path, "zoo", BENCH)
+        ingest(tmp_path)
+        _write_bench(tmp_path, "zoo", dict(BENCH, steps_per_sec=500.0))
+        ingest(tmp_path)  # the regressed state is now the latest entry
+        messages = check_regressions(tmp_path)
+        assert len(messages) == 1 and "50.0%" in messages[0]
+
+    def test_no_history_means_no_gate(self, tmp_path):
+        _write_bench(tmp_path, "zoo", BENCH)
+        assert check_regressions(tmp_path) == []

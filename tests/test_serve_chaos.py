@@ -172,3 +172,98 @@ class TestLoadtestCli:
         )
         assert summary["ok"] is True
         assert summary["statuses"].get("400") == 2
+
+
+class TestCausalTraceAcceptance:
+    """Acceptance (ISSUE 10): a job that crashes once and resumes
+    produces ONE stitched Perfetto trace — request, admission, both
+    attempts, worker spans, ensemble chunks — connected by flow events,
+    plus a non-empty flight-recorder dump for the crashed attempt."""
+
+    def test_crashed_and_resumed_job_yields_one_stitched_trace(
+        self, tmp_path
+    ):
+        import os
+        import signal
+
+        from repro.obs.causal import span_id
+
+        spec = {
+            "kind": "chaos",
+            "params": {"specs": ["none"], "seeds": 4, "iterations": 3000},
+        }
+        outcome = {}
+
+        async def test(server, supervisor):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=spec
+            )
+            job = json.loads(data)["job"]
+            outcome["trace_id"] = job["trace"]
+            # Let the first attempt make real progress, then SIGKILL it.
+            deadline = time.monotonic() + 60.0
+            pid = None
+            while time.monotonic() < deadline and pid is None:
+                _s, _h, health = await http_request(
+                    "127.0.0.1", server.port, "GET", "/healthz"
+                )
+                _s2, _h2, progress = await http_request(
+                    "127.0.0.1", server.port, "GET",
+                    f"/jobs/{job['id']}/progress",
+                )
+                cells = json.loads(progress).get("cells_completed", 0)
+                workers = json.loads(health)["workers"]
+                if cells >= 1 and workers:
+                    pid = workers[0]["pid"]
+                    break
+                await asyncio.sleep(0.05)
+            assert pid is not None, "worker never started making progress"
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                _s, _h, data = await http_request(
+                    "127.0.0.1", server.port, "GET", f"/jobs/{job['id']}"
+                )
+                view = json.loads(data)["job"]
+                if view["state"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.05)
+            outcome["job"] = view
+            _s, _h, stitched = await http_request(
+                "127.0.0.1", server.port, "GET", f"/jobs/{job['id']}/trace"
+            )
+            assert _s == 200
+            outcome["trace"] = json.loads(stitched)
+
+        _run_server(tmp_path, ServerPolicy(workers=1), test)
+        job = outcome["job"]
+        assert job["state"] == "done", job
+        assert job["attempts"] == 2  # exactly one crash + one resume
+        tid = outcome["trace_id"]
+        events = outcome["trace"]["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {"serve.request", "serve.admission", "serve.attempt",
+                "worker.run"} <= names
+        assert names & {"ensemble.seed", "ensemble.chunk"}
+        attempts = sorted(
+            e["args"]["key"] for e in complete if e["name"] == "serve.attempt"
+        )
+        assert attempts == ["attempt-1", "attempt-2"]
+        # Flow arrows connect the retry chain: attempt-2 is flow-linked
+        # from attempt-1, and the resumed worker.run from attempt-2.
+        for name, key in (("serve.attempt", "attempt-2"),
+                          ("worker.run", "attempt-2")):
+            dest = span_id(tid, name, key)
+            assert any(e["ph"] == "s" and e["id"] == dest for e in events)
+            assert any(e["ph"] == "f" and e["id"] == dest for e in events)
+        # The crashed attempt left a flight-recorder dump whose
+        # deterministic section records the escalation.
+        jobdir = tmp_path / "serve" / "jobs" / job["id"]
+        dump_path = jobdir / "flight-supervisor-attempt-1.json"
+        assert dump_path.exists()
+        dump = json.loads(dump_path.read_text())
+        assert dump["reason"] == "retry-escalation"
+        assert dump["events"], "deterministic section must be non-empty"
+        retries = [e for e in dump["events"] if e["name"] == "serve.retry"]
+        assert retries and retries[0]["args"]["status"] == "crash"

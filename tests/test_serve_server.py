@@ -286,3 +286,197 @@ class TestSlowLoris:
             writer.close()
 
         _serve(test)
+
+
+def _serve_workdir(test, tmp_path, policy=None, runner=None):
+    """Like :func:`_serve` but with a workdir-backed supervisor, so
+    causal tracing (spills, trace ids, ``/trace``) is live."""
+
+    async def go():
+        supervisor = JobSupervisor(
+            policy if policy is not None else ServerPolicy(workers=1),
+            workdir=tmp_path,
+            runner=runner if runner is not None else OkRunner(),
+        )
+        server = JobServer(supervisor)
+        await server.start()
+        try:
+            await test(server)
+        finally:
+            await server.stop()
+            await asyncio.get_event_loop().run_in_executor(
+                None, supervisor.drain
+            )
+
+    asyncio.run(go())
+
+
+class TestMetricsExposition:
+    def test_prometheus_content_type_and_trailing_newline(self):
+        metrics = MetricsRegistry()
+
+        async def test(server):
+            _s, headers, data = await http_request(
+                "127.0.0.1", server.port, "GET", "/metrics"
+            )
+            # The exact exposition-format header scrapers key on.
+            assert headers["content-type"] == (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
+            assert data.endswith(b"\n")
+            assert not data.endswith(b"\n\n")
+
+        _serve(test, metrics=metrics)
+
+
+class TestLongPoll:
+    def test_terminal_job_answers_immediately(self):
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            await _until_done(server, job["id"])
+            before = server.clock.monotonic()
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET",
+                f"/jobs/{job['id']}/progress?wait=30",
+            )
+            assert status == 200
+            assert json.loads(body)["state"] == "done"
+            # Terminal state short-circuits the hold: no 30s park.
+            assert server.clock.monotonic() - before < 10.0
+
+        _serve(test)
+
+    def test_wait_is_clamped_to_policy_ceiling(self):
+        runner = GatedRunner()
+
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            before = server.clock.monotonic()
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET",
+                f"/jobs/{job['id']}/progress?wait=9999",
+            )
+            elapsed = server.clock.monotonic() - before
+            assert status == 200
+            assert json.loads(body)["state"] in ("queued", "running")
+            # Held for ~long_poll_max (0.2s), not the requested 9999s.
+            assert 0.1 <= elapsed < 10.0
+            runner.gate.set()
+
+        _serve(
+            test,
+            policy=ServerPolicy(
+                workers=1, long_poll_max=0.2, poll_interval=0.02
+            ),
+            runner=runner,
+        )
+
+    def test_since_below_current_progress_returns_at_once(self):
+        runner = GatedRunner()
+
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET",
+                f"/jobs/{job['id']}/progress?wait=30&since=-1",
+            )
+            assert status == 200  # 0 cells > since=-1 -> no hold
+            runner.gate.set()
+
+        _serve(
+            test,
+            policy=ServerPolicy(workers=1, long_poll_max=0.5),
+            runner=runner,
+        )
+
+    def test_non_numeric_wait_rejected_400(self):
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET",
+                f"/jobs/{job['id']}/progress?wait=soon",
+            )
+            assert status == 400
+            assert "numeric" in json.loads(body)["error"]
+
+        _serve(test)
+
+    def test_unknown_job_long_poll_404(self):
+        async def test(server):
+            status, _h, _d = await http_request(
+                "127.0.0.1", server.port, "GET",
+                "/jobs/job-9999/progress?wait=1",
+            )
+            assert status == 404
+
+        _serve(test)
+
+
+class TestTraceEndpoint:
+    def test_trace_404_without_workdir(self):
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            await _until_done(server, job["id"])
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET", f"/jobs/{job['id']}/trace"
+            )
+            assert status == 404
+            assert "tracing disabled" in json.loads(body)["error"]
+
+        _serve(test)
+
+    def test_stitched_trace_covers_request_admission_attempt(self, tmp_path):
+        async def test(server):
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC
+            )
+            job = json.loads(data)["job"]
+            assert len(job["trace"]) == 16  # minted from the fingerprint
+            await _until_done(server, job["id"])
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "GET", f"/jobs/{job['id']}/trace"
+            )
+            assert status == 200
+            events = json.loads(body)["traceEvents"]
+            names = {e["name"] for e in events if e["ph"] == "X"}
+            assert {"serve.request", "serve.admission",
+                    "serve.attempt"} <= names
+            # The admission flows from the request span: one s/f pair.
+            assert any(e["ph"] == "s" for e in events)
+            assert any(e["ph"] == "f" for e in events)
+
+        _serve_workdir(test, tmp_path)
+
+    def test_trace_header_honored_and_validated(self, tmp_path):
+        async def test(server):
+            wanted = "deadbeefcafef00d"
+            _s, _h, data = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs", body=SPEC,
+                headers={"X-Repro-Trace-Id": wanted},
+            )
+            assert json.loads(data)["job"]["trace"] == wanted
+            status, _h, body = await http_request(
+                "127.0.0.1", server.port, "POST", "/jobs",
+                body={"kind": "chaos",
+                      "params": {"specs": ["none"], "base_seed": 9}},
+                headers={"X-Repro-Trace-Id": "NOT-HEX!"},
+            )
+            assert status == 400
+            assert "trace id" in json.loads(body)["error"]
+
+        _serve_workdir(test, tmp_path)
